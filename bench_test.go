@@ -1,0 +1,291 @@
+package repro
+
+// One benchmark per reproduction experiment (E1–E12, see EXPERIMENTS.md and
+// DESIGN.md §3). Each benchmark exercises the core operation whose
+// complexity the corresponding paper result describes; cmd/gsmbench prints
+// the full parameter sweeps as tables.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/experiments"
+	"repro/internal/gxpath"
+	"repro/internal/pcp"
+	"repro/internal/ree"
+	"repro/internal/relational"
+	"repro/internal/rem"
+	"repro/internal/threecol"
+	"repro/internal/workload"
+)
+
+// E1 — Figure 1: GXPath-core~ evaluation on a random graph.
+func BenchmarkE1GXPathEval(b *testing.B) {
+	g := workload.RandomGraph(workload.GraphSpec{
+		Nodes: 200, Edges: 600, Labels: []string{"a", "b"}, Values: 50, Seed: 1,
+	})
+	phi := gxpath.MustParseNode("<a (a- b)=> & !<b b>")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gxpath.NodesSatisfying(g, phi, datagraph.MarkedNulls)
+	}
+}
+
+// E2 — Theorem 1: build the PCP gadget, its witness, and run all error
+// detectors.
+func BenchmarkE2PCPGadget(b *testing.B) {
+	in := pcp.Instance{Tiles: []pcp.Tile{{U: "a", V: "ab"}, {U: "ba", V: "a"}}}
+	seq, ok := in.Solve(8)
+	if !ok {
+		b.Fatal("instance should be satisfiable")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gd, err := pcp.BuildGadget(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wit, err := gd.BuildWitness(seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fired, err := gd.Errors(wit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fired) != 0 {
+			b.Fatalf("witness should be clean: %v", fired)
+		}
+	}
+}
+
+// E3 — Theorem 2/Prop 2: the exponential exact certain-answer search
+// (3 nulls; the sweep over null counts lives in gsmbench).
+func BenchmarkE3ExactCoNP(b *testing.B) {
+	gs := workload.Chain(3, "e", 0)
+	m := core.NewMapping(core.R("e", "p q"))
+	q := ree.MustParseQuery("(p q)!=")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertainExact(m, gs, q, core.ExactOptions{MaxNulls: 3}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E4 — Prop 3: the 3-colorability reduction (triangle: colourable, so the
+// adversary search short-circuits; K4 is the slow certain case, see
+// gsmbench).
+func BenchmarkE4ThreeCol(b *testing.B) {
+	g := threecol.Graph{N: 3, Edges: [][2]int{{0, 1}, {1, 2}, {0, 2}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		certain, err := threecol.CertainNon3Colorable(g, core.ExactOptions{MaxNulls: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if certain {
+			b.Fatal("triangle is 3-colourable")
+		}
+	}
+}
+
+// E5 — Prop 4: the one-inequality fixpoint on a 1000-edge chain.
+func BenchmarkE5OneInequality(b *testing.B) {
+	gs := workload.Chain(1000, "e", 0)
+	m := core.NewMapping(core.R("e", "p q"))
+	q := ree.MustParseQuery("(p q)!=")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertainOneInequality(m, gs, q, "n0", "n1", core.OneNeqOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E6 — Theorem 3/4: the tractable SQL-null algorithm at a scale the exact
+// oracle cannot touch.
+func BenchmarkE6CertainNull(b *testing.B) {
+	gs := workload.Chain(2000, "e", 3)
+	m := core.NewMapping(core.R("e", "p q"))
+	q := ree.MustParseQuery("(p q)!= | (p q)=")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertainNull(m, gs, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E7 — Remark 1: one underapproximation-quality sample (exact vs null).
+func BenchmarkE7Approximation(b *testing.B) {
+	gs := workload.RandomGraph(workload.GraphSpec{
+		Nodes: 5, Edges: 7, Labels: []string{"a", "b"}, Values: 3, Seed: 7,
+	})
+	m := workload.RandomRelationalMapping(workload.MappingSpec{
+		SourceLabels: []string{"a", "b"}, TargetLabels: []string{"p", "q"},
+		Rules: 2, MaxWordLen: 2, Seed: 7,
+	})
+	q := ree.New(workload.RandomREEQuery(workload.QuerySpec{
+		Labels: []string{"p", "q"}, Depth: 3, AllowNeq: true, Seed: 7,
+	}))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		exact, err := core.CertainExact(m, gs, q, core.ExactOptions{MaxNulls: 8})
+		if err != nil {
+			b.Fatal(err)
+		}
+		nullAns, err := core.CertainNull(m, gs, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !nullAns.SubsetOf(exact) {
+			b.Fatal("underapproximation violated")
+		}
+	}
+}
+
+// E8 — Theorem 5: least-informative certain answers for an REM= query.
+func BenchmarkE8EqualityOnly(b *testing.B) {
+	gs := workload.Chain(1000, "e", 4)
+	m := core.NewMapping(core.R("e", "p q"))
+	q := rem.MustParseQuery("!x.(p (q[x=])?) q*")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.CertainLeastInformative(m, gs, q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// E9 — Prop 1: relational-encoding satisfaction check.
+func BenchmarkE9RelationalEncoding(b *testing.B) {
+	gs := workload.RandomGraph(workload.GraphSpec{
+		Nodes: 30, Edges: 60, Labels: []string{"a", "b"}, Values: 10, Seed: 9,
+	})
+	m := core.NewMapping(core.R("a", "p q"), core.R("b", "r"))
+	mr, err := relational.Encode(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	u, err := core.UniversalSolution(m, gs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds := relational.FromGraph(gs)
+	dt := relational.FromGraph(u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, why := mr.Satisfied(ds, dt); !ok {
+			b.Fatal(why)
+		}
+	}
+}
+
+// E10 — Theorem 6/Lemma 2: tree-gadget construction plus the bounded
+// avoiding-supergraph search.
+func BenchmarkE10GXPathGadget(b *testing.B) {
+	in := pcp.Instance{Tiles: []pcp.Tile{{U: "a", V: "b"}}}
+	phi := gxpath.MustParseNode("!<x>")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tg, err := pcp.BuildTreeGadget(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, ok := pcp.ExistsAvoidingSupergraph(tg.Tree, tg.Root, phi,
+			pcp.SupergraphSearchOptions{MaxNewNodes: 0, MaxNewEdges: 1, Labels: []string{"x"}}); !ok {
+			b.Fatal("avoidance should succeed")
+		}
+	}
+}
+
+// E11 — Theorem 7: ϕ_G ∧ ϕ_δ pin evaluation on the PCP tree.
+func BenchmarkE11StaticAnalysis(b *testing.B) {
+	tg, err := pcp.BuildTreeGadget(pcp.Instance{Tiles: []pcp.Tile{{U: "a", V: "b"}}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pg, err := gxpath.PhiG(tg.Tree, tg.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pd, err := gxpath.PhiDelta(tg.Tree, tg.Root)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pin := gxpath.NAnd{L: pg, R: pd}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !gxpath.Satisfies(tg.Tree, tg.Root, pin, datagraph.MarkedNulls) {
+			b.Fatal("tree must satisfy its own pin")
+		}
+	}
+}
+
+// E12 — Theorem 3 combined complexity: REE (Ptime) vs REM (register-driven)
+// evaluation on the same graph.
+func BenchmarkE12CombinedComplexity(b *testing.B) {
+	g := workload.Chain(60, "a", 5)
+	reeQ := ree.MustParseQuery("((a a)= a)=")
+	remQ := rem.MustParseQuery("!x.(a !y.(a (a[x= | y!=])+))")
+	b.Run("REE", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reeQ.Eval(g, datagraph.MarkedNulls)
+		}
+	})
+	b.Run("REM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			remQ.Eval(g, datagraph.MarkedNulls)
+		}
+	})
+}
+
+// The experiment tables themselves (quick mode) — so `go test -bench .`
+// regenerates every figure of EXPERIMENTS.md in one run.
+func BenchmarkExperimentTablesQuick(b *testing.B) {
+	for _, e := range experiments.All() {
+		e := e
+		b.Run(e.ID, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Microbenchmarks for the substrates (used to track the ablation of
+// DESIGN.md §5: shared RA engine vs direct matcher).
+func BenchmarkSubstrateREEMatchRA(b *testing.B) {
+	q := ree.MustParseQuery(".* (.+)= .*")
+	w := randomDataPath(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Match(w, datagraph.MarkedNulls)
+	}
+}
+
+func BenchmarkSubstrateREEMatchDirect(b *testing.B) {
+	e := ree.MustParse(".* (.+)= .*")
+	w := randomDataPath(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ree.MatchDirect(e, w, datagraph.MarkedNulls)
+	}
+}
+
+func randomDataPath(n int) datagraph.DataPath {
+	vals := make([]datagraph.Value, n+1)
+	labels := make([]string, n)
+	for i := 0; i <= n; i++ {
+		vals[i] = datagraph.V(fmt.Sprintf("v%d", i%7))
+		if i < n {
+			labels[i] = "a"
+		}
+	}
+	return datagraph.NewDataPath(vals, labels)
+}

@@ -1,0 +1,398 @@
+// Command gsm is the command-line front end to the graph-schema-mapping
+// library: it evaluates queries on data graphs, builds solutions, computes
+// certain answers, and classifies mappings.
+//
+// Usage:
+//
+//	gsm eval     -graph g.txt -query "(a b)=" [-lang ree|rem|rpq|gxnode] [-mode marked|sql]
+//	gsm solve    -graph gs.txt -mapping m.txt [-style null|fresh]
+//	gsm certain  -graph gs.txt -mapping m.txt -query Q [-lang ree|rem|rpq]
+//	             [-algo null|exact|least|oneneq] [-from X -to Y]
+//	gsm classify -mapping m.txt
+//	gsm check    -source gs.txt -target gt.txt -mapping m.txt
+//	gsm conj     -graph g.txt -query "ans(x,y) :- x -[a]-> z, z -[b=]-> y"
+//	             [-mapping m.txt]   (certain-answer mode when given)
+//
+// Graphs use the datagraph text format (node/edge lines); mappings use the
+// core text format (rule src -> tgt lines).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/crpq"
+	"repro/internal/datagraph"
+	"repro/internal/gxpath"
+	"repro/internal/ree"
+	"repro/internal/rem"
+	"repro/internal/rpq"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gsm:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: gsm <eval|solve|certain|classify|check|conj> [flags]")
+	}
+	switch args[0] {
+	case "eval":
+		return cmdEval(args[1:], out)
+	case "solve":
+		return cmdSolve(args[1:], out)
+	case "certain":
+		return cmdCertain(args[1:], out)
+	case "classify":
+		return cmdClassify(args[1:], out)
+	case "check":
+		return cmdCheck(args[1:], out)
+	case "conj":
+		return cmdConj(args[1:], out)
+	case "nonempty":
+		return cmdNonempty(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+// cmdNonempty runs the static nonemptiness analysis of a data RPQ and
+// prints a witness data path if one exists.
+func cmdNonempty(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nonempty", flag.ContinueOnError)
+	queryText := fs.String("query", "", "query text")
+	lang := fs.String("lang", "ree", "query language: ree or rem")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *queryText == "" {
+		return fmt.Errorf("nonempty: -query is required")
+	}
+	var w datagraph.DataPath
+	var ok bool
+	switch *lang {
+	case "ree":
+		q, err := ree.ParseQuery(*queryText)
+		if err != nil {
+			return err
+		}
+		w, ok = q.WitnessDataPath()
+	case "rem":
+		q, err := rem.ParseQuery(*queryText)
+		if err != nil {
+			return err
+		}
+		w, ok = q.WitnessDataPath()
+	default:
+		return fmt.Errorf("nonempty: unknown language %q", *lang)
+	}
+	if !ok {
+		fmt.Fprintln(out, "empty: L(e) contains no data path")
+		return nil
+	}
+	fmt.Fprintf(out, "nonempty; witness: %s\n", w)
+	return nil
+}
+
+// cmdConj evaluates a conjunctive data RPQ, either directly on a graph or
+// as certain answers under a mapping.
+func cmdConj(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("conj", flag.ContinueOnError)
+	graphPath := fs.String("graph", "", "data graph file (source graph when -mapping is given)")
+	mappingPath := fs.String("mapping", "", "mapping file (certain-answer mode)")
+	queryText := fs.String("query", "", "conjunctive query, e.g. 'ans(x,y) :- x -[a]-> y'")
+	modeText := fs.String("mode", "marked", "comparison mode for direct evaluation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *queryText == "" {
+		return fmt.Errorf("conj: -graph and -query are required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	q, err := crpq.Parse(*queryText)
+	if err != nil {
+		return err
+	}
+	var res *crpq.TupleSet
+	if *mappingPath != "" {
+		m, err := loadMapping(*mappingPath)
+		if err != nil {
+			return err
+		}
+		res, err = crpq.Certain(m, g, q)
+		if err != nil {
+			return err
+		}
+	} else {
+		mode, err := parseMode(*modeText)
+		if err != nil {
+			return err
+		}
+		res, err = q.Eval(g, mode)
+		if err != nil {
+			return err
+		}
+	}
+	for _, tup := range res.Sorted() {
+		for i, n := range tup {
+			if i > 0 {
+				fmt.Fprint(out, ", ")
+			}
+			fmt.Fprint(out, n)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "# %d answers\n", res.Len())
+	return nil
+}
+
+func loadGraph(path string) (*datagraph.Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return datagraph.Parse(f)
+}
+
+func loadMapping(path string) (*core.Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return core.ParseMapping(f)
+}
+
+func parseMode(s string) (datagraph.CompareMode, error) {
+	switch s {
+	case "marked", "":
+		return datagraph.MarkedNulls, nil
+	case "sql":
+		return datagraph.SQLNulls, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want marked or sql)", s)
+	}
+}
+
+// parseQuery compiles a query in the requested language to the core.Query
+// interface.
+func parseQuery(lang, text string) (core.Query, error) {
+	switch lang {
+	case "ree", "":
+		return ree.ParseQuery(text)
+	case "rem":
+		return rem.ParseQuery(text)
+	case "rpq":
+		q, err := rpq.Parse(text)
+		if err != nil {
+			return nil, err
+		}
+		return core.NavQuery{Q: q}, nil
+	default:
+		return nil, fmt.Errorf("unknown query language %q", lang)
+	}
+}
+
+func cmdEval(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
+	graphPath := fs.String("graph", "", "data graph file")
+	queryText := fs.String("query", "", "query text")
+	lang := fs.String("lang", "ree", "query language: ree, rem, rpq, gxnode")
+	modeText := fs.String("mode", "marked", "comparison mode: marked or sql")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *queryText == "" {
+		return fmt.Errorf("eval: -graph and -query are required")
+	}
+	g, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	mode, err := parseMode(*modeText)
+	if err != nil {
+		return err
+	}
+	if *lang == "gxnode" {
+		n, err := gxpath.ParseNode(*queryText)
+		if err != nil {
+			return err
+		}
+		for _, i := range gxpath.NodesSatisfying(g, n, mode) {
+			fmt.Fprintln(out, g.Node(i))
+		}
+		return nil
+	}
+	q, err := parseQuery(*lang, *queryText)
+	if err != nil {
+		return err
+	}
+	for _, p := range q.Eval(g, mode).IDPairs(g) {
+		fmt.Fprintf(out, "%s -> %s\n", p.From, p.To)
+	}
+	return nil
+}
+
+func cmdSolve(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("solve", flag.ContinueOnError)
+	graphPath := fs.String("graph", "", "source data graph file")
+	mappingPath := fs.String("mapping", "", "mapping file")
+	style := fs.String("style", "null", "solution style: null (universal) or fresh (least informative)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *mappingPath == "" {
+		return fmt.Errorf("solve: -graph and -mapping are required")
+	}
+	gs, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	m, err := loadMapping(*mappingPath)
+	if err != nil {
+		return err
+	}
+	var sol *datagraph.Graph
+	switch *style {
+	case "null":
+		sol, err = core.UniversalSolution(m, gs)
+	case "fresh":
+		sol, err = core.LeastInformativeSolution(m, gs)
+	default:
+		return fmt.Errorf("solve: unknown style %q", *style)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(out, sol.String())
+	return nil
+}
+
+func cmdCertain(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("certain", flag.ContinueOnError)
+	graphPath := fs.String("graph", "", "source data graph file")
+	mappingPath := fs.String("mapping", "", "mapping file")
+	queryText := fs.String("query", "", "query text")
+	lang := fs.String("lang", "ree", "query language: ree, rem, rpq")
+	algo := fs.String("algo", "null", "algorithm: null (Thm 4), exact (Prop 2), least (Thm 5), oneneq (Prop 4)")
+	fromID := fs.String("from", "", "pair source (oneneq only)")
+	toID := fs.String("to", "", "pair target (oneneq only)")
+	maxNulls := fs.Int("maxnulls", 10, "exact-search budget")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" || *mappingPath == "" || *queryText == "" {
+		return fmt.Errorf("certain: -graph, -mapping and -query are required")
+	}
+	gs, err := loadGraph(*graphPath)
+	if err != nil {
+		return err
+	}
+	m, err := loadMapping(*mappingPath)
+	if err != nil {
+		return err
+	}
+	if *algo == "oneneq" {
+		q, err := ree.ParseQuery(*queryText)
+		if err != nil {
+			return err
+		}
+		if *fromID == "" || *toID == "" {
+			return fmt.Errorf("certain -algo oneneq needs -from and -to")
+		}
+		ok, err := core.CertainOneInequality(m, gs, q,
+			datagraph.NodeID(*fromID), datagraph.NodeID(*toID), core.OneNeqOptions{})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "certain(%s, %s) = %v\n", *fromID, *toID, ok)
+		return nil
+	}
+	q, err := parseQuery(*lang, *queryText)
+	if err != nil {
+		return err
+	}
+	var ans *core.Answers
+	switch *algo {
+	case "null":
+		ans, err = core.CertainNull(m, gs, q)
+	case "exact":
+		ans, err = core.CertainExact(m, gs, q, core.ExactOptions{MaxNulls: *maxNulls})
+	case "least":
+		ans, err = core.CertainLeastInformative(m, gs, q)
+	default:
+		return fmt.Errorf("certain: unknown algorithm %q", *algo)
+	}
+	if err != nil {
+		return err
+	}
+	for _, a := range ans.Sorted() {
+		fmt.Fprintln(out, a)
+	}
+	fmt.Fprintf(out, "# %d certain answers\n", ans.Len())
+	return nil
+}
+
+func cmdClassify(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("classify", flag.ContinueOnError)
+	mappingPath := fs.String("mapping", "", "mapping file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *mappingPath == "" {
+		return fmt.Errorf("classify: -mapping is required")
+	}
+	m, err := loadMapping(*mappingPath)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "rules:                    %d\n", len(m.Rules))
+	fmt.Fprintf(out, "LAV:                      %v\n", m.IsLAV())
+	fmt.Fprintf(out, "GAV:                      %v\n", m.IsGAV())
+	fmt.Fprintf(out, "relational:               %v\n", m.IsRelational())
+	fmt.Fprintf(out, "relational/reachability:  %v\n", m.IsRelationalReachability())
+	return nil
+}
+
+func cmdCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	sourcePath := fs.String("source", "", "source data graph file")
+	targetPath := fs.String("target", "", "target data graph file")
+	mappingPath := fs.String("mapping", "", "mapping file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sourcePath == "" || *targetPath == "" || *mappingPath == "" {
+		return fmt.Errorf("check: -source, -target and -mapping are required")
+	}
+	gs, err := loadGraph(*sourcePath)
+	if err != nil {
+		return err
+	}
+	gt, err := loadGraph(*targetPath)
+	if err != nil {
+		return err
+	}
+	m, err := loadMapping(*mappingPath)
+	if err != nil {
+		return err
+	}
+	ok, why := m.Check(gs, gt)
+	if ok {
+		fmt.Fprintln(out, "solution: (Gs, Gt) |= M")
+		return nil
+	}
+	fmt.Fprintf(out, "not a solution: %s\n", why)
+	return nil
+}

@@ -1,0 +1,78 @@
+// A tour of the Theorem 1 undecidability gadget: how a PCP instance becomes
+// a source data graph, a LAV/GAV relational/reachability mapping, and an
+// error-detecting query, such that (start, end) is a certain answer iff the
+// PCP instance has no solution.
+//
+// Undecidability means no algorithm decides this for every instance; what
+// this program shows is the machinery on a decidable slice: a satisfiable
+// instance whose witness target passes every detector, and an unsatisfiable
+// one where every bounded candidate trips a detector.
+//
+// Run with: go run ./examples/undecidability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/pcp"
+)
+
+func main() {
+	// A classic satisfiable PCP instance: tiles (a, ab), (ba, a); the
+	// sequence [1, 2] spells u = a·ba = "aba" = ab·a = v.
+	sat := pcp.Instance{Tiles: []pcp.Tile{{U: "a", V: "ab"}, {U: "ba", V: "a"}}}
+	fmt.Printf("instance %s\n", sat)
+	seq, ok := sat.Solve(10)
+	if !ok {
+		log.Fatal("expected a solution")
+	}
+	fmt.Printf("PCP solution: %v\n\n", seq)
+
+	gd, err := pcp.BuildGadget(sat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("source graph: %d nodes, %d edges (single chain start→end)\n",
+		gd.Source.NumNodes(), gd.Source.NumEdges())
+	fmt.Printf("mapping (LAV=%v, relational/reachability=%v):\n%s\n",
+		gd.Mapping.IsLAV(), gd.Mapping.IsRelationalReachability(), gd.Mapping)
+
+	// The witness target: the source copy plus the inserted solution path.
+	wit, err := gd.BuildWitness(seq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("witness target: %d nodes (inserted blocks + verification section)\n", wit.NumNodes())
+	if ok, why := gd.Mapping.Check(gd.Source, wit); !ok {
+		log.Fatalf("witness must be a solution: %s", why)
+	}
+	fired, err := gd.Errors(wit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("detectors fired on genuine solution: %v (⇒ (start,end) NOT certain)\n\n", fired)
+
+	// An unsatisfiable instance: every candidate insertion errs.
+	unsat := pcp.Instance{Tiles: []pcp.Tile{{U: "a", V: "b"}}}
+	gd2, err := pcp.BuildGadget(unsat)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("instance %s (unsatisfiable)\n", unsat)
+	unsat.Sequences(3, func(s []int) bool {
+		w, err := gd2.BuildWitness(s)
+		if err != nil {
+			log.Fatal(err)
+		}
+		f, err := gd2.Errors(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  candidate %v: detectors %v\n", s, f)
+		return true
+	})
+	fmt.Println("every candidate errs ⇒ on this slice, (start,end) behaves as a certain answer")
+	fmt.Println("\nthe detectors, in order: shape (DFA complement), repeat, adjacent,")
+	fmt.Println("letter-ab/ba, anchor-u/v, start-u/v — see internal/pcp/detectors.go")
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datagraph"
+)
+
+// Answer is one certain-answer tuple: a pair of source nodes (id, value).
+type Answer struct {
+	From, To datagraph.Node
+}
+
+func (a Answer) String() string {
+	return fmt.Sprintf("(%s, %s)", a.From, a.To)
+}
+
+// Answers is a set of certain answers with deterministic ordering.
+type Answers struct {
+	m map[[2]datagraph.NodeID]Answer
+}
+
+// NewAnswers returns an empty answer set.
+func NewAnswers() *Answers { return &Answers{m: make(map[[2]datagraph.NodeID]Answer)} }
+
+// Add inserts an answer.
+func (a *Answers) Add(ans Answer) { a.m[[2]datagraph.NodeID{ans.From.ID, ans.To.ID}] = ans }
+
+// Has reports whether the pair of ids is present.
+func (a *Answers) Has(from, to datagraph.NodeID) bool {
+	_, ok := a.m[[2]datagraph.NodeID{from, to}]
+	return ok
+}
+
+// Len returns the number of answers.
+func (a *Answers) Len() int { return len(a.m) }
+
+// Sorted returns answers ordered by (from, to) id.
+func (a *Answers) Sorted() []Answer {
+	out := make([]Answer, 0, len(a.m))
+	for _, ans := range a.m {
+		out = append(out, ans)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From.ID != out[j].From.ID {
+			return out[i].From.ID < out[j].From.ID
+		}
+		return out[i].To.ID < out[j].To.ID
+	})
+	return out
+}
+
+// Equal reports set equality on id pairs.
+func (a *Answers) Equal(b *Answers) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for k := range a.m {
+		if _, ok := b.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports a ⊆ b on id pairs.
+func (a *Answers) SubsetOf(b *Answers) bool {
+	for k := range a.m {
+		if _, ok := b.m[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect keeps only answers also present in b.
+func (a *Answers) Intersect(b *Answers) {
+	for k := range a.m {
+		if _, ok := b.m[k]; !ok {
+			delete(a.m, k)
+		}
+	}
+}
+
+func (a *Answers) String() string {
+	parts := make([]string, 0, a.Len())
+	for _, ans := range a.Sorted() {
+		parts = append(parts, ans.String())
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datagraph"
+	"repro/internal/rpq"
+)
+
+// Query is a binary query over target data graphs, evaluated under a
+// data-comparison mode. ree.Query, rem.Query and the RPQ adapter below all
+// implement it.
+type Query interface {
+	Eval(g *datagraph.Graph, mode datagraph.CompareMode) *datagraph.PairSet
+}
+
+// NavQuery adapts a purely navigational RPQ (which ignores data values and
+// hence the comparison mode) to the Query interface.
+type NavQuery struct{ Q *rpq.Query }
+
+// Eval implements Query.
+func (n NavQuery) Eval(g *datagraph.Graph, _ datagraph.CompareMode) *datagraph.PairSet {
+	return n.Q.Eval(g)
+}
+
+// CertainNull computes 2ⁿ_M(Q, Gs), the certain answers over target graphs
+// with SQL-null nodes (Theorem 4): build the universal solution, evaluate Q
+// under SQL-null semantics, and keep only tuples without null nodes. Exact
+// for queries preserved under homomorphisms (all data RPQs, Proposition 6);
+// in general an underapproximation of 2_M(Q, Gs) (Section 7).
+func CertainNull(m *Mapping, gs *datagraph.Graph, q Query) (*Answers, error) {
+	u, err := UniversalSolution(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	res := q.Eval(u, datagraph.SQLNulls)
+	out := NewAnswers()
+	res.Each(func(p datagraph.Pair) {
+		from, to := u.Node(p.From), u.Node(p.To)
+		if from.IsNullNode() || to.IsNullNode() {
+			return
+		}
+		out.Add(Answer{From: from, To: to})
+	})
+	return out, nil
+}
+
+// CertainLeastInformative computes 2_M(Q, Gs) for REM= and REE= queries
+// (Theorem 5): evaluate Q on the least informative solution and keep only
+// tuples over dom(M, Gs). The caller is responsible for Q being
+// equality-only (rem.IsEqualityOnly / ree.IsEqualityOnly); for queries with
+// inequalities the result may overapproximate.
+func CertainLeastInformative(m *Mapping, gs *datagraph.Graph, q Query) (*Answers, error) {
+	li, err := LeastInformativeSolution(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	dom := DomIDs(m, gs)
+	res := q.Eval(li, datagraph.MarkedNulls)
+	out := NewAnswers()
+	res.Each(func(p datagraph.Pair) {
+		from, to := li.Node(p.From), li.Node(p.To)
+		if _, ok := dom[from.ID]; !ok {
+			return
+		}
+		if _, ok := dom[to.ID]; !ok {
+			return
+		}
+		out.Add(Answer{From: from, To: to})
+	})
+	return out, nil
+}
+
+// ExactOptions bounds the exponential search of CertainExact.
+type ExactOptions struct {
+	// MaxNulls caps the number of null nodes in the universal solution;
+	// beyond it CertainExact refuses (the search is exponential in this
+	// number, mirroring the coNP bound of Theorem 2). Default 10.
+	MaxNulls int
+}
+
+// DefaultExactOptions returns the default bounds.
+func DefaultExactOptions() ExactOptions { return ExactOptions{MaxNulls: 10} }
+
+// CertainExact computes 2_M(Q, Gs) exactly for relational GSMs and queries
+// closed under value-preserving homomorphisms (all data RPQs): it
+// intersects Q over every canonical value specialization of the universal
+// solution. Specializations assign to each null node either a value
+// occurring in Gs or a fresh value shared within a class of nulls; classes
+// are enumerated as set partitions in restricted-growth form, so no two
+// enumerated specializations differ only by renaming. This realizes the
+// coNP upper bound of Theorem 2/Proposition 2 as a deterministic
+// exponential search and serves as the ground-truth oracle for the
+// tractable algorithms.
+func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (*Answers, error) {
+	if opts.MaxNulls == 0 {
+		opts.MaxNulls = DefaultExactOptions().MaxNulls
+	}
+	u, err := UniversalSolution(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	nulls := NullNodes(u)
+	if len(nulls) > opts.MaxNulls {
+		return nil, fmt.Errorf("core: %d null nodes exceed the exact-search budget of %d",
+			len(nulls), opts.MaxNulls)
+	}
+	dom := DomIDs(m, gs)
+	sourceValues := gs.Values()
+	fresh := newFreshValues(gs, "_adv")
+	// Pre-generate one fresh value per potential class.
+	freshPool := make([]datagraph.Value, len(nulls))
+	for i := range freshPool {
+		freshPool[i] = fresh.next()
+	}
+
+	var result *Answers
+	assign := make(map[datagraph.NodeID]datagraph.Value, len(nulls))
+
+	evalOne := func() bool { // returns false to stop early (result empty)
+		spec := u.Specialize(assign)
+		res := q.Eval(spec, datagraph.MarkedNulls)
+		ans := NewAnswers()
+		res.Each(func(p datagraph.Pair) {
+			from, to := spec.Node(p.From), spec.Node(p.To)
+			if _, ok := dom[from.ID]; !ok {
+				return
+			}
+			if _, ok := dom[to.ID]; !ok {
+				return
+			}
+			// Report the original (source) values: dom nodes keep them.
+			ans.Add(Answer{From: from, To: to})
+		})
+		if result == nil {
+			result = ans
+		} else {
+			result.Intersect(ans)
+		}
+		return result.Len() > 0
+	}
+
+	// Enumerate: each null takes a source value, an already-open fresh
+	// class, or opens the next fresh class (restricted growth).
+	var rec func(i, classesOpen int) bool
+	rec = func(i, classesOpen int) bool {
+		if i == len(nulls) {
+			return evalOne()
+		}
+		for _, v := range sourceValues {
+			assign[nulls[i]] = v
+			if !rec(i+1, classesOpen) {
+				return false
+			}
+		}
+		for c := 0; c <= classesOpen; c++ {
+			assign[nulls[i]] = freshPool[c]
+			open := classesOpen
+			if c == classesOpen {
+				open++
+			}
+			if !rec(i+1, open) {
+				return false
+			}
+		}
+		delete(assign, nulls[i])
+		return true
+	}
+	rec(0, 0)
+	if result == nil {
+		result = NewAnswers()
+	}
+	return result, nil
+}
+
+// FromEvaluator is an optional fast path implemented by queries that can
+// evaluate from a single start node (ree.Query and rem.Query do).
+type FromEvaluator interface {
+	EvalFrom(g *datagraph.Graph, u int, mode datagraph.CompareMode) []int
+}
+
+// CertainExactPair decides whether the single pair (from, to) is a certain
+// answer, with the same semantics and search as CertainExact but evaluating
+// each specialization only from the asked node and stopping at the first
+// counterexample specialization. This is the oracle used by the
+// coNP-hardness experiments, where only one pair matters.
+func CertainExactPair(m *Mapping, gs *datagraph.Graph, q Query,
+	from, to datagraph.NodeID, opts ExactOptions) (bool, error) {
+
+	if opts.MaxNulls == 0 {
+		opts.MaxNulls = DefaultExactOptions().MaxNulls
+	}
+	u, err := UniversalSolution(m, gs)
+	if err != nil {
+		return false, err
+	}
+	dom := DomIDs(m, gs)
+	if _, ok := dom[from]; !ok {
+		return false, nil
+	}
+	if _, ok := dom[to]; !ok {
+		return false, nil
+	}
+	nulls := NullNodes(u)
+	if len(nulls) > opts.MaxNulls {
+		return false, fmt.Errorf("core: %d null nodes exceed the exact-search budget of %d",
+			len(nulls), opts.MaxNulls)
+	}
+	sourceValues := gs.Values()
+	fresh := newFreshValues(gs, "_adv")
+	freshPool := make([]datagraph.Value, len(nulls))
+	for i := range freshPool {
+		freshPool[i] = fresh.next()
+	}
+	fe, fastPath := q.(FromEvaluator)
+	// One mutable copy of the universal solution, specialised in place per
+	// candidate (a clone per candidate dominates the search cost otherwise).
+	spec := u.Clone()
+	nullIdx := make([]int, len(nulls))
+	for i, id := range nulls {
+		nullIdx[i], _ = spec.IndexOf(id)
+	}
+	fi, _ := spec.IndexOf(from)
+	ti, _ := spec.IndexOf(to)
+	assign := make([]datagraph.Value, len(nulls))
+
+	holds := func() bool {
+		for i, idx := range nullIdx {
+			spec.SetValue(idx, assign[i])
+		}
+		if fastPath {
+			for _, v := range fe.EvalFrom(spec, fi, datagraph.MarkedNulls) {
+				if v == ti {
+					return true
+				}
+			}
+			return false
+		}
+		return q.Eval(spec, datagraph.MarkedNulls).Has(fi, ti)
+	}
+
+	certain := true
+	var rec func(i, classesOpen int) bool // returns false to stop (counterexample found)
+	rec = func(i, classesOpen int) bool {
+		if i == len(nulls) {
+			if !holds() {
+				certain = false
+				return false
+			}
+			return true
+		}
+		for _, v := range sourceValues {
+			assign[i] = v
+			if !rec(i+1, classesOpen) {
+				return false
+			}
+		}
+		for c := 0; c <= classesOpen; c++ {
+			assign[i] = freshPool[c]
+			open := classesOpen
+			if c == classesOpen {
+				open++
+			}
+			if !rec(i+1, open) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+	return certain, nil
+}
+
+// SpecializationCount returns how many canonical specializations
+// CertainExact would enumerate for f nulls and k source values — used by
+// the experiments to report search-space sizes.
+func SpecializationCount(f, k int) int {
+	var rec func(i, open int) int
+	rec = func(i, open int) int {
+		if i == f {
+			return 1
+		}
+		total := k * rec(i+1, open)
+		for c := 0; c <= open; c++ {
+			o := open
+			if c == open {
+				o++
+			}
+			total += rec(i+1, o)
+		}
+		return total
+	}
+	return rec(0, 0)
+}

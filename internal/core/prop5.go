@@ -1,0 +1,353 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datagraph"
+	"repro/internal/ree"
+	"repro/internal/rex"
+)
+
+// This file implements Proposition 5: for data path queries Q (paths with
+// tests) the certain-answer problem is decidable — in coNP — for *arbitrary*
+// GSMs, not just relational ones. The paper's idea: mapping rules can only
+// help a Q-match through target words no longer than |Q|, so the mapping can
+// be cut down to an essentially relational one.
+//
+// Realisation. In a canonical adversary solution, every rule (q, q′) and
+// every pair (u, v) ∈ q(Gs) is satisfied by materialising one fresh path
+// from u to v spelling some word w ∈ L(q′) chosen by the adversary. Since
+// fresh intermediate nodes are per-pair, any length-|Q| match from x to y
+// decomposes into *complete* traversals of inserted paths, so only words of
+// length ≤ |Q| can participate; longer words are interchangeable ("LONG").
+// The adversary space is therefore finite:
+//
+//   - per (rule, pair): a word of length ≤ |Q| from L(q′) over the alphabet
+//     Σ_Q ∪ {⋆} (labels outside Q are interchangeable, represented by ⋆),
+//     or LONG when L(q′) contains some word longer than |Q| (decidable: a
+//     shortest such word has length ≤ |Q| + #NFA states, by cycle removal);
+//   - per fresh node: a data value, enumerated as canonical specializations
+//     exactly as in CertainExact.
+//
+// (x, y) is certain iff every combination yields a match — the
+// deterministic realisation of the coNP bound. Completeness of the choice
+// space follows by inducing, from an arbitrary solution Gt, the choices and
+// values of the witness paths that Gt uses; the canonical match then
+// transfers to Gt because paths-with-tests only inspect labels and
+// endpoint equalities of contiguous segments.
+
+// longMarker represents a word longer than |Q| in the choice space.
+var longMarker = []string{"\x00long"}
+
+// starLabel is the canonical representative of "any label not in Q".
+const starLabel = "\x00star"
+
+// Prop5Options bounds the doubly-exponential search.
+type Prop5Options struct {
+	// MaxChoices caps the number of (word choice) combinations. Default 4096.
+	MaxChoices int
+	// MaxNulls caps fresh nodes per candidate solution. Default 10.
+	MaxNulls int
+}
+
+// CertainDataPathArbitrary decides (from, to) ∈ 2_M(Q, Gs) for an arbitrary
+// GSM and a path-with-tests query.
+func CertainDataPathArbitrary(m *Mapping, gs *datagraph.Graph, q *ree.Query,
+	from, to datagraph.NodeID, opts Prop5Options) (bool, error) {
+
+	labels, _, ok := ree.FlattenPathWithTests(q.Expr())
+	if !ok {
+		return false, fmt.Errorf("core: query %s is not a path with tests", q)
+	}
+	if opts.MaxChoices == 0 {
+		opts.MaxChoices = 4096
+	}
+	if opts.MaxNulls == 0 {
+		opts.MaxNulls = 10
+	}
+	L := len(labels)
+
+	// Per (rule, pair) choice sets.
+	var slots []prop5Slot
+	total := 1
+	for _, r := range m.Rules {
+		// The word alphabet: the query's labels, the labels the target
+		// expression mentions concretely, and ⋆ standing for every other
+		// label (reachable only through Any-transitions). Labels the target
+		// names explicitly must stay concrete — collapsing them into ⋆
+		// would lose adversary choices like picking the c·c branch of
+		// b | c·c to dodge a b query.
+		alpha := uniqueLabels(append(append([]string{}, labels...),
+			rex.Labels(r.Target.Expr())...))
+		alpha = append(alpha, starLabel)
+		nfa := rex.Compile(r.Target.Expr())
+		words := wordsUpTo(nfa, alpha, L)
+		if acceptsLonger(nfa, alpha, L) {
+			words = append(words, longMarker)
+		}
+		if len(words) == 0 {
+			// L(q′) over this alphabet is empty — impossible for the rex
+			// grammar (no ∅), but guard against future extensions: a rule
+			// with empty target language over a nonempty requirement set
+			// admits no solution, making every pair certain.
+			if r.Source.Eval(gs).Len() > 0 {
+				return true, nil
+			}
+			continue
+		}
+		for _, p := range r.Source.Eval(gs).Sorted() {
+			u, v := gs.Node(p.From), gs.Node(p.To)
+			// ε-words demand u = v; filter them per pair.
+			var usable [][]string
+			for _, w := range words {
+				if len(w) == 0 && u.ID != v.ID {
+					continue
+				}
+				usable = append(usable, w)
+			}
+			if len(usable) == 0 {
+				return true, nil // this pair admits no realisation: no solution
+			}
+			slots = append(slots, prop5Slot{from: u, to: v, words: usable})
+			total *= len(usable)
+			if total > opts.MaxChoices {
+				return false, fmt.Errorf("core: %d word-choice combinations exceed budget %d",
+					total, opts.MaxChoices)
+			}
+		}
+	}
+
+	dom := DomIDs(m, gs)
+	if _, okF := dom[from]; !okF {
+		return false, nil
+	}
+	if _, okT := dom[to]; !okT {
+		return false, nil
+	}
+
+	// Enumerate choice combinations; for each, build the canonical target
+	// and run the CertainExactPair-style specialization check inline.
+	choice := make([]int, len(slots))
+	for {
+		gt, err := buildChoiceSolution(m, gs, slots, choice, L)
+		if err != nil {
+			return false, err
+		}
+		holds, err := pairCertainOverSpecializations(gs, gt, q, from, to, opts.MaxNulls)
+		if err != nil {
+			return false, err
+		}
+		if !holds {
+			return false, nil // adversary found a counterexample family
+		}
+		// Next combination.
+		i := 0
+		for ; i < len(slots); i++ {
+			choice[i]++
+			if choice[i] < len(slots[i].words) {
+				break
+			}
+			choice[i] = 0
+		}
+		if i == len(slots) {
+			return true, nil
+		}
+	}
+}
+
+func uniqueLabels(ls []string) []string {
+	seen := map[string]struct{}{}
+	var out []string
+	for _, l := range ls {
+		if _, dup := seen[l]; !dup {
+			seen[l] = struct{}{}
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// wordsUpTo enumerates the words of length ≤ maxLen over alpha accepted by
+// the NFA (Any-steps range over alpha).
+func wordsUpTo(nfa *rex.NFA, alpha []string, maxLen int) [][]string {
+	var out [][]string
+	var rec func(word []string)
+	rec = func(word []string) {
+		if nfa.Matches(word) {
+			out = append(out, append([]string(nil), word...))
+		}
+		if len(word) == maxLen {
+			return
+		}
+		for _, a := range alpha {
+			rec(append(word, a))
+		}
+	}
+	rec(nil)
+	return out
+}
+
+// acceptsLonger reports whether the NFA accepts some word of length > maxLen
+// over alpha: by cycle removal a shortest such word has length at most
+// maxLen + #states, so a bounded BFS decides it.
+func acceptsLonger(nfa *rex.NFA, alpha []string, maxLen int) bool {
+	bound := maxLen + nfa.NumStates + 1
+	// BFS over (state set, length); represent state sets canonically.
+	type entry struct {
+		states []int
+		length int
+	}
+	start := entry{states: nfa.Closure(nfa.Start), length: 0}
+	queue := []entry{start}
+	seen := map[string]struct{}{}
+	key := func(states []int, length int) string {
+		return fmt.Sprintf("%v@%d", states, length)
+	}
+	seen[key(start.states, 0)] = struct{}{}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if e.length > maxLen {
+			for _, s := range e.states {
+				if s == nfa.Accept {
+					return true
+				}
+			}
+		}
+		if e.length == bound {
+			continue
+		}
+		for _, a := range alpha {
+			var next []int
+			dedup := map[int]struct{}{}
+			for _, s := range e.states {
+				for _, st := range nfa.Steps[s] {
+					if st.Matches(a) {
+						for _, c := range nfa.Closure(st.To) {
+							if _, dup := dedup[c]; !dup {
+								dedup[c] = struct{}{}
+								next = append(next, c)
+							}
+						}
+					}
+				}
+			}
+			if len(next) == 0 {
+				continue
+			}
+			k := key(next, e.length+1)
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				queue = append(queue, entry{states: next, length: e.length + 1})
+			}
+		}
+	}
+	return false
+}
+
+// prop5Slot is one (rule, pair) requirement with its admissible words.
+type prop5Slot struct {
+	from, to datagraph.Node
+	words    [][]string
+}
+
+// buildChoiceSolution materialises the canonical target for one choice
+// combination: dom nodes plus one fresh path per slot spelling the chosen
+// word (LONG becomes a ⋆-path of length |Q|+1, unusable by any match).
+func buildChoiceSolution(m *Mapping, gs *datagraph.Graph, slots []prop5Slot,
+	choice []int, L int) (*datagraph.Graph, error) {
+	gt := datagraph.New()
+	for _, n := range Dom(m, gs) {
+		gt.MustAddNode(n.ID, n.Value)
+	}
+	ids := newFreshIDs(gs, "_n")
+	for i, s := range slots {
+		word := s.words[choice[i]]
+		if len(word) == 1 && word[0] == longMarker[0] {
+			word = make([]string, L+1)
+			for j := range word {
+				word[j] = starLabel
+			}
+		}
+		if len(word) == 0 {
+			continue // ε: endpoints coincide, nothing to add
+		}
+		prev := s.from.ID
+		for j := 0; j < len(word)-1; j++ {
+			id := ids.next()
+			gt.MustAddNode(id, datagraph.Null())
+			gt.MustAddEdge(prev, word[j], id)
+			prev = id
+		}
+		gt.MustAddEdge(prev, word[len(word)-1], s.to.ID)
+	}
+	return gt, nil
+}
+
+// pairCertainOverSpecializations checks whether (from, to) ∈ Q(σ(gt)) for
+// every canonical value specialization σ of the null nodes of gt.
+func pairCertainOverSpecializations(gs *datagraph.Graph, gt *datagraph.Graph,
+	q *ree.Query, from, to datagraph.NodeID, maxNulls int) (bool, error) {
+
+	nulls := NullNodes(gt)
+	if len(nulls) > maxNulls {
+		return false, fmt.Errorf("core: %d fresh nodes exceed the budget of %d", len(nulls), maxNulls)
+	}
+	fi, okF := gt.IndexOf(from)
+	ti, okT := gt.IndexOf(to)
+	if !okF || !okT {
+		return false, nil
+	}
+	sourceValues := gs.Values()
+	fresh := newFreshValues(gs, "_adv")
+	freshPool := make([]datagraph.Value, len(nulls))
+	for i := range freshPool {
+		freshPool[i] = fresh.next()
+	}
+	spec := gt.Clone()
+	nullIdx := make([]int, len(nulls))
+	for i, id := range nulls {
+		nullIdx[i], _ = spec.IndexOf(id)
+	}
+	assign := make([]datagraph.Value, len(nulls))
+	certain := true
+	var rec func(i, open int) bool
+	rec = func(i, open int) bool {
+		if i == len(nulls) {
+			for j, idx := range nullIdx {
+				spec.SetValue(idx, assign[j])
+			}
+			found := false
+			for _, v := range q.EvalFrom(spec, fi, datagraph.MarkedNulls) {
+				if v == ti {
+					found = true
+					break
+				}
+			}
+			if !found {
+				certain = false
+				return false
+			}
+			return true
+		}
+		for _, v := range sourceValues {
+			assign[i] = v
+			if !rec(i+1, open) {
+				return false
+			}
+		}
+		for c := 0; c <= open; c++ {
+			assign[i] = freshPool[c]
+			o := open
+			if c == open {
+				o++
+			}
+			if !rec(i+1, o) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, 0)
+	return certain, nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datagraph"
+	"repro/internal/ree"
+)
+
+func prop5Source(t *testing.T, sameValues bool) *datagraph.Graph {
+	t.Helper()
+	g := datagraph.New()
+	g.MustAddNode("x", datagraph.V("1"))
+	if sameValues {
+		g.MustAddNode("y", datagraph.V("1"))
+	} else {
+		g.MustAddNode("y", datagraph.V("2"))
+	}
+	g.MustAddEdge("x", "a", "y")
+	return g
+}
+
+func TestProp5AgreesWithRelationalOracle(t *testing.T) {
+	// On relational mappings, the arbitrary-GSM procedure must agree with
+	// CertainExactPair.
+	gs := prop5Source(t, false)
+	m := NewMapping(R("a", "b c"))
+	for _, expr := range []string{"b c", "(b c)=", "(b c)!=", "b", "b= c"} {
+		q := ree.MustParseQuery(expr)
+		want, err := CertainExactPair(m, gs, q, "x", "y", DefaultExactOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := CertainDataPathArbitrary(m, gs, q, "x", "y", Prop5Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: arbitrary %v vs relational oracle %v", expr, got, want)
+		}
+	}
+}
+
+func TestProp5ReachabilityRule(t *testing.T) {
+	gs := prop5Source(t, false)
+	// Σ* target: the adversary can always realise the requirement with a
+	// path avoiding the query labels, so nothing is certain.
+	m := NewMapping(R("a", ".*"))
+	got, err := CertainDataPathArbitrary(m, gs, ree.MustParseQuery("b"), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("Σ* lets the adversary dodge any specific word")
+	}
+}
+
+func TestProp5UnionChoice(t *testing.T) {
+	gs := prop5Source(t, false)
+	// Target b | c c: the adversary picks whichever word avoids the query.
+	m := NewMapping(R("a", "b|c c"))
+	got, err := CertainDataPathArbitrary(m, gs, ree.MustParseQuery("b"), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("adversary picks c·c to dodge the b query")
+	}
+	// But the disjunction-free demand b is certain when the only word is b.
+	m2 := NewMapping(R("a", "b"))
+	got2, err := CertainDataPathArbitrary(m2, gs, ree.MustParseQuery("b"), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2 {
+		t.Fatal("b is forced")
+	}
+}
+
+func TestProp5StarTarget(t *testing.T) {
+	gs := prop5Source(t, false)
+	// Target b⁺ (written b b*): words b, bb, bbb, … The query b·b is
+	// dodged by choosing b (or any length ≠ 2 — including LONG).
+	m := NewMapping(R("a", "b b*"))
+	got, err := CertainDataPathArbitrary(m, gs, ree.MustParseQuery("b b"), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("b⁺ admits lengths other than 2")
+	}
+	// Query ⋆-free single b against target b: the one-letter prefix of
+	// every b⁺ word... a match needs the full inserted path to have length
+	// exactly 1, and the adversary picks longer: not certain either.
+	got2, err := CertainDataPathArbitrary(m, gs, ree.MustParseQuery("b"), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 {
+		t.Fatal("adversary inserts a longer b-path")
+	}
+}
+
+func TestProp5DataTests(t *testing.T) {
+	// Equal endpoint values: (b c)= is certain when the word b·c is forced
+	// and the endpoints carry equal values.
+	gsSame := prop5Source(t, true)
+	m := NewMapping(R("a", "b c"))
+	got, err := CertainDataPathArbitrary(m, gsSame, ree.MustParseQuery("(b c)="), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Fatal("(b c)= with equal constants must be certain")
+	}
+	// Distinct endpoint values: never.
+	gsDiff := prop5Source(t, false)
+	got2, err := CertainDataPathArbitrary(m, gsDiff, ree.MustParseQuery("(b c)="), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 {
+		t.Fatal("(b c)= with distinct constants is impossible")
+	}
+	// Midpoint test: (b= c) compares x with the fresh midpoint — the
+	// adversary gives the midpoint a different value.
+	got3, err := CertainDataPathArbitrary(m, gsSame, ree.MustParseQuery("b= c"), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3 {
+		t.Fatal("midpoint value is adversary-controlled")
+	}
+}
+
+func TestProp5Guards(t *testing.T) {
+	gs := prop5Source(t, false)
+	m := NewMapping(R("a", "b"))
+	// Non-path query rejected.
+	if _, err := CertainDataPathArbitrary(m, gs, ree.MustParseQuery("b*"), "x", "y", Prop5Options{}); err == nil {
+		t.Fatal("star query is not a path with tests")
+	}
+	// Missing endpoints are not certain.
+	got, err := CertainDataPathArbitrary(m, gs, ree.MustParseQuery("b"), "x", "ghost", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("missing endpoint cannot be certain")
+	}
+	// Choice budget enforced.
+	big := datagraph.New()
+	big.MustAddNode("x", datagraph.V("1"))
+	big.MustAddNode("y", datagraph.V("2"))
+	big.MustAddEdge("x", "a", "y")
+	wide := NewMapping(R("a", "b|c|d|e b|c c|d d"), R("a", "b|c|d|e b|c c|d d"))
+	if _, err := CertainDataPathArbitrary(wide, big, ree.MustParseQuery("b b"), "x", "y",
+		Prop5Options{MaxChoices: 2}); err == nil {
+		t.Fatal("choice budget must be enforced")
+	}
+}
+
+func TestProp5EpsilonWords(t *testing.T) {
+	// Self-loop with target (()|b): the adversary may pick ε (endpoints
+	// coincide) and avoid any b-edge.
+	gs := datagraph.New()
+	gs.MustAddNode("x", datagraph.V("1"))
+	gs.MustAddEdge("x", "a", "x")
+	m := NewMapping(R("a", "()|b"))
+	got, err := CertainDataPathArbitrary(m, gs, ree.MustParseQuery("b"), "x", "x", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("ε choice avoids the b-edge")
+	}
+	// Distinct endpoints make ε unusable: b becomes forced.
+	gs2 := prop5Source(t, false)
+	m2 := NewMapping(R("a", "()|b"))
+	got2, err := CertainDataPathArbitrary(m2, gs2, ree.MustParseQuery("b"), "x", "y", Prop5Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2 {
+		t.Fatal("ε demands x = y; with x ≠ y the b word is forced")
+	}
+}

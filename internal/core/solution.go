@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/datagraph"
+)
+
+// This file implements the solution-building procedures of Sections 7 and 8:
+// dom(M, Gs), universal solutions populated with SQL-null nodes, and least
+// informative solutions populated with fresh distinct data values.
+
+// Dom computes dom(M, Gs): all source nodes appearing in some query result
+// q(Gs) for (q, q′) ∈ M, in dense-index order of Gs.
+func Dom(m *Mapping, gs *datagraph.Graph) []datagraph.Node {
+	seen := make([]bool, gs.NumNodes())
+	for _, r := range m.Rules {
+		r.Source.Eval(gs).Each(func(p datagraph.Pair) {
+			seen[p.From] = true
+			seen[p.To] = true
+		})
+	}
+	var out []datagraph.Node
+	for i, ok := range seen {
+		if ok {
+			out = append(out, gs.Node(i))
+		}
+	}
+	return out
+}
+
+// DomIDs returns the ids of Dom as a set.
+func DomIDs(m *Mapping, gs *datagraph.Graph) map[datagraph.NodeID]struct{} {
+	out := make(map[datagraph.NodeID]struct{})
+	for _, n := range Dom(m, gs) {
+		out[n.ID] = struct{}{}
+	}
+	return out
+}
+
+// freshIDs hands out node ids that cannot collide with ids already present
+// in a graph.
+type freshIDs struct {
+	prefix string
+	n      int
+}
+
+func newFreshIDs(g *datagraph.Graph, base string) *freshIDs {
+	prefix := base
+	for {
+		collision := false
+		for _, n := range g.Nodes() {
+			if len(n.ID) >= len(prefix) && string(n.ID[:len(prefix)]) == prefix {
+				collision = true
+				break
+			}
+		}
+		if !collision {
+			return &freshIDs{prefix: prefix}
+		}
+		prefix += "_"
+	}
+}
+
+func (f *freshIDs) next() datagraph.NodeID {
+	f.n++
+	return datagraph.NodeID(fmt.Sprintf("%s%d", f.prefix, f.n))
+}
+
+// freshValues hands out data values distinct from every value in a graph
+// and from each other.
+type freshValues struct {
+	prefix string
+	n      int
+}
+
+func newFreshValues(g *datagraph.Graph, base string) *freshValues {
+	prefix := base
+	for {
+		collision := false
+		for _, v := range g.Values() {
+			raw := v.Raw()
+			if len(raw) >= len(prefix) && raw[:len(prefix)] == prefix {
+				collision = true
+				break
+			}
+		}
+		if !collision {
+			return &freshValues{prefix: prefix}
+		}
+		prefix += "_"
+	}
+}
+
+func (f *freshValues) next() datagraph.Value {
+	f.n++
+	return datagraph.V(fmt.Sprintf("%s%d", f.prefix, f.n))
+}
+
+// UniversalSolution builds the Section 7 universal solution for a relational
+// GSM: dom(M, Gs) is copied, and for each rule (q, a₁…aₖ) and each pair
+// (v, v′) ∈ q(Gs), a path v a₁ n₁ a₂ … aₖ v′ is added whose k−1 intermediate
+// nodes are fresh null nodes (value n). It errors if the mapping is not
+// relational, or if a rule with target ε demands v = v′ for a pair with
+// v ≠ v′ (in which case no solution exists at all).
+func UniversalSolution(m *Mapping, gs *datagraph.Graph) (*datagraph.Graph, error) {
+	return buildSolution(m, gs, solutionNulls)
+}
+
+// LeastInformativeSolution builds the Section 8 least informative solution:
+// identical to the universal solution except that the fresh intermediate
+// nodes carry fresh, pairwise distinct data values instead of nulls.
+func LeastInformativeSolution(m *Mapping, gs *datagraph.Graph) (*datagraph.Graph, error) {
+	return buildSolution(m, gs, solutionFresh)
+}
+
+type solutionStyle int
+
+const (
+	solutionNulls solutionStyle = iota
+	solutionFresh
+)
+
+func buildSolution(m *Mapping, gs *datagraph.Graph, style solutionStyle) (*datagraph.Graph, error) {
+	if !m.IsRelational() {
+		return nil, fmt.Errorf("core: solutions are defined for relational mappings only")
+	}
+	gt := datagraph.New()
+	// Step 1: copy dom(M, Gs).
+	for _, n := range Dom(m, gs) {
+		gt.MustAddNode(n.ID, n.Value)
+	}
+	ids := newFreshIDs(gs, "_n")
+	vals := newFreshValues(gs, "_fresh")
+	newNodeValue := func() datagraph.Value {
+		if style == solutionNulls {
+			return datagraph.Null()
+		}
+		return vals.next()
+	}
+	// Step 2: materialise a path for each rule and pair.
+	for _, r := range m.Rules {
+		word, _ := r.Target.AsWord()
+		pairs := r.Source.Eval(gs).Sorted()
+		for _, p := range pairs {
+			from := gs.Node(p.From)
+			to := gs.Node(p.To)
+			if len(word) == 0 {
+				if from.ID != to.ID {
+					return nil, fmt.Errorf(
+						"core: rule %s requires %s = %s via ε; no solution exists", r, from.ID, to.ID)
+				}
+				continue
+			}
+			prev := from.ID
+			for i := 0; i < len(word)-1; i++ {
+				id := ids.next()
+				gt.MustAddNode(id, newNodeValue())
+				gt.MustAddEdge(prev, word[i], id)
+				prev = id
+			}
+			gt.MustAddEdge(prev, word[len(word)-1], to.ID)
+		}
+	}
+	return gt, nil
+}
+
+// NullNodes returns the ids of null nodes in a graph (universal-solution
+// intermediates).
+func NullNodes(g *datagraph.Graph) []datagraph.NodeID {
+	var out []datagraph.NodeID
+	for _, n := range g.Nodes() {
+		if n.IsNullNode() {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}

@@ -1,0 +1,19 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/rex"
+	"repro/internal/rpq"
+)
+
+func rexLabels(q *rpq.Query) []string { return rex.Labels(q.Expr()) }
+
+func sortedKeys(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

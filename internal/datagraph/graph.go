@@ -1,0 +1,322 @@
+package datagraph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NodeID identifies a node; ids are drawn from the countable set N of the
+// paper. Within one graph no two nodes share an id.
+type NodeID string
+
+// Node is a pair (id, value) as in Section 2 of the paper.
+type Node struct {
+	ID    NodeID
+	Value Value
+}
+
+// IsNullNode reports whether the node is a null node (n, n) of Section 7,
+// i.e. its value is the SQL null.
+func (n Node) IsNullNode() bool { return n.Value.IsNull() }
+
+func (n Node) String() string { return fmt.Sprintf("(%s,%s)", string(n.ID), n.Value) }
+
+// Edge is a labeled edge (v, a, v′).
+type Edge struct {
+	From  NodeID
+	Label string
+	To    NodeID
+}
+
+func (e Edge) String() string {
+	return fmt.Sprintf("%s -%s-> %s", string(e.From), e.Label, string(e.To))
+}
+
+// HalfEdge is an adjacency entry: an edge seen from one endpoint.
+type HalfEdge struct {
+	Label string
+	To    int // dense node index of the other endpoint
+}
+
+// Graph is a data graph G = ⟨V, E⟩: a finite set of nodes with unique ids and
+// a set of labeled edges E ⊆ V × Σ × V. Nodes are stored densely; evaluators
+// address nodes by their index (0-based insertion order), while the public
+// API also accepts NodeIDs.
+//
+// The zero Graph is empty and ready to use.
+type Graph struct {
+	nodes []Node
+	index map[NodeID]int
+	out   [][]HalfEdge
+	in    [][]HalfEdge
+	edges map[Edge]struct{}
+}
+
+// New returns an empty data graph.
+func New() *Graph {
+	return &Graph{index: make(map[NodeID]int), edges: make(map[Edge]struct{})}
+}
+
+func (g *Graph) ensureInit() {
+	if g.index == nil {
+		g.index = make(map[NodeID]int)
+	}
+	if g.edges == nil {
+		g.edges = make(map[Edge]struct{})
+	}
+}
+
+// AddNode inserts the node (id, value). It returns an error if the id is
+// already present (node ids are unique within a data graph).
+func (g *Graph) AddNode(id NodeID, value Value) error {
+	g.ensureInit()
+	if _, dup := g.index[id]; dup {
+		return fmt.Errorf("datagraph: duplicate node id %q", string(id))
+	}
+	g.index[id] = len(g.nodes)
+	g.nodes = append(g.nodes, Node{ID: id, Value: value})
+	g.out = append(g.out, nil)
+	g.in = append(g.in, nil)
+	return nil
+}
+
+// MustAddNode is AddNode that panics on error; intended for tests and
+// literals where duplicate ids are a programming error.
+func (g *Graph) MustAddNode(id NodeID, value Value) {
+	if err := g.AddNode(id, value); err != nil {
+		panic(err)
+	}
+}
+
+// AddEdge inserts the edge (from, label, to). Both endpoints must exist.
+// Edges form a set: inserting an existing edge is a silent no-op.
+func (g *Graph) AddEdge(from NodeID, label string, to NodeID) error {
+	g.ensureInit()
+	fi, ok := g.index[from]
+	if !ok {
+		return fmt.Errorf("datagraph: edge source %q not in graph", string(from))
+	}
+	ti, ok := g.index[to]
+	if !ok {
+		return fmt.Errorf("datagraph: edge target %q not in graph", string(to))
+	}
+	e := Edge{From: from, Label: label, To: to}
+	if _, dup := g.edges[e]; dup {
+		return nil
+	}
+	g.edges[e] = struct{}{}
+	g.out[fi] = append(g.out[fi], HalfEdge{Label: label, To: ti})
+	g.in[ti] = append(g.in[ti], HalfEdge{Label: label, To: fi})
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error.
+func (g *Graph) MustAddEdge(from NodeID, label string, to NodeID) {
+	if err := g.AddEdge(from, label, to); err != nil {
+		panic(err)
+	}
+}
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return len(g.edges) }
+
+// Node returns the node at dense index i.
+func (g *Graph) Node(i int) Node { return g.nodes[i] }
+
+// NodeByID returns the node with the given id.
+func (g *Graph) NodeByID(id NodeID) (Node, bool) {
+	if g.index == nil {
+		return Node{}, false
+	}
+	i, ok := g.index[id]
+	if !ok {
+		return Node{}, false
+	}
+	return g.nodes[i], true
+}
+
+// IndexOf returns the dense index of the node with the given id.
+func (g *Graph) IndexOf(id NodeID) (int, bool) {
+	if g.index == nil {
+		return 0, false
+	}
+	i, ok := g.index[id]
+	return i, ok
+}
+
+// HasEdge reports whether the edge (from, label, to) is present.
+func (g *Graph) HasEdge(from NodeID, label string, to NodeID) bool {
+	if g.edges == nil {
+		return false
+	}
+	_, ok := g.edges[Edge{From: from, Label: label, To: to}]
+	return ok
+}
+
+// Out returns the outgoing adjacency list of the node at index i. The
+// returned slice must not be modified.
+func (g *Graph) Out(i int) []HalfEdge { return g.out[i] }
+
+// In returns the incoming adjacency list of the node at index i. The
+// returned slice must not be modified.
+func (g *Graph) In(i int) []HalfEdge { return g.in[i] }
+
+// Value returns δ(v) for the node at index i.
+func (g *Graph) Value(i int) Value { return g.nodes[i].Value }
+
+// Nodes returns a copy of the node list in dense-index order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// Edges returns the edge set in a deterministic (sorted) order.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.edges))
+	for e := range g.edges {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		if out[i].Label != out[j].Label {
+			return out[i].Label < out[j].Label
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Labels returns the set of edge labels used in the graph, sorted.
+func (g *Graph) Labels() []string {
+	set := make(map[string]struct{})
+	for e := range g.edges {
+		set[e.Label] = struct{}{}
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Values returns the set of non-null data values occurring in the graph,
+// sorted by their string form.
+func (g *Graph) Values() []Value {
+	set := make(map[Value]struct{})
+	for _, n := range g.nodes {
+		if !n.Value.IsNull() {
+			set[n.Value] = struct{}{}
+		}
+	}
+	out := make([]Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].s < out[j].s })
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := New()
+	for _, n := range g.nodes {
+		c.MustAddNode(n.ID, n.Value)
+	}
+	for _, e := range g.Edges() {
+		c.MustAddEdge(e.From, e.Label, e.To)
+	}
+	return c
+}
+
+// SetValue overwrites the data value of the node at dense index i. It is
+// the in-place counterpart of Specialize, used by the certain-answer
+// oracle, which evaluates queries over very many value specializations of
+// one universal solution and cannot afford a graph clone per candidate.
+func (g *Graph) SetValue(i int, v Value) { g.nodes[i].Value = v }
+
+// Specialize returns a copy of the graph in which the value of each node is
+// replaced according to assign; nodes absent from assign keep their value.
+// It is used to build the value specializations σ(U) of a universal solution
+// discussed in DESIGN.md (certain-answer oracle).
+func (g *Graph) Specialize(assign map[NodeID]Value) *Graph {
+	c := New()
+	for _, n := range g.nodes {
+		v := n.Value
+		if nv, ok := assign[n.ID]; ok {
+			v = nv
+		}
+		c.MustAddNode(n.ID, v)
+	}
+	for _, e := range g.Edges() {
+		c.MustAddEdge(e.From, e.Label, e.To)
+	}
+	return c
+}
+
+// Union returns a new graph containing all nodes and edges of g and h.
+// Nodes with the same id must carry the same value in both graphs.
+func Union(g, h *Graph) (*Graph, error) {
+	u := New()
+	for _, n := range g.nodes {
+		u.MustAddNode(n.ID, n.Value)
+	}
+	for _, n := range h.nodes {
+		if prev, ok := u.NodeByID(n.ID); ok {
+			if prev.Value != n.Value {
+				return nil, fmt.Errorf("datagraph: union conflict on node %q: %s vs %s",
+					string(n.ID), prev.Value, n.Value)
+			}
+			continue
+		}
+		u.MustAddNode(n.ID, n.Value)
+	}
+	for _, e := range g.Edges() {
+		u.MustAddEdge(e.From, e.Label, e.To)
+	}
+	for _, e := range h.Edges() {
+		u.MustAddEdge(e.From, e.Label, e.To)
+	}
+	return u, nil
+}
+
+// ContainsAllEdges reports whether every edge of sub is an edge of g and
+// every node of sub occurs in g with the same value (G′ ⊇ G in the paper's
+// notation, as used in Lemma 2).
+func (g *Graph) ContainsAllEdges(sub *Graph) bool {
+	for _, n := range sub.nodes {
+		m, ok := g.NodeByID(n.ID)
+		if !ok || m.Value != n.Value {
+			return false
+		}
+	}
+	for e := range sub.edges {
+		if !g.HasEdge(e.From, e.Label, e.To) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the graph in the text format accepted by Parse.
+func (g *Graph) String() string {
+	var b strings.Builder
+	for _, n := range g.nodes {
+		if n.Value.IsNull() {
+			fmt.Fprintf(&b, "node %s null\n", string(n.ID))
+		} else {
+			fmt.Fprintf(&b, "node %s %s\n", string(n.ID), n.Value.Raw())
+		}
+	}
+	for _, e := range g.Edges() {
+		fmt.Fprintf(&b, "edge %s %s %s\n", string(e.From), e.Label, string(e.To))
+	}
+	return b.String()
+}

@@ -1,0 +1,159 @@
+package datagraph
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func TestFindHomomorphismIdentity(t *testing.T) {
+	g := buildTriangle(t)
+	m, ok := FindHomomorphism(g, g, nil)
+	if !ok {
+		t.Fatal("graph must map into itself")
+	}
+	if !IsHomomorphism(g, g, m) {
+		t.Fatal("returned map is not a homomorphism")
+	}
+}
+
+func TestFindHomomorphismValueMismatch(t *testing.T) {
+	g := New()
+	g.MustAddNode("x", V("1"))
+	h := New()
+	h.MustAddNode("y", V("2"))
+	if _, ok := FindHomomorphism(g, h, nil); ok {
+		t.Fatal("values differ; no homomorphism should exist")
+	}
+	// With nulls mode, a null source node can map anywhere.
+	g2 := New()
+	g2.MustAddNode("x", Null())
+	if _, ok := FindHomomorphismNulls(g2, h, nil); !ok {
+		t.Fatal("null node should map to any node")
+	}
+	if _, ok := FindHomomorphism(g2, h, nil); ok {
+		t.Fatal("exact mode must not map null to constant")
+	}
+}
+
+func TestFindHomomorphismEdgePreservation(t *testing.T) {
+	// path x -a-> y must not map into graph with only a b edge.
+	g := New()
+	g.MustAddNode("x", V("1"))
+	g.MustAddNode("y", V("1"))
+	g.MustAddEdge("x", "a", "y")
+	h := New()
+	h.MustAddNode("p", V("1"))
+	h.MustAddNode("q", V("1"))
+	h.MustAddEdge("p", "b", "q")
+	if _, ok := FindHomomorphism(g, h, nil); ok {
+		t.Fatal("label mismatch must prevent homomorphism")
+	}
+	h.MustAddEdge("p", "a", "q")
+	m, ok := FindHomomorphism(g, h, nil)
+	if !ok || !IsHomomorphism(g, h, m) {
+		t.Fatal("homomorphism should exist after adding a-edge")
+	}
+}
+
+func TestFindHomomorphismFixed(t *testing.T) {
+	// Two candidate targets; fixing forces one.
+	g := New()
+	g.MustAddNode("x", V("1"))
+	h := New()
+	h.MustAddNode("p", V("1"))
+	h.MustAddNode("q", V("1"))
+	m, ok := FindHomomorphism(g, h, map[NodeID]NodeID{"x": "q"})
+	if !ok || m["x"] != "q" {
+		t.Fatalf("fixed assignment not honoured: %v", m)
+	}
+	// Fixing to a value-incompatible target fails.
+	h2 := New()
+	h2.MustAddNode("r", V("2"))
+	if _, ok := FindHomomorphism(g, h2, map[NodeID]NodeID{"x": "r"}); ok {
+		t.Fatal("incompatible fixed assignment must fail")
+	}
+	// Fixing a node that does not exist fails.
+	if _, ok := FindHomomorphism(g, h, map[NodeID]NodeID{"zz": "p"}); ok {
+		t.Fatal("fixed source not in graph must fail")
+	}
+}
+
+func TestHomomorphismSelfLoop(t *testing.T) {
+	g := New()
+	g.MustAddNode("x", V("1"))
+	g.MustAddEdge("x", "a", "x")
+	h := New()
+	h.MustAddNode("p", V("1"))
+	if _, ok := FindHomomorphism(g, h, nil); ok {
+		t.Fatal("self loop cannot map to loop-free node")
+	}
+	h.MustAddEdge("p", "a", "p")
+	if _, ok := FindHomomorphism(g, h, nil); !ok {
+		t.Fatal("self loop should map to self loop")
+	}
+}
+
+func TestNullsHomomorphismValuePreservation(t *testing.T) {
+	// Non-null values must still be preserved in nulls mode.
+	g := New()
+	g.MustAddNode("c", V("k"))
+	g.MustAddNode("n", Null())
+	g.MustAddEdge("c", "a", "n")
+	h := New()
+	h.MustAddNode("c2", V("other"))
+	h.MustAddNode("d", V("d"))
+	h.MustAddEdge("c2", "a", "d")
+	if _, ok := FindHomomorphismNulls(g, h, nil); ok {
+		t.Fatal("constant value mismatch must fail even in nulls mode")
+	}
+	h2 := New()
+	h2.MustAddNode("c2", V("k"))
+	h2.MustAddNode("d", V("d"))
+	h2.MustAddEdge("c2", "a", "d")
+	m, ok := FindHomomorphismNulls(g, h2, nil)
+	if !ok {
+		t.Fatal("nulls homomorphism should exist")
+	}
+	if !IsHomomorphismNulls(g, h2, m) {
+		t.Fatal("checker rejects found homomorphism")
+	}
+	if IsHomomorphism(g, h2, m) {
+		t.Fatal("exact checker must reject null remapping")
+	}
+}
+
+// Property: any graph maps homomorphically into itself via the identity, and
+// composition with an edge-added supergraph still works.
+func TestHomomorphismIntoSupergraph(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := int(seed%5) + 2
+		g := New()
+		for i := 0; i < n; i++ {
+			g.MustAddNode(NodeID(fmt.Sprintf("n%d", i)), V(fmt.Sprintf("v%d", i%3)))
+		}
+		for i := 0; i < n; i++ {
+			g.MustAddEdge(NodeID(fmt.Sprintf("n%d", i)), "a", NodeID(fmt.Sprintf("n%d", (i+1)%n)))
+		}
+		super := g.Clone()
+		super.MustAddNode("extra", V("v0"))
+		super.MustAddEdge("extra", "b", "n0")
+		m, ok := FindHomomorphism(g, super, nil)
+		return ok && IsHomomorphism(g, super, m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsHomomorphismRejects(t *testing.T) {
+	g := buildTriangle(t)
+	// Missing entry.
+	if IsHomomorphism(g, g, map[NodeID]NodeID{"u": "u"}) {
+		t.Fatal("partial map accepted")
+	}
+	// Map to nonexistent node.
+	if IsHomomorphism(g, g, map[NodeID]NodeID{"u": "zz", "v": "v", "w": "w"}) {
+		t.Fatal("dangling target accepted")
+	}
+}

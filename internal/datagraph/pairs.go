@@ -1,0 +1,117 @@
+package datagraph
+
+import "sort"
+
+// Pair is an ordered pair of dense node indices, the unit of binary query
+// answers (the paper's queries are mainly binary: q(G) ⊆ V × V).
+type Pair struct {
+	From, To int
+}
+
+// PairSet is a set of node-index pairs. The zero value is empty but not
+// usable; create with NewPairSet.
+type PairSet struct {
+	m map[Pair]struct{}
+}
+
+// NewPairSet returns an empty pair set.
+func NewPairSet() *PairSet { return &PairSet{m: make(map[Pair]struct{})} }
+
+// Add inserts the pair.
+func (s *PairSet) Add(from, to int) { s.m[Pair{from, to}] = struct{}{} }
+
+// AddPair inserts the pair.
+func (s *PairSet) AddPair(p Pair) { s.m[p] = struct{}{} }
+
+// Has reports membership.
+func (s *PairSet) Has(from, to int) bool {
+	_, ok := s.m[Pair{from, to}]
+	return ok
+}
+
+// Len returns the number of pairs.
+func (s *PairSet) Len() int { return len(s.m) }
+
+// Sorted returns the pairs in deterministic order.
+func (s *PairSet) Sorted() []Pair {
+	out := make([]Pair, 0, len(s.m))
+	for p := range s.m {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].From != out[j].From {
+			return out[i].From < out[j].From
+		}
+		return out[i].To < out[j].To
+	})
+	return out
+}
+
+// Each calls f for every pair, in unspecified order.
+func (s *PairSet) Each(f func(Pair)) {
+	for p := range s.m {
+		f(p)
+	}
+}
+
+// Equal reports whether two sets contain the same pairs.
+func (s *PairSet) Equal(t *PairSet) bool {
+	if s.Len() != t.Len() {
+		return false
+	}
+	for p := range s.m {
+		if _, ok := t.m[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetOf reports s ⊆ t.
+func (s *PairSet) SubsetOf(t *PairSet) bool {
+	for p := range s.m {
+		if _, ok := t.m[p]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns s ∩ t.
+func (s *PairSet) Intersect(t *PairSet) *PairSet {
+	out := NewPairSet()
+	for p := range s.m {
+		if _, ok := t.m[p]; ok {
+			out.AddPair(p)
+		}
+	}
+	return out
+}
+
+// Union returns s ∪ t.
+func (s *PairSet) Union(t *PairSet) *PairSet {
+	out := NewPairSet()
+	for p := range s.m {
+		out.AddPair(p)
+	}
+	for p := range t.m {
+		out.AddPair(p)
+	}
+	return out
+}
+
+// IDPair is a pair of node ids with their values, the API-boundary form of a
+// query answer: the paper's answers are pairs of nodes (id, value).
+type IDPair struct {
+	From, To Node
+}
+
+// IDPairs resolves the dense indices against g, sorted deterministically.
+func (s *PairSet) IDPairs(g *Graph) []IDPair {
+	pairs := s.Sorted()
+	out := make([]IDPair, len(pairs))
+	for i, p := range pairs {
+		out[i] = IDPair{From: g.Node(p.From), To: g.Node(p.To)}
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+package datagraph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Parse reads a data graph from the line-based text format produced by
+// Graph.String:
+//
+//	# comment
+//	node <id> <value>
+//	node <id> null
+//	edge <from> <label> <to>
+//
+// Fields are whitespace-separated; blank lines and lines starting with '#'
+// are ignored. Edges may reference nodes declared later in the file.
+func Parse(r io.Reader) (*Graph, error) {
+	g := New()
+	type pendingEdge struct {
+		from, label, to string
+		line            int
+	}
+	var pending []pendingEdge
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("datagraph: line %d: want 'node <id> <value>'", lineNo)
+			}
+			v := V(fields[2])
+			if fields[2] == "null" {
+				v = Null()
+			}
+			if err := g.AddNode(NodeID(fields[1]), v); err != nil {
+				return nil, fmt.Errorf("datagraph: line %d: %v", lineNo, err)
+			}
+		case "edge":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("datagraph: line %d: want 'edge <from> <label> <to>'", lineNo)
+			}
+			pending = append(pending, pendingEdge{fields[1], fields[2], fields[3], lineNo})
+		default:
+			return nil, fmt.Errorf("datagraph: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for _, e := range pending {
+		if err := g.AddEdge(NodeID(e.from), e.label, NodeID(e.to)); err != nil {
+			return nil, fmt.Errorf("datagraph: line %d: %v", e.line, err)
+		}
+	}
+	return g, nil
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Graph, error) { return Parse(strings.NewReader(s)) }

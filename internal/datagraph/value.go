@@ -1,0 +1,109 @@
+// Package datagraph implements the data-graph model of Francis & Libkin
+// (PODS'17): finite directed graphs whose edges carry labels from a finite
+// alphabet Σ and whose nodes are pairs (id, value) of a node id from a
+// countable set N and a data value from a countable set D. The package also
+// supports the SQL-style null value n of Section 7 of the paper, under which
+// no comparison involving n evaluates to true.
+package datagraph
+
+import "fmt"
+
+// Value is a data value from the countable domain D, or the distinguished
+// SQL null value n. The zero Value is the empty string value, not null.
+//
+// Equality of values is syntactic (Go ==), which corresponds to the
+// "marked null" reading where nulls are just fresh constants. The SQL-null
+// reading of Section 7 is provided by EqSQL and NeqSQL, under which no
+// comparison involving the null value is true.
+type Value struct {
+	s    string
+	null bool
+}
+
+// V returns the data value with string representation s.
+func V(s string) Value { return Value{s: s} }
+
+// Null returns the SQL null value n of Section 7.
+func Null() Value { return Value{null: true} }
+
+// IsNull reports whether v is the SQL null value.
+func (v Value) IsNull() bool { return v.null }
+
+// Raw returns the underlying string of a non-null value. It panics on null,
+// since null has no underlying datum.
+func (v Value) Raw() string {
+	if v.null {
+		panic("datagraph: Raw called on null value")
+	}
+	return v.s
+}
+
+// String renders the value; the null value renders as "⊥".
+func (v Value) String() string {
+	if v.null {
+		return "⊥"
+	}
+	return v.s
+}
+
+// GoString implements fmt.GoStringer for readable test failure output.
+func (v Value) GoString() string {
+	if v.null {
+		return "datagraph.Null()"
+	}
+	return fmt.Sprintf("datagraph.V(%q)", v.s)
+}
+
+// EqSQL reports whether a = b under SQL-null semantics: true iff both are
+// non-null and syntactically equal (Section 7).
+func EqSQL(a, b Value) bool { return !a.null && !b.null && a.s == b.s }
+
+// NeqSQL reports whether a ≠ b under SQL-null semantics: true iff both are
+// non-null and syntactically different (Section 7).
+func NeqSQL(a, b Value) bool { return !a.null && !b.null && a.s != b.s }
+
+// EqMarked reports syntactic equality, the marked-null reading under which a
+// null is an ordinary (fresh) constant. Two nulls are equal to each other.
+func EqMarked(a, b Value) bool { return a == b }
+
+// CompareMode selects how data-value comparisons behave during query
+// evaluation.
+type CompareMode int
+
+const (
+	// MarkedNulls treats every value, including null, as an ordinary
+	// constant with syntactic equality. This is the default data-graph
+	// semantics of Sections 2-6 (where nulls do not occur at all) and the
+	// marked-null semantics of classical data exchange.
+	MarkedNulls CompareMode = iota
+	// SQLNulls is the Section 7 semantics: comparisons involving the null
+	// value are never true, neither x= nor x≠.
+	SQLNulls
+)
+
+// Eq evaluates a = b under the mode.
+func (m CompareMode) Eq(a, b Value) bool {
+	if m == SQLNulls {
+		return EqSQL(a, b)
+	}
+	return a == b
+}
+
+// Neq evaluates a ≠ b under the mode.
+func (m CompareMode) Neq(a, b Value) bool {
+	if m == SQLNulls {
+		return NeqSQL(a, b)
+	}
+	return a != b
+}
+
+func (m CompareMode) String() string {
+	switch m {
+	case MarkedNulls:
+		return "marked-nulls"
+	case SQLNulls:
+		return "sql-nulls"
+	default:
+		return fmt.Sprintf("CompareMode(%d)", int(m))
+	}
+}

@@ -1,0 +1,117 @@
+package datagraph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValueBasics(t *testing.T) {
+	a := V("alice")
+	if a.IsNull() {
+		t.Fatal("V should not be null")
+	}
+	if a.Raw() != "alice" {
+		t.Fatalf("Raw = %q", a.Raw())
+	}
+	if a.String() != "alice" {
+		t.Fatalf("String = %q", a.String())
+	}
+	n := Null()
+	if !n.IsNull() {
+		t.Fatal("Null should be null")
+	}
+	if n.String() != "⊥" {
+		t.Fatalf("null String = %q", n.String())
+	}
+}
+
+func TestRawPanicsOnNull(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Raw on null must panic")
+		}
+	}()
+	_ = Null().Raw()
+}
+
+func TestSQLComparisons(t *testing.T) {
+	a, b, n := V("1"), V("2"), Null()
+	cases := []struct {
+		x, y      Value
+		eq, neq   bool
+		mEq, mNeq bool // marked-null semantics
+		desc      string
+	}{
+		{a, a, true, false, true, false, "equal constants"},
+		{a, b, false, true, false, true, "distinct constants"},
+		{a, n, false, false, false, true, "constant vs null"},
+		{n, a, false, false, false, true, "null vs constant"},
+		{n, n, false, false, true, false, "null vs null"},
+	}
+	for _, c := range cases {
+		if got := EqSQL(c.x, c.y); got != c.eq {
+			t.Errorf("%s: EqSQL = %v, want %v", c.desc, got, c.eq)
+		}
+		if got := NeqSQL(c.x, c.y); got != c.neq {
+			t.Errorf("%s: NeqSQL = %v, want %v", c.desc, got, c.neq)
+		}
+		if got := SQLNulls.Eq(c.x, c.y); got != c.eq {
+			t.Errorf("%s: SQLNulls.Eq = %v, want %v", c.desc, got, c.eq)
+		}
+		if got := SQLNulls.Neq(c.x, c.y); got != c.neq {
+			t.Errorf("%s: SQLNulls.Neq = %v, want %v", c.desc, got, c.neq)
+		}
+		if got := MarkedNulls.Eq(c.x, c.y); got != c.mEq {
+			t.Errorf("%s: MarkedNulls.Eq = %v, want %v", c.desc, got, c.mEq)
+		}
+		if got := MarkedNulls.Neq(c.x, c.y); got != c.mNeq {
+			t.Errorf("%s: MarkedNulls.Neq = %v, want %v", c.desc, got, c.mNeq)
+		}
+	}
+}
+
+// Property (Section 7): under SQL semantics no comparison involving null is
+// true, and Eq/Neq are never both true.
+func TestSQLNullNeverComparesTrue(t *testing.T) {
+	f := func(s string, other string) bool {
+		n := Null()
+		v := V(other)
+		if EqSQL(n, v) || EqSQL(v, n) || NeqSQL(n, v) || NeqSQL(v, n) || EqSQL(n, n) || NeqSQL(n, n) {
+			return false
+		}
+		w := V(s)
+		return !(EqSQL(v, w) && NeqSQL(v, w))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: on non-null values SQL and marked semantics coincide.
+func TestSemanticsAgreeOnConstants(t *testing.T) {
+	f := func(a, b string) bool {
+		x, y := V(a), V(b)
+		return EqSQL(x, y) == EqMarked(x, y) && NeqSQL(x, y) == (x != y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareModeString(t *testing.T) {
+	if MarkedNulls.String() != "marked-nulls" || SQLNulls.String() != "sql-nulls" {
+		t.Fatal("CompareMode.String mismatch")
+	}
+	if CompareMode(99).String() == "" {
+		t.Fatal("unknown mode should still render")
+	}
+}
+
+func TestGoString(t *testing.T) {
+	if Null().GoString() != "datagraph.Null()" {
+		t.Fatal("null GoString")
+	}
+	if V("x").GoString() != `datagraph.V("x")` {
+		t.Fatal("value GoString")
+	}
+}

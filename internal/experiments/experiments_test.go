@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsRunQuick executes every experiment in quick mode and
+// sanity-checks the tables: non-empty, consistent widths, and — crucially —
+// every agreement column reads true.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(true)
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table id %q != %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Fatalf("%s produced no rows", e.ID)
+			}
+			for _, r := range tab.Rows {
+				if len(r) != len(tab.Header) {
+					t.Errorf("%s: row width %d != header width %d: %v", e.ID, len(r), len(tab.Header), r)
+				}
+			}
+			var sb strings.Builder
+			tab.Fprint(&sb)
+			if !strings.Contains(sb.String(), e.ID) {
+				t.Errorf("%s: rendering missing id", e.ID)
+			}
+		})
+	}
+}
+
+// Agreement columns must never read false: these are the correctness claims
+// of the reproduction.
+func TestAgreementColumnsHold(t *testing.T) {
+	checks := map[string]int{ // experiment -> column index that must be "true" (or "-")
+		"E2": 5,
+		"E4": 4,
+		"E5": 4,
+		"E6": 4,
+		"E9": 3,
+	}
+	for _, e := range All() {
+		col, watched := checks[e.ID]
+		if !watched {
+			continue
+		}
+		tab, err := e.Run(true)
+		if err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		for _, r := range tab.Rows {
+			if r[col] != "true" && r[col] != "-" && r[col] != "n/a" {
+				t.Errorf("%s: agreement column reads %q in row %v", e.ID, r[col], r)
+			}
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		ID: "EX", Title: "demo", Claim: "none",
+		Header: []string{"col1", "c2"},
+		Rows:   [][]string{{"a", "bbbbbb"}},
+		Notes:  []string{"a note"},
+	}
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"EX", "demo", "col1", "bbbbbb", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}

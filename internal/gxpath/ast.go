@@ -1,0 +1,216 @@
+// Package gxpath implements GXPath-core with data value comparisons
+// (GXPath_core^~, Section 9 of Francis & Libkin PODS'17): the adaptation of
+// XPath to data graphs, with mutually recursive path expressions and node
+// expressions evaluated per Figure 1 of the paper:
+//
+//	α, β := ε | a | a⁻ | a* | a⁻* | α·β | α∪β | α= | α≠ | [ϕ]
+//	φ, ψ := ¬φ | φ∧ψ | φ∨ψ | ⟨α⟩
+//
+// Concrete syntax:
+//
+//	path:  () | a | a- | a* | a-* | α β (or α/β) | α|β | α= | α!= | [φ]
+//	node:  !φ | φ & ψ | φ | ψ | <α> | (φ)
+//
+// The package also provides the Theorem 7 constructions ϕ_G and ϕ_δ used to
+// prove undecidability of satisfiability and containment, plus bounded
+// checkers used by the experiments.
+package gxpath
+
+// PathExpr is a path expression α; its semantics is a binary relation on
+// nodes.
+type PathExpr interface {
+	String() string
+	isPath()
+}
+
+// NodeExpr is a node expression φ; its semantics is a set of nodes.
+type NodeExpr interface {
+	String() string
+	isNode()
+}
+
+// PEps is ε: the identity relation.
+type PEps struct{}
+
+// PLabel is a single-label step a (or its inverse a⁻).
+type PLabel struct {
+	Label   string
+	Inverse bool
+}
+
+// PStar is a* (or a⁻*): reflexive-transitive closure of a single-label step.
+// Core GXPath allows transitive closure only over labels, not over arbitrary
+// path expressions (the regular fragment that [26] proved undecidable is
+// larger; see Section 9).
+type PStar struct {
+	Label   string
+	Inverse bool
+}
+
+// PConcat is α·β (relational composition).
+type PConcat struct{ L, R PathExpr }
+
+// PUnion is α∪β.
+type PUnion struct{ L, R PathExpr }
+
+// PEq is α=: the pairs of α carrying equal data values.
+type PEq struct{ Inner PathExpr }
+
+// PNeq is α≠: the pairs of α carrying different data values.
+type PNeq struct{ Inner PathExpr }
+
+// PTest is [φ]: the identity on nodes satisfying φ.
+type PTest struct{ Cond NodeExpr }
+
+func (PEps) isPath()    {}
+func (PLabel) isPath()  {}
+func (PStar) isPath()   {}
+func (PConcat) isPath() {}
+func (PUnion) isPath()  {}
+func (PEq) isPath()     {}
+func (PNeq) isPath()    {}
+func (PTest) isPath()   {}
+
+// NNot is ¬φ.
+type NNot struct{ Inner NodeExpr }
+
+// NAnd is φ∧ψ.
+type NAnd struct{ L, R NodeExpr }
+
+// NOr is φ∨ψ.
+type NOr struct{ L, R NodeExpr }
+
+// NExists is ⟨α⟩: nodes from which a path satisfying α starts.
+type NExists struct{ Path PathExpr }
+
+func (NNot) isNode()    {}
+func (NAnd) isNode()    {}
+func (NOr) isNode()     {}
+func (NExists) isNode() {}
+
+func (PEps) String() string { return "()" }
+
+func (p PLabel) String() string {
+	if p.Inverse {
+		return p.Label + "-"
+	}
+	return p.Label
+}
+
+func (p PStar) String() string {
+	if p.Inverse {
+		return p.Label + "-*"
+	}
+	return p.Label + "*"
+}
+
+func pathGroup(p PathExpr) string {
+	switch p.(type) {
+	case PEps, PLabel, PStar, PTest:
+		return p.String()
+	default:
+		return "(" + p.String() + ")"
+	}
+}
+
+func (p PConcat) String() string { return pathGroup(p.L) + " " + pathGroup(p.R) }
+func (p PUnion) String() string  { return p.L.String() + "|" + p.R.String() }
+func (p PEq) String() string     { return pathGroup(p.Inner) + "=" }
+func (p PNeq) String() string    { return pathGroup(p.Inner) + "!=" }
+func (p PTest) String() string   { return "[" + p.Cond.String() + "]" }
+
+func nodeGroup(n NodeExpr) string {
+	switch n.(type) {
+	case NExists, NNot:
+		return n.String()
+	default:
+		return "(" + n.String() + ")"
+	}
+}
+
+func (n NNot) String() string    { return "!" + nodeGroup(n.Inner) }
+func (n NAnd) String() string    { return nodeGroup(n.L) + " & " + nodeGroup(n.R) }
+func (n NOr) String() string     { return nodeGroup(n.L) + " | " + nodeGroup(n.R) }
+func (n NExists) String() string { return "<" + n.Path.String() + ">" }
+
+// ConcatAll folds a sequence of path expressions into nested PConcat
+// (returns ε for the empty sequence).
+func ConcatAll(ps ...PathExpr) PathExpr {
+	if len(ps) == 0 {
+		return PEps{}
+	}
+	out := ps[0]
+	for _, p := range ps[1:] {
+		out = PConcat{L: out, R: p}
+	}
+	return out
+}
+
+// AndAll folds node expressions into nested NAnd; empty input is not allowed
+// (GXPath-core has no truth constant) and panics.
+func AndAll(ns ...NodeExpr) NodeExpr {
+	if len(ns) == 0 {
+		panic("gxpath: AndAll of nothing")
+	}
+	out := ns[0]
+	for _, n := range ns[1:] {
+		out = NAnd{L: out, R: n}
+	}
+	return out
+}
+
+// Word returns the path expression a₁·…·aₙ for forward labels.
+func Word(labels ...string) PathExpr {
+	ps := make([]PathExpr, len(labels))
+	for i, l := range labels {
+		ps[i] = PLabel{Label: l}
+	}
+	return ConcatAll(ps...)
+}
+
+// InverseWord returns (aₙ⁻·…·a₁⁻), the inverse traversal of Word(labels).
+func InverseWord(labels ...string) PathExpr {
+	ps := make([]PathExpr, len(labels))
+	for i := range labels {
+		ps[i] = PLabel{Label: labels[len(labels)-1-i], Inverse: true}
+	}
+	return ConcatAll(ps...)
+}
+
+// UsesOnlyCore verifies the expression stays inside GXPath_core^~: transitive
+// closure only on labels (guaranteed by the AST) and no constant data-value
+// tests (not representable in the AST). It exists as a documentation anchor
+// and always returns true for well-typed ASTs.
+func UsesOnlyCore(p PathExpr) bool {
+	switch t := p.(type) {
+	case PEps, PLabel, PStar:
+		return true
+	case PConcat:
+		return UsesOnlyCore(t.L) && UsesOnlyCore(t.R)
+	case PUnion:
+		return UsesOnlyCore(t.L) && UsesOnlyCore(t.R)
+	case PEq:
+		return UsesOnlyCore(t.Inner)
+	case PNeq:
+		return UsesOnlyCore(t.Inner)
+	case PTest:
+		return usesOnlyCoreNode(t.Cond)
+	default:
+		return false
+	}
+}
+
+func usesOnlyCoreNode(n NodeExpr) bool {
+	switch t := n.(type) {
+	case NNot:
+		return usesOnlyCoreNode(t.Inner)
+	case NAnd:
+		return usesOnlyCoreNode(t.L) && usesOnlyCoreNode(t.R)
+	case NOr:
+		return usesOnlyCoreNode(t.L) && usesOnlyCoreNode(t.R)
+	case NExists:
+		return UsesOnlyCore(t.Path)
+	default:
+		return false
+	}
+}

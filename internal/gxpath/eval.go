@@ -1,0 +1,178 @@
+package gxpath
+
+import "repro/internal/datagraph"
+
+// This file implements Figure 1 of the paper verbatim: the semantics of
+// GXPath_core^~ path expressions ([[α]]_G ⊆ V×V) and node expressions
+// ([[φ]]_G ⊆ V), computed bottom-up with explicit relations.
+
+// EvalPath computes [[α]]_G under the given data-comparison mode.
+func EvalPath(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) *datagraph.PairSet {
+	switch t := p.(type) {
+	case PEps:
+		// [[ε]] = {(v, v) | v ∈ V}
+		out := datagraph.NewPairSet()
+		for v := 0; v < g.NumNodes(); v++ {
+			out.Add(v, v)
+		}
+		return out
+	case PLabel:
+		// [[a]] = {(v, v′) | (v, a, v′) ∈ E}; [[a⁻]] swaps the pair.
+		out := datagraph.NewPairSet()
+		for v := 0; v < g.NumNodes(); v++ {
+			for _, he := range g.Out(v) {
+				if he.Label == t.Label {
+					if t.Inverse {
+						out.Add(he.To, v)
+					} else {
+						out.Add(v, he.To)
+					}
+				}
+			}
+		}
+		return out
+	case PStar:
+		// [[a*]] = reflexive-transitive closure of [[a]].
+		return starClosure(g, t.Label, t.Inverse)
+	case PConcat:
+		// [[α·β]] = [[α]] ∘ [[β]]
+		return compose(EvalPath(g, t.L, mode), EvalPath(g, t.R, mode))
+	case PUnion:
+		// [[α∪β]] = [[α]] ∪ [[β]]
+		return EvalPath(g, t.L, mode).Union(EvalPath(g, t.R, mode))
+	case PEq:
+		// [[α=]] = {(v, v′) ∈ [[α]] | δ(v) = δ(v′)}
+		return filterData(g, EvalPath(g, t.Inner, mode), mode, false)
+	case PNeq:
+		// [[α≠]] = {(v, v′) ∈ [[α]] | δ(v) ≠ δ(v′)}
+		return filterData(g, EvalPath(g, t.Inner, mode), mode, true)
+	case PTest:
+		// [[[φ]]] = {(v, v) | v ∈ [[φ]]}
+		sat := EvalNode(g, t.Cond, mode)
+		out := datagraph.NewPairSet()
+		for v, ok := range sat {
+			if ok {
+				out.Add(v, v)
+			}
+		}
+		return out
+	default:
+		if rel, ok := evalRegular(g, p, mode); ok {
+			return rel
+		}
+		panic("gxpath: unknown path expression")
+	}
+}
+
+// EvalNode computes [[φ]]_G as a membership vector indexed by node index.
+func EvalNode(g *datagraph.Graph, n NodeExpr, mode datagraph.CompareMode) []bool {
+	switch t := n.(type) {
+	case NNot:
+		// [[¬φ]] = V − [[φ]]
+		inner := EvalNode(g, t.Inner, mode)
+		out := make([]bool, len(inner))
+		for i, b := range inner {
+			out[i] = !b
+		}
+		return out
+	case NAnd:
+		l, r := EvalNode(g, t.L, mode), EvalNode(g, t.R, mode)
+		out := make([]bool, len(l))
+		for i := range l {
+			out[i] = l[i] && r[i]
+		}
+		return out
+	case NOr:
+		l, r := EvalNode(g, t.L, mode), EvalNode(g, t.R, mode)
+		out := make([]bool, len(l))
+		for i := range l {
+			out[i] = l[i] || r[i]
+		}
+		return out
+	case NExists:
+		// [[⟨α⟩]] = {v | ∃v′ (v, v′) ∈ [[α]]}
+		rel := EvalPath(g, t.Path, mode)
+		out := make([]bool, g.NumNodes())
+		rel.Each(func(p datagraph.Pair) { out[p.From] = true })
+		return out
+	default:
+		panic("gxpath: unknown node expression")
+	}
+}
+
+// NodesSatisfying returns the node indices in [[φ]]_G, ascending.
+func NodesSatisfying(g *datagraph.Graph, n NodeExpr, mode datagraph.CompareMode) []int {
+	sat := EvalNode(g, n, mode)
+	var out []int
+	for i, ok := range sat {
+		if ok {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Satisfies reports whether the node with the given id is in [[φ]]_G.
+func Satisfies(g *datagraph.Graph, id datagraph.NodeID, n NodeExpr, mode datagraph.CompareMode) bool {
+	i, ok := g.IndexOf(id)
+	if !ok {
+		return false
+	}
+	return EvalNode(g, n, mode)[i]
+}
+
+func starClosure(g *datagraph.Graph, label string, inverse bool) *datagraph.PairSet {
+	out := datagraph.NewPairSet()
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		seen := make([]bool, n)
+		seen[u] = true
+		stack := []int{u}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out.Add(u, v)
+			var adj []datagraph.HalfEdge
+			if inverse {
+				adj = g.In(v)
+			} else {
+				adj = g.Out(v)
+			}
+			for _, he := range adj {
+				if he.Label == label && !seen[he.To] {
+					seen[he.To] = true
+					stack = append(stack, he.To)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func compose(a, b *datagraph.PairSet) *datagraph.PairSet {
+	// Index b by source.
+	byFrom := make(map[int][]int)
+	b.Each(func(p datagraph.Pair) { byFrom[p.From] = append(byFrom[p.From], p.To) })
+	out := datagraph.NewPairSet()
+	a.Each(func(p datagraph.Pair) {
+		for _, t := range byFrom[p.To] {
+			out.Add(p.From, t)
+		}
+	})
+	return out
+}
+
+func filterData(g *datagraph.Graph, rel *datagraph.PairSet, mode datagraph.CompareMode, neq bool) *datagraph.PairSet {
+	out := datagraph.NewPairSet()
+	rel.Each(func(p datagraph.Pair) {
+		dv, dw := g.Value(p.From), g.Value(p.To)
+		if neq {
+			if mode.Neq(dv, dw) {
+				out.AddPair(p)
+			}
+		} else if mode.Eq(dv, dw) {
+			out.AddPair(p)
+		}
+	})
+	return out
+}

@@ -1,0 +1,451 @@
+package gxpath
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+const marked = datagraph.MarkedNulls
+
+// diamond builds:
+//
+//	s(1) -a-> l(2) -b-> t(1)
+//	s(1) -a-> r(3) -b-> t(1)
+//	t -c-> s  (back edge)
+func diamond(t *testing.T) *datagraph.Graph {
+	t.Helper()
+	g := datagraph.New()
+	g.MustAddNode("s", datagraph.V("1"))
+	g.MustAddNode("l", datagraph.V("2"))
+	g.MustAddNode("r", datagraph.V("3"))
+	g.MustAddNode("t", datagraph.V("1"))
+	g.MustAddEdge("s", "a", "l")
+	g.MustAddEdge("s", "a", "r")
+	g.MustAddEdge("l", "b", "t")
+	g.MustAddEdge("r", "b", "t")
+	g.MustAddEdge("t", "c", "s")
+	return g
+}
+
+func idx(t *testing.T, g *datagraph.Graph, id string) int {
+	t.Helper()
+	i, ok := g.IndexOf(datagraph.NodeID(id))
+	if !ok {
+		t.Fatalf("node %s missing", id)
+	}
+	return i
+}
+
+func evalPairs(t *testing.T, g *datagraph.Graph, expr string) *datagraph.PairSet {
+	t.Helper()
+	p, err := ParsePath(expr)
+	if err != nil {
+		t.Fatalf("parse %q: %v", expr, err)
+	}
+	return EvalPath(g, p, marked)
+}
+
+// TestFigure1Eps..TestFigure1Exists cover every rule of Figure 1.
+
+func TestFigure1Eps(t *testing.T) {
+	g := diamond(t)
+	rel := evalPairs(t, g, "()")
+	if rel.Len() != 4 {
+		t.Fatalf("[[ε]] should be the identity, got %d pairs", rel.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if !rel.Has(i, i) {
+			t.Fatalf("missing (%d,%d)", i, i)
+		}
+	}
+}
+
+func TestFigure1Label(t *testing.T) {
+	g := diamond(t)
+	rel := evalPairs(t, g, "a")
+	s, l, r := idx(t, g, "s"), idx(t, g, "l"), idx(t, g, "r")
+	if rel.Len() != 2 || !rel.Has(s, l) || !rel.Has(s, r) {
+		t.Fatalf("[[a]] = %v", rel.Sorted())
+	}
+}
+
+func TestFigure1Inverse(t *testing.T) {
+	g := diamond(t)
+	rel := evalPairs(t, g, "a-")
+	s, l, r := idx(t, g, "s"), idx(t, g, "l"), idx(t, g, "r")
+	if rel.Len() != 2 || !rel.Has(l, s) || !rel.Has(r, s) {
+		t.Fatalf("[[a⁻]] = %v", rel.Sorted())
+	}
+}
+
+func TestFigure1Star(t *testing.T) {
+	g := datagraph.New()
+	g.MustAddNode("x", datagraph.V("1"))
+	g.MustAddNode("y", datagraph.V("2"))
+	g.MustAddNode("z", datagraph.V("3"))
+	g.MustAddEdge("x", "a", "y")
+	g.MustAddEdge("y", "a", "z")
+	rel := EvalPath(g, MustParsePath("a*"), marked)
+	x, y, z := idx(t, g, "x"), idx(t, g, "y"), idx(t, g, "z")
+	want := [][2]int{{x, x}, {x, y}, {x, z}, {y, y}, {y, z}, {z, z}}
+	if rel.Len() != len(want) {
+		t.Fatalf("[[a*]] = %v", rel.Sorted())
+	}
+	for _, p := range want {
+		if !rel.Has(p[0], p[1]) {
+			t.Fatalf("missing %v in [[a*]]", p)
+		}
+	}
+	// Inverse star.
+	rel2 := EvalPath(g, MustParsePath("a-*"), marked)
+	if !rel2.Has(z, x) || !rel2.Has(z, z) || rel2.Has(x, z) {
+		t.Fatalf("[[a⁻*]] = %v", rel2.Sorted())
+	}
+}
+
+func TestFigure1ConcatAndUnion(t *testing.T) {
+	g := diamond(t)
+	s, tt := idx(t, g, "s"), idx(t, g, "t")
+	// Both branches compose to (s,t); set semantics collapse them to one.
+	rel := evalPairs(t, g, "a b")
+	if rel.Len() != 1 || !rel.Has(s, tt) {
+		t.Fatalf("[[a·b]] = %v", rel.Sorted())
+	}
+	rel2 := evalPairs(t, g, "a|c")
+	if rel2.Len() != 3 || !rel2.Has(tt, s) {
+		t.Fatalf("[[a∪c]] = %v", rel2.Sorted())
+	}
+}
+
+func TestFigure1DataTests(t *testing.T) {
+	g := diamond(t)
+	s, tt := idx(t, g, "s"), idx(t, g, "t")
+	l := idx(t, g, "l")
+	// (a b)= : s to t with equal values 1 = 1.
+	rel := evalPairs(t, g, "(a b)=")
+	if rel.Len() != 1 || !rel.Has(s, tt) {
+		t.Fatalf("[[(a·b)=]] = %v", rel.Sorted())
+	}
+	// a≠ : s(1) to l(2) and r(3), both different.
+	rel2 := evalPairs(t, g, "a!=")
+	if rel2.Len() != 2 || !rel2.Has(s, l) {
+		t.Fatalf("[[a≠]] = %v", rel2.Sorted())
+	}
+	// (a b)!= is empty.
+	if evalPairs(t, g, "(a b)!=").Len() != 0 {
+		t.Fatal("[[(a·b)≠]] should be empty")
+	}
+}
+
+func TestFigure1FilterAndExists(t *testing.T) {
+	g := diamond(t)
+	s := idx(t, g, "s")
+	// [⟨a⟩]: identity on nodes with an outgoing a — only s.
+	rel := evalPairs(t, g, "[<a>]")
+	if rel.Len() != 1 || !rel.Has(s, s) {
+		t.Fatalf("[[[⟨a⟩]]] = %v", rel.Sorted())
+	}
+	// ⟨a·b⟩ as node expression.
+	sat := EvalNode(g, MustParseNode("<a b>"), marked)
+	if !sat[s] {
+		t.Fatal("s should satisfy ⟨a·b⟩")
+	}
+	count := 0
+	for _, b := range sat {
+		if b {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Fatalf("⟨a·b⟩ satisfied by %d nodes", count)
+	}
+}
+
+func TestFigure1Booleans(t *testing.T) {
+	g := diamond(t)
+	// ¬⟨a⟩ ∧ ⟨b⟩ : nodes without outgoing a but with outgoing b = l, r.
+	got := NodesSatisfying(g, MustParseNode("!<a> & <b>"), marked)
+	want := []int{idx(t, g, "l"), idx(t, g, "r")}
+	sort.Ints(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("¬⟨a⟩∧⟨b⟩ = %v, want %v", got, want)
+	}
+	// ⟨a⟩ ∨ ⟨c⟩ : s and t.
+	got2 := NodesSatisfying(g, MustParseNode("<a> | <c>"), marked)
+	want2 := []int{idx(t, g, "s"), idx(t, g, "t")}
+	sort.Ints(want2)
+	if !reflect.DeepEqual(got2, want2) {
+		t.Fatalf("⟨a⟩∨⟨c⟩ = %v, want %v", got2, want2)
+	}
+}
+
+func TestSatisfies(t *testing.T) {
+	g := diamond(t)
+	if !Satisfies(g, "s", MustParseNode("<a>"), marked) {
+		t.Fatal("s satisfies ⟨a⟩")
+	}
+	if Satisfies(g, "l", MustParseNode("<a>"), marked) {
+		t.Fatal("l does not satisfy ⟨a⟩")
+	}
+	if Satisfies(g, "missing", MustParseNode("<a>"), marked) {
+		t.Fatal("missing node satisfies nothing")
+	}
+}
+
+// Combined navigation: data equality through inverse steps, the pattern
+// ϕ_δ uses: w_y · (w_y⁻ · w_z)=.
+func TestInversePathDataTest(t *testing.T) {
+	g := datagraph.New()
+	g.MustAddNode("root", datagraph.V("r"))
+	g.MustAddNode("y", datagraph.V("same"))
+	g.MustAddNode("z", datagraph.V("same"))
+	g.MustAddEdge("root", "a", "y")
+	g.MustAddEdge("root", "b", "z")
+	// a (a- b)= : from root to z via y with δ(y)=δ(z).
+	rel := evalPairs(t, g, "a (a- b)=")
+	if rel.Len() != 1 || !rel.Has(idx(t, g, "root"), idx(t, g, "z")) {
+		t.Fatalf("rel = %v", rel.Sorted())
+	}
+	// Distinct values: empty.
+	g2 := datagraph.New()
+	g2.MustAddNode("root", datagraph.V("r"))
+	g2.MustAddNode("y", datagraph.V("v1"))
+	g2.MustAddNode("z", datagraph.V("v2"))
+	g2.MustAddEdge("root", "a", "y")
+	g2.MustAddEdge("root", "b", "z")
+	if EvalPath(g2, MustParsePath("a (a- b)="), marked).Len() != 0 {
+		t.Fatal("distinct values should yield empty relation")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"a", "a-", "a*", "a-*", "a b", "a|b", "a=", "a!=", "(a b)=",
+		"[<a>]", "a [<b>] c", "()",
+	} {
+		p := MustParsePath(s)
+		p2 := MustParsePath(p.String())
+		if p.String() != p2.String() {
+			t.Errorf("path round trip %q -> %q -> %q", s, p.String(), p2.String())
+		}
+	}
+	for _, s := range []string{
+		"<a>", "!<a>", "<a> & <b>", "<a> | !<b> & <c>", "(<a> | <b>) & <c>",
+		"<a (a- b)=>",
+	} {
+		n := MustParseNode(s)
+		n2 := MustParseNode(n.String())
+		if n.String() != n2.String() {
+			t.Errorf("node round trip %q -> %q -> %q", s, n.String(), n2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "(", "(a", "[<a>", "a |", "<a", "!"} {
+		if _, err := ParsePath(bad); err == nil {
+			if _, err2 := ParseNode(bad); err2 == nil {
+				t.Errorf("both parsers accepted %q", bad)
+			}
+		}
+	}
+	if _, err := ParseNode("a"); err == nil {
+		t.Error("bare label is not a node expression")
+	}
+	if _, err := ParsePath("<a>"); err == nil {
+		t.Error("node expression is not a path expression")
+	}
+}
+
+func TestUsesOnlyCore(t *testing.T) {
+	if !UsesOnlyCore(MustParsePath("a [<b- c=>] (d|e)!=")) {
+		t.Fatal("core expression misclassified")
+	}
+}
+
+// chainTree builds root -x-> mid -y-> leaf with distinct values.
+func chainTree(t *testing.T) *datagraph.Graph {
+	t.Helper()
+	g := datagraph.New()
+	g.MustAddNode("root", datagraph.V("v0"))
+	g.MustAddNode("mid", datagraph.V("v1"))
+	g.MustAddNode("leaf", datagraph.V("v2"))
+	g.MustAddEdge("root", "x", "mid")
+	g.MustAddEdge("mid", "y", "leaf")
+	return g
+}
+
+func TestValidateTree(t *testing.T) {
+	g := chainTree(t)
+	if err := ValidateTree(g, "root"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTree(g, "mid"); err == nil {
+		t.Fatal("mid is not the root")
+	}
+	g.MustAddEdge("leaf", "z", "root")
+	if err := ValidateTree(g, "root"); err == nil {
+		t.Fatal("cycle should invalidate tree")
+	}
+}
+
+func TestNonRepeatingProperty(t *testing.T) {
+	g := chainTree(t)
+	if !HasNonRepeatingProperty(g) {
+		t.Fatal("chain has the non-repeating property")
+	}
+	g.MustAddNode("extra", datagraph.V("v3"))
+	g.MustAddEdge("root", "x", "extra") // second x-child of root
+	if HasNonRepeatingProperty(g) {
+		t.Fatal("duplicate child label should violate the property")
+	}
+}
+
+func TestPhiGPinsTopology(t *testing.T) {
+	g := chainTree(t)
+	phi, err := PhiG(g, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// G itself satisfies ϕ_G at the root.
+	if !Satisfies(g, "root", phi, marked) {
+		t.Fatal("G must satisfy ϕ_G at its root")
+	}
+	// Not at other nodes.
+	if Satisfies(g, "mid", phi, marked) {
+		t.Fatal("mid must not satisfy ϕ_G")
+	}
+	// A graph missing the y-edge fails.
+	h := datagraph.New()
+	h.MustAddNode("r", datagraph.V("w0"))
+	h.MustAddNode("m", datagraph.V("w1"))
+	h.MustAddEdge("r", "x", "m")
+	if Satisfies(h, "r", phi, marked) {
+		t.Fatal("incomplete topology must fail ϕ_G")
+	}
+	// A larger graph containing the pattern satisfies it.
+	h.MustAddNode("l", datagraph.V("w2"))
+	h.MustAddEdge("m", "y", "l")
+	h.MustAddNode("noise", datagraph.V("w3"))
+	h.MustAddEdge("noise", "q", "r")
+	if !Satisfies(h, "r", phi, marked) {
+		t.Fatal("supergraph must satisfy ϕ_G")
+	}
+}
+
+func TestPhiDeltaForcesDistinctValues(t *testing.T) {
+	g := chainTree(t)
+	phiD, err := PhiDelta(g, "root")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Satisfies(g, "root", phiD, marked) {
+		t.Fatal("all-distinct tree must satisfy ϕ_δ")
+	}
+	// Merge two values: ϕ_δ fails.
+	h := datagraph.New()
+	h.MustAddNode("root", datagraph.V("v0"))
+	h.MustAddNode("mid", datagraph.V("v0")) // duplicate value
+	h.MustAddNode("leaf", datagraph.V("v2"))
+	h.MustAddEdge("root", "x", "mid")
+	h.MustAddEdge("mid", "y", "leaf")
+	if Satisfies(h, "root", phiD, marked) {
+		t.Fatal("duplicate values must violate ϕ_δ")
+	}
+}
+
+func TestPhiPrimeSatisfiability(t *testing.T) {
+	g := chainTree(t)
+	// ϕ = ⟨x y⟩: the root always satisfies it in any G′ ⊇ G, so
+	// ϕ′ = ϕ_G ∧ ϕ_δ ∧ ¬ϕ is unsatisfiable at G-like roots; our bounded
+	// search over supergraph candidates of G should find nothing, whereas
+	// with ϕ = ⟨x x⟩ (absent from G and avoidable) ϕ′ is satisfied by G
+	// itself.
+	phiHeld := MustParseNode("<x y>")
+	phiPrime, err := PhiPrime(g, "root", phiHeld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Satisfies(g, "root", phiPrime, marked) {
+		t.Fatal("G itself cannot avoid ⟨x y⟩")
+	}
+	phiAvoidable := MustParseNode("<x x>")
+	phiPrime2, err := PhiPrime(g, "root", phiAvoidable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Satisfies(g, "root", phiPrime2, marked) {
+		t.Fatal("G avoids ⟨x x⟩ and satisfies ϕ_G ∧ ϕ_δ")
+	}
+}
+
+func TestSearchModel(t *testing.T) {
+	// ⟨a=⟩ needs an a-self-loop or a-edge between equal values.
+	m, ok := SearchModel(MustParseNode("<a=>"), 2, []string{"a"}, 100000)
+	if !ok {
+		t.Fatal("model for ⟨a=⟩ should exist")
+	}
+	if !anyTrue(EvalNode(m, MustParseNode("<a=>"), marked)) {
+		t.Fatal("returned model does not satisfy the formula")
+	}
+	// ⟨a≠⟩ ∧ ¬⟨a⟩ is unsatisfiable: ⟨a≠⟩ implies an outgoing a-edge.
+	if _, ok := SearchModel(MustParseNode("<a!=> & !<a>"), 2, []string{"a"}, 100000); ok {
+		t.Fatal("contradictory formula should have no model")
+	}
+	// Needs two distinct values: ⟨a!=⟩.
+	m2, ok := SearchModel(MustParseNode("<a!=>"), 2, []string{"a"}, 100000)
+	if !ok {
+		t.Fatal("model for ⟨a≠⟩ should exist")
+	}
+	if m2.NumNodes() < 2 {
+		t.Fatal("⟨a≠⟩ needs two nodes with distinct values")
+	}
+}
+
+func TestContainedWithin(t *testing.T) {
+	labels := []string{"a"}
+	// ⟨a=⟩ ⊑ ⟨a⟩: an equal-valued a-step is an a-step.
+	if ok, counter := ContainedWithin(
+		MustParseNode("<a=>"), MustParseNode("<a>"), 2, labels, 100000); !ok {
+		t.Fatalf("⟨a=⟩ ⊑ ⟨a⟩ refuted by:\n%s", counter)
+	}
+	// ⟨a⟩ ⋢ ⟨a=⟩: a counterexample needs two distinct values.
+	ok, counter := ContainedWithin(
+		MustParseNode("<a>"), MustParseNode("<a=>"), 2, labels, 100000)
+	if ok {
+		t.Fatal("⟨a⟩ ⊑ ⟨a=⟩ should be refutable")
+	}
+	if counter == nil {
+		t.Fatal("refutation must come with a countermodel")
+	}
+	// The countermodel really separates.
+	sepA := NodesSatisfying(counter, MustParseNode("<a>"), marked)
+	sepEq := NodesSatisfying(counter, MustParseNode("<a=>"), marked)
+	if len(sepA) == 0 {
+		t.Fatal("countermodel does not satisfy the left side")
+	}
+	if len(sepEq) >= len(sepA) {
+		t.Fatalf("countermodel does not separate: %v vs %v", sepA, sepEq)
+	}
+}
+
+func TestSQLNullsInGXPath(t *testing.T) {
+	g := datagraph.New()
+	g.MustAddNode("x", datagraph.Null())
+	g.MustAddNode("y", datagraph.Null())
+	g.MustAddEdge("x", "a", "y")
+	// Under SQL semantics neither = nor ≠ holds between nulls.
+	if EvalPath(g, MustParsePath("a="), datagraph.SQLNulls).Len() != 0 {
+		t.Fatal("null = null must fail under SQL mode")
+	}
+	if EvalPath(g, MustParsePath("a!="), datagraph.SQLNulls).Len() != 0 {
+		t.Fatal("null ≠ null must fail under SQL mode")
+	}
+	// Under marked semantics nulls are equal constants.
+	if EvalPath(g, MustParsePath("a="), marked).Len() != 1 {
+		t.Fatal("null = null holds under marked mode")
+	}
+}

@@ -1,0 +1,161 @@
+package gxpath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+// Algebraic laws of the Figure 1 semantics, verified on random graphs.
+
+func randomGraph(seed int64, n int) *datagraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := datagraph.New()
+	for i := 0; i < n; i++ {
+		g.MustAddNode(datagraph.NodeID(fmt.Sprintf("n%d", i)),
+			datagraph.V(fmt.Sprintf("v%d", rng.Intn(3))))
+	}
+	for e := 0; e < 3*n; e++ {
+		from := rng.Intn(n)
+		to := rng.Intn(n)
+		label := []string{"a", "b"}[rng.Intn(2)]
+		g.MustAddEdge(datagraph.NodeID(fmt.Sprintf("n%d", from)), label,
+			datagraph.NodeID(fmt.Sprintf("n%d", to)))
+	}
+	return g
+}
+
+func TestLawUnionIsSetUnion(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 12)
+		ab := EvalPath(g, MustParsePath("a|b"), datagraph.MarkedNulls)
+		a := EvalPath(g, MustParsePath("a"), datagraph.MarkedNulls)
+		b := EvalPath(g, MustParsePath("b"), datagraph.MarkedNulls)
+		if !ab.Equal(a.Union(b)) {
+			t.Fatalf("seed %d: [[a∪b]] ≠ [[a]] ∪ [[b]]", seed)
+		}
+	}
+}
+
+func TestLawConcatAssociative(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 12)
+		l := EvalPath(g, MustParsePath("(a b) a"), datagraph.MarkedNulls)
+		r := EvalPath(g, MustParsePath("a (b a)"), datagraph.MarkedNulls)
+		if !l.Equal(r) {
+			t.Fatalf("seed %d: composition not associative", seed)
+		}
+	}
+}
+
+func TestLawEpsilonIdentity(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 12)
+		a := EvalPath(g, MustParsePath("a"), datagraph.MarkedNulls)
+		l := EvalPath(g, MustParsePath("() a"), datagraph.MarkedNulls)
+		r := EvalPath(g, MustParsePath("a ()"), datagraph.MarkedNulls)
+		if !l.Equal(a) || !r.Equal(a) {
+			t.Fatalf("seed %d: ε is not an identity", seed)
+		}
+	}
+}
+
+func TestLawInverseInvolution(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 12)
+		a := EvalPath(g, MustParsePath("a"), datagraph.MarkedNulls)
+		inv := EvalPath(g, MustParsePath("a-"), datagraph.MarkedNulls)
+		// (v,w) ∈ [[a]] iff (w,v) ∈ [[a⁻]].
+		okAll := true
+		a.Each(func(p datagraph.Pair) {
+			if !inv.Has(p.To, p.From) {
+				okAll = false
+			}
+		})
+		if !okAll || a.Len() != inv.Len() {
+			t.Fatalf("seed %d: inverse is not an involution", seed)
+		}
+	}
+}
+
+func TestLawEqNeqPartitionNonNull(t *testing.T) {
+	// Over graphs without nulls, [[α=]] ⊎ [[α≠]] = [[α]].
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 12)
+		al := EvalPath(g, MustParsePath("a b"), datagraph.MarkedNulls)
+		eq := EvalPath(g, MustParsePath("(a b)="), datagraph.MarkedNulls)
+		ne := EvalPath(g, MustParsePath("(a b)!="), datagraph.MarkedNulls)
+		if eq.Len()+ne.Len() != al.Len() {
+			t.Fatalf("seed %d: = / ≠ do not partition", seed)
+		}
+		if eq.Intersect(ne).Len() != 0 {
+			t.Fatalf("seed %d: = and ≠ overlap", seed)
+		}
+	}
+}
+
+func TestLawFilterIsIdentityRestriction(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 12)
+		filtered := EvalPath(g, MustParsePath("[<a>]"), datagraph.MarkedNulls)
+		sat := EvalNode(g, MustParseNode("<a>"), datagraph.MarkedNulls)
+		count := 0
+		for v, ok := range sat {
+			if ok {
+				count++
+				if !filtered.Has(v, v) {
+					t.Fatalf("seed %d: [φ] missing (v,v)", seed)
+				}
+			}
+		}
+		if filtered.Len() != count {
+			t.Fatalf("seed %d: [φ] has non-diagonal pairs", seed)
+		}
+	}
+}
+
+func TestLawDoubleNegation(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 12)
+		phi := MustParseNode("<a> & !<b b>")
+		nn := NNot{Inner: NNot{Inner: phi}}
+		a := EvalNode(g, phi, datagraph.MarkedNulls)
+		b := EvalNode(g, nn, datagraph.MarkedNulls)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("seed %d: ¬¬φ ≠ φ at node %d", seed, i)
+			}
+		}
+	}
+}
+
+func TestLawStarUnrolling(t *testing.T) {
+	// [[a*]] = [[ε ∪ a·a*]].
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 10)
+		star := EvalPath(g, MustParsePath("a*"), datagraph.MarkedNulls)
+		unrolled := EvalPath(g, MustParsePath("()|a a*"), datagraph.MarkedNulls)
+		if !star.Equal(unrolled) {
+			t.Fatalf("seed %d: a* ≠ ε ∪ a·a*", seed)
+		}
+	}
+}
+
+// Regular extension laws: complement is an involution and intersection is
+// the set intersection.
+func TestLawRegularExtension(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomGraph(seed, 10)
+		a := EvalPath(g, MustParsePath("a"), datagraph.MarkedNulls)
+		nn := EvalPath(g, MustParsePath("~~a"), datagraph.MarkedNulls)
+		if !a.Equal(nn) {
+			t.Fatalf("seed %d: ~~a ≠ a", seed)
+		}
+		inter := EvalPath(g, MustParsePath("a & (a|b)"), datagraph.MarkedNulls)
+		if !inter.Equal(a) {
+			t.Fatalf("seed %d: a ∩ (a∪b) ≠ a", seed)
+		}
+	}
+}

@@ -1,0 +1,82 @@
+package gxpath
+
+import "repro/internal/datagraph"
+
+// This file extends the core fragment with the *regular* GXPath operators
+// the paper deliberately excludes from GXPath_core^~ (Section 9): negation
+// of path expressions ¬α, intersection α∩β, and transitive closure α* over
+// arbitrary path expressions. [26] proved static-analysis undecidability
+// for the regular language; the paper's Theorem 7 sharpens this to the core
+// fragment. Keeping the regular operators behind distinct AST nodes lets
+// UsesOnlyCore delimit exactly the fragment each theorem speaks about.
+//
+// Concrete syntax (ParsePath): prefix '~' for complement, infix '&' for
+// intersection, and postfix '*' after a parenthesised group for the
+// generalised closure.
+
+// PNeg is ¬α: the complement of [[α]] within V × V.
+type PNeg struct{ Inner PathExpr }
+
+// PAnd is α∩β.
+type PAnd struct{ L, R PathExpr }
+
+// PStarAny is α* for an arbitrary path expression (regular GXPath; core
+// GXPath only closes single labels, see PStar).
+type PStarAny struct{ Inner PathExpr }
+
+func (PNeg) isPath()     {}
+func (PAnd) isPath()     {}
+func (PStarAny) isPath() {}
+
+func (p PNeg) String() string     { return "~" + pathGroup(p.Inner) }
+func (p PAnd) String() string     { return pathGroup(p.L) + " & " + pathGroup(p.R) }
+func (p PStarAny) String() string { return "(" + p.Inner.String() + ")*" }
+
+// evalRegular handles the non-core operators; called from EvalPath.
+func evalRegular(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) (*datagraph.PairSet, bool) {
+	switch t := p.(type) {
+	case PNeg:
+		inner := EvalPath(g, t.Inner, mode)
+		out := datagraph.NewPairSet()
+		n := g.NumNodes()
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if !inner.Has(u, v) {
+					out.Add(u, v)
+				}
+			}
+		}
+		return out, true
+	case PAnd:
+		return EvalPath(g, t.L, mode).Intersect(EvalPath(g, t.R, mode)), true
+	case PStarAny:
+		rel := EvalPath(g, t.Inner, mode)
+		return reflexiveTransitiveClosure(g, rel), true
+	default:
+		return nil, false
+	}
+}
+
+func reflexiveTransitiveClosure(g *datagraph.Graph, rel *datagraph.PairSet) *datagraph.PairSet {
+	n := g.NumNodes()
+	adj := make(map[int][]int)
+	rel.Each(func(p datagraph.Pair) { adj[p.From] = append(adj[p.From], p.To) })
+	out := datagraph.NewPairSet()
+	for u := 0; u < n; u++ {
+		seen := make([]bool, n)
+		seen[u] = true
+		stack := []int{u}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			out.Add(u, v)
+			for _, w := range adj[v] {
+				if !seen[w] {
+					seen[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+	}
+	return out
+}

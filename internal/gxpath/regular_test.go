@@ -1,0 +1,113 @@
+package gxpath
+
+import (
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+func TestRegularComplement(t *testing.T) {
+	g := diamond(t)
+	n := g.NumNodes()
+	rel := evalPairs(t, g, "~a")
+	a := evalPairs(t, g, "a")
+	if rel.Len()+a.Len() != n*n {
+		t.Fatalf("complement sizes: %d + %d != %d", rel.Len(), a.Len(), n*n)
+	}
+	a.Each(func(p datagraph.Pair) {
+		if rel.Has(p.From, p.To) {
+			t.Fatalf("pair %v in both a and ~a", p)
+		}
+	})
+	// Double complement is identity.
+	if !evalPairs(t, g, "~~a").Equal(a) {
+		t.Fatal("~~a must equal a")
+	}
+}
+
+func TestRegularIntersection(t *testing.T) {
+	g := diamond(t)
+	// a ∩ a≠ — a-edges with different endpoint values (all of them here).
+	inter := evalPairs(t, g, "a & a!=")
+	if !inter.Equal(evalPairs(t, g, "a!=")) {
+		t.Fatalf("a & a!= = %v", inter.Sorted())
+	}
+	// a ∩ b is empty (disjoint labels).
+	if evalPairs(t, g, "a & b").Len() != 0 {
+		t.Fatal("a & b should be empty")
+	}
+	// Precedence: & binds tighter than |.
+	p := MustParsePath("a | b & c")
+	if _, ok := p.(PUnion); !ok {
+		t.Fatalf("top operator should be union: %T", p)
+	}
+}
+
+func TestRegularStar(t *testing.T) {
+	g := datagraph.New()
+	g.MustAddNode("x", datagraph.V("1"))
+	g.MustAddNode("y", datagraph.V("2"))
+	g.MustAddNode("z", datagraph.V("1"))
+	g.MustAddEdge("x", "a", "y")
+	g.MustAddEdge("y", "b", "z")
+	// (a b)*: x reaches z in one iteration; reflexive pairs included.
+	rel := evalPairs(t, g, "(a b)*")
+	xi, _ := g.IndexOf("x")
+	zi, _ := g.IndexOf("z")
+	if !rel.Has(xi, zi) {
+		t.Fatal("(a b)* should connect x to z")
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if !rel.Has(i, i) {
+			t.Fatal("(α)* must be reflexive")
+		}
+	}
+	// Core a* on labels still works (different node type).
+	if _, ok := MustParsePath("a*").(PStar); !ok {
+		t.Fatal("label star should stay core PStar")
+	}
+	if _, ok := MustParsePath("(a b)*").(PStarAny); !ok {
+		t.Fatal("group star should be regular PStarAny")
+	}
+}
+
+func TestRegularOutsideCore(t *testing.T) {
+	for _, s := range []string{"~a", "a & b", "(a b)*"} {
+		if UsesOnlyCore(MustParsePath(s)) {
+			t.Errorf("%q should be outside GXPath-core", s)
+		}
+	}
+	for _, s := range []string{"a", "a*", "a (a- b)=", "[<a>]"} {
+		if !UsesOnlyCore(MustParsePath(s)) {
+			t.Errorf("%q should be inside GXPath-core", s)
+		}
+	}
+}
+
+func TestRegularRoundTrip(t *testing.T) {
+	for _, s := range []string{"~a", "~(a b)", "a & b", "(a b)*", "~a & (b c)*"} {
+		p := MustParsePath(s)
+		p2 := MustParsePath(p.String())
+		if p.String() != p2.String() {
+			t.Errorf("round trip %q -> %q -> %q", s, p.String(), p2.String())
+		}
+	}
+}
+
+// The classic regular-GXPath idiom the core fragment cannot express:
+// "nodes with no outgoing a-edge to an equal-valued node" via complement.
+func TestRegularExpressiveness(t *testing.T) {
+	g := datagraph.New()
+	g.MustAddNode("u", datagraph.V("1"))
+	g.MustAddNode("v", datagraph.V("1"))
+	g.MustAddNode("w", datagraph.V("2"))
+	g.MustAddEdge("u", "a", "v") // equal values
+	g.MustAddEdge("v", "a", "w") // different values
+	phi := MustParseNode("!<a=>")
+	got := NodesSatisfying(g, phi, datagraph.MarkedNulls)
+	vi, _ := g.IndexOf("v")
+	wi, _ := g.IndexOf("w")
+	if len(got) != 2 || got[0] != vi || got[1] != wi {
+		t.Fatalf("¬⟨a=⟩ = %v", got)
+	}
+}

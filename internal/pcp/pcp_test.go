@@ -1,0 +1,129 @@
+package pcp
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	good := Instance{Tiles: []Tile{{U: "a", V: "ab"}, {U: "ba", V: "a"}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []Instance{
+		{},
+		{Tiles: []Tile{{U: "", V: "a"}}},
+		{Tiles: []Tile{{U: "a", V: "ac"}}},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("instance %v should be invalid", bad)
+		}
+	}
+}
+
+func TestApplyAndIsSolution(t *testing.T) {
+	in := Instance{Tiles: []Tile{{U: "a", V: "ab"}, {U: "ba", V: "a"}}}
+	u, v, err := in.Apply([]int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != "aba" || v != "aba" {
+		t.Fatalf("apply: u=%q v=%q", u, v)
+	}
+	if !in.IsSolution([]int{1, 2}) {
+		t.Fatal("[1,2] is a solution")
+	}
+	if in.IsSolution([]int{1}) || in.IsSolution([]int{2, 1}) || in.IsSolution(nil) {
+		t.Fatal("non-solutions accepted")
+	}
+	if _, _, err := in.Apply([]int{3}); err == nil {
+		t.Fatal("out-of-range index must error")
+	}
+}
+
+func TestSolveSatisfiable(t *testing.T) {
+	// Classic satisfiable instance.
+	in := Instance{Tiles: []Tile{{U: "a", V: "ab"}, {U: "ba", V: "a"}}}
+	seq, ok := in.Solve(10)
+	if !ok {
+		t.Fatal("instance is satisfiable")
+	}
+	if !in.IsSolution(seq) {
+		t.Fatalf("returned sequence %v is not a solution", seq)
+	}
+	// Another: (ab, a)(b, bb)? u= ab..., try known: (a, aa)(aa, a):
+	in2 := Instance{Tiles: []Tile{{U: "a", V: "aa"}, {U: "aa", V: "a"}}}
+	seq2, ok := in2.Solve(10)
+	if !ok || !in2.IsSolution(seq2) {
+		t.Fatalf("in2 should be satisfiable: %v %v", seq2, ok)
+	}
+}
+
+func TestSolveUnsatisfiable(t *testing.T) {
+	for _, in := range []Instance{
+		{Tiles: []Tile{{U: "a", V: "b"}}},
+		{Tiles: []Tile{{U: "ab", V: "a"}}}, // u always longer once started
+		{Tiles: []Tile{{U: "aa", V: "a"}, {U: "ab", V: "b"}}},
+	} {
+		if seq, ok := in.Solve(12); ok {
+			t.Errorf("instance %v should have no solution ≤ 12, got %v", in, seq)
+		}
+	}
+}
+
+func TestSolveShortest(t *testing.T) {
+	in := Instance{Tiles: []Tile{{U: "a", V: "ab"}, {U: "ba", V: "a"}}}
+	seq, ok := in.Solve(10)
+	if !ok || len(seq) != 2 {
+		t.Fatalf("shortest solution should have length 2: %v", seq)
+	}
+}
+
+func TestSequences(t *testing.T) {
+	in := Instance{Tiles: []Tile{{U: "a", V: "a"}, {U: "b", V: "b"}}}
+	var all [][]int
+	in.Sequences(2, func(seq []int) bool {
+		all = append(all, append([]int(nil), seq...))
+		return true
+	})
+	// 2 of length 1 + 4 of length 2.
+	if len(all) != 6 {
+		t.Fatalf("enumerated %d sequences, want 6: %v", len(all), all)
+	}
+	// Early stop.
+	count := 0
+	in.Sequences(2, func([]int) bool {
+		count++
+		return count < 3
+	})
+	if count != 3 {
+		t.Fatalf("early stop failed: %d", count)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	in := Instance{Tiles: []Tile{{U: "a", V: "ab"}}}
+	if in.String() != "(a,ab)" {
+		t.Fatalf("String = %q", in.String())
+	}
+}
+
+func TestSolveRespectsBound(t *testing.T) {
+	// Satisfiable but only with length ≥ 2: bound 1 must fail.
+	in := Instance{Tiles: []Tile{{U: "a", V: "ab"}, {U: "ba", V: "a"}}}
+	if _, ok := in.Solve(1); ok {
+		t.Fatal("bound 1 should not find the length-2 solution")
+	}
+}
+
+func TestApplySeqOrderMatters(t *testing.T) {
+	in := Instance{Tiles: []Tile{{U: "a", V: "ab"}, {U: "ba", V: "a"}}}
+	u1, v1, _ := in.Apply([]int{1, 2})
+	u2, v2, _ := in.Apply([]int{2, 1})
+	if u1 == u2 && v1 == v2 {
+		t.Fatal("order should matter")
+	}
+	if !reflect.DeepEqual([]string{u1, v1}, []string{"aba", "aba"}) {
+		t.Fatalf("u1=%q v1=%q", u1, v1)
+	}
+}

@@ -1,0 +1,184 @@
+package pcp
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/gxpath"
+)
+
+// This file implements the Theorem 6 / Lemma 2 machinery: PCP instances
+// encoded as data *trees* with the non-repeating property, the copy mapping
+// {(a, a) | a ∈ Σ} (both LAV and GAV, and relational), and a bounded search
+// for supergraphs avoiding a GXPath node expression — the decidable
+// fragment of the (undecidable in general) question of Lemma 2.
+
+// Tree-gadget labels. The paper's ←, →, ←#, →# and t# separators are
+// rendered ASCII.
+const (
+	TreeNext     = "t"
+	TreeEnd      = "t#"
+	TreeLeft     = "l"
+	TreeLeftEnd  = "l#"
+	TreeRight    = "r"
+	TreeRightEnd = "r#"
+)
+
+// TreeAlphabet returns the labels of the Lemma 2 tree encoding.
+func TreeAlphabet() []string {
+	return []string{"a", "b", TreeNext, TreeEnd, TreeLeft, TreeLeftEnd, TreeRight, TreeRightEnd}
+}
+
+// TreeGadget bundles the Theorem 6 artefacts.
+type TreeGadget struct {
+	Instance Instance
+	Tree     *datagraph.Graph
+	Root     datagraph.NodeID
+	Mapping  *core.Mapping
+}
+
+// BuildTreeGadget encodes the PCP instance as the source tree of the
+// Theorem 6 figure: a horizontal t-path start → I₁ → … → Iₙ terminated by
+// t#, where each Iᵣ hangs a left chain of l-edges (one node per letter of
+// uᵣ, each carrying its letter as an a/b-labelled leaf edge, terminated by
+// l#) and a right chain of r-edges for vᵣ (terminated by r#). All data
+// values are pairwise distinct and the tree has the non-repeating property.
+func BuildTreeGadget(in Instance) (*TreeGadget, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	g := datagraph.New()
+	val, node := 0, 0
+	freshValue := func() datagraph.Value {
+		val++
+		return datagraph.V(fmt.Sprintf("tv%d", val))
+	}
+	addNode := func() datagraph.NodeID {
+		node++
+		id := datagraph.NodeID(fmt.Sprintf("tn%d", node))
+		g.MustAddNode(id, freshValue())
+		return id
+	}
+	root := datagraph.NodeID("start")
+	g.MustAddNode(root, freshValue())
+	cur := root
+	addChain := func(parent datagraph.NodeID, word string, step, stop string) {
+		p := parent
+		for _, letter := range word {
+			c := addNode()
+			g.MustAddEdge(p, step, c)
+			leaf := addNode()
+			g.MustAddEdge(c, string(letter), leaf)
+			p = c
+		}
+		terminator := addNode()
+		g.MustAddEdge(p, stop, terminator)
+	}
+	for _, tile := range in.Tiles {
+		ir := addNode()
+		g.MustAddEdge(cur, TreeNext, ir)
+		addChain(ir, tile.U, TreeLeft, TreeLeftEnd)
+		addChain(ir, tile.V, TreeRight, TreeRightEnd)
+		cur = ir
+	}
+	endNode := addNode()
+	g.MustAddEdge(cur, TreeEnd, endNode)
+
+	var rules []core.Rule
+	for _, l := range TreeAlphabet() {
+		rules = append(rules, core.R(l, l))
+	}
+	return &TreeGadget{Instance: in, Tree: g, Root: root, Mapping: core.NewMapping(rules...)}, nil
+}
+
+// SupergraphSearchOptions bounds ExistsAvoidingSupergraph.
+type SupergraphSearchOptions struct {
+	// MaxNewNodes is the number of fresh nodes that may be added.
+	MaxNewNodes int
+	// MaxNewEdges is the number of edges that may be added.
+	MaxNewEdges int
+	// Labels restricts the labels of added edges (defaults to TreeAlphabet).
+	Labels []string
+	// MaxCandidates caps the total number of supergraphs examined.
+	MaxCandidates int
+}
+
+// ExistsAvoidingSupergraph searches for a data graph G′ ⊇ G in which the
+// node `at` does not satisfy φ — the Lemma 2 question, bounded. Fresh nodes
+// get pairwise distinct fresh values. It returns the first witness found.
+// Lemma 2 shows the unbounded question is undecidable; this bounded variant
+// powers the experiments on tiny instances.
+func ExistsAvoidingSupergraph(g *datagraph.Graph, at datagraph.NodeID, phi gxpath.NodeExpr,
+	opts SupergraphSearchOptions) (*datagraph.Graph, bool) {
+
+	if opts.Labels == nil {
+		opts.Labels = TreeAlphabet()
+	}
+	if opts.MaxCandidates == 0 {
+		opts.MaxCandidates = 200000
+	}
+	tried := 0
+	check := func(h *datagraph.Graph) bool {
+		tried++
+		return !gxpath.Satisfies(h, at, phi, datagraph.MarkedNulls)
+	}
+	// 0 additions: G itself.
+	if check(g) {
+		return g, true
+	}
+	// Enumerate candidates by number of fresh nodes, then edge sets among
+	// (old ∪ new) nodes with the allowed labels, up to MaxNewEdges edges.
+	for newNodes := 0; newNodes <= opts.MaxNewNodes; newNodes++ {
+		base := g.Clone()
+		for i := 0; i < newNodes; i++ {
+			base.MustAddNode(datagraph.NodeID(fmt.Sprintf("_x%d", i)),
+				datagraph.V(fmt.Sprintf("_xv%d", i)))
+		}
+		n := base.NumNodes()
+		// All candidate directed labelled edges not already present.
+		type edge struct {
+			from, to datagraph.NodeID
+			label    string
+		}
+		var slots []edge
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				for _, l := range opts.Labels {
+					e := edge{base.Node(u).ID, base.Node(v).ID, l}
+					if !base.HasEdge(e.from, e.label, e.to) {
+						slots = append(slots, e)
+					}
+				}
+			}
+		}
+		// Choose up to MaxNewEdges slots (combinations, smallest first).
+		var choose func(startIdx, remaining int, h *datagraph.Graph) (*datagraph.Graph, bool)
+		choose = func(startIdx, remaining int, h *datagraph.Graph) (*datagraph.Graph, bool) {
+			if tried >= opts.MaxCandidates {
+				return nil, false
+			}
+			if check(h) {
+				return h, true
+			}
+			if remaining == 0 {
+				return nil, false
+			}
+			for i := startIdx; i < len(slots); i++ {
+				h2 := h.Clone()
+				h2.MustAddEdge(slots[i].from, slots[i].label, slots[i].to)
+				if w, ok := choose(i+1, remaining-1, h2); ok {
+					return w, ok
+				}
+				if tried >= opts.MaxCandidates {
+					return nil, false
+				}
+			}
+			return nil, false
+		}
+		if w, ok := choose(0, opts.MaxNewEdges, base); ok {
+			return w, true
+		}
+	}
+	return nil, false
+}

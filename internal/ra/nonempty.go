@@ -1,0 +1,221 @@
+package ra
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/datagraph"
+)
+
+// This file implements nonemptiness of register automata over the infinite
+// data domain — the static-analysis primitive behind the paper's Section 3
+// complexity citations (nonemptiness is Ptime for regular expressions with
+// equality and Pspace-complete for expressions with memory / register
+// automata [18,31]).
+//
+// Concrete data values are abstracted to equality types: what matters is
+// only the equality pattern among the register contents and the *current*
+// data value, because the domain is infinite (a fresh value is always
+// available). A symbolic configuration is therefore (control state,
+// partition of {registers} ∪ {current value}); the reachability space is
+// finite (states × Bell(registers + 1)), matching the Pspace shape, and a
+// witness data path is materialised by assigning one concrete value per
+// partition class.
+
+// symCfg is a symbolic configuration. regClass[i] is the class id of
+// register i (-1 = unset); curClass is the class id of the current data
+// value (always defined — every data path position carries a value). Class
+// ids are arbitrary ints, canonicalised only for the visited set, so they
+// stay stable along a run and double as witness value names.
+type symCfg struct {
+	state    int
+	regClass []int
+	curClass int
+}
+
+// canonical renders the configuration up to class renaming.
+func (c symCfg) canonical() string {
+	rename := map[int]int{}
+	next := 0
+	get := func(id int) int {
+		r, ok := rename[id]
+		if !ok {
+			r = next
+			rename[id] = r
+			next++
+		}
+		return r
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d|", c.state)
+	for _, cl := range c.regClass {
+		if cl < 0 {
+			sb.WriteString("u,")
+		} else {
+			fmt.Fprintf(&sb, "%d,", get(cl))
+		}
+	}
+	fmt.Fprintf(&sb, "|%d", get(c.curClass))
+	return sb.String()
+}
+
+func (c symCfg) clone() symCfg {
+	return symCfg{
+		state:    c.state,
+		regClass: append([]int(nil), c.regClass...),
+		curClass: c.curClass,
+	}
+}
+
+// condSatSym evaluates a condition against the symbolic configuration.
+// Comparisons with unset registers are false, matching Eval.
+func condSatSym(cond Cond, c symCfg) bool {
+	switch t := cond.(type) {
+	case True:
+		return true
+	case Eq:
+		return c.regClass[t.Reg] >= 0 && c.regClass[t.Reg] == c.curClass
+	case Neq:
+		return c.regClass[t.Reg] >= 0 && c.regClass[t.Reg] != c.curClass
+	case And:
+		return condSatSym(t.L, c) && condSatSym(t.R, c)
+	case Or:
+		return condSatSym(t.L, c) || condSatSym(t.R, c)
+	default:
+		return false
+	}
+}
+
+// symEvent records how a configuration was reached, for witness rebuilding.
+type symEvent struct {
+	prev  int // index of the predecessor configuration, -1 for the root
+	eps   bool
+	label string // letter steps only
+	cfg   symCfg
+}
+
+// Nonempty reports whether the automaton accepts at least one data path.
+func (a *Automaton) Nonempty() bool {
+	_, ok := a.SomeDataPath()
+	return ok
+}
+
+// SomeDataPath returns an accepted data path if the language is nonempty.
+// Witness values are named c<class>; the witness is verified against
+// MatchDataPath before being returned.
+func (a *Automaton) SomeDataPath() (datagraph.DataPath, bool) {
+	root := symCfg{state: a.Start, regClass: make([]int, a.NumRegs), curClass: 0}
+	for i := range root.regClass {
+		root.regClass[i] = -1
+	}
+	nextClass := 1 // class 0 is the first data value
+
+	visited := map[string]struct{}{root.canonical(): {}}
+	events := []symEvent{{prev: -1, cfg: root}}
+	acceptAt := -1
+	for i := 0; i < len(events) && acceptAt < 0; i++ {
+		cfg := events[i].cfg
+		if cfg.state == a.Accept {
+			acceptAt = i
+			break
+		}
+		for _, t := range a.Trans[cfg.state] {
+			if t.Eps {
+				// The current value is unchanged; check and store against it.
+				if !condSatSym(t.Cond, cfg) {
+					continue
+				}
+				next := cfg.clone()
+				next.state = t.To
+				for _, r := range t.Store {
+					next.regClass[r] = next.curClass
+				}
+				record(&events, visited, i, symEvent{eps: true, cfg: next})
+				continue
+			}
+			// Letter step: the next data value either joins a class that
+			// contains some register, or is fresh (isolated). The previous
+			// current value's identity is irrelevant unless stored, so
+			// classes without registers need not be joined.
+			label := t.Label
+			if t.AnyLabel {
+				label = "a"
+			}
+			choices := registerClasses(cfg)
+			choices = append(choices, -1) // fresh
+			for _, ch := range choices {
+				next := cfg.clone()
+				next.state = t.To
+				if ch < 0 {
+					next.curClass = nextClass
+					nextClass++
+				} else {
+					next.curClass = ch
+				}
+				if !condSatSym(t.Cond, next) {
+					continue
+				}
+				for _, r := range t.Store {
+					next.regClass[r] = next.curClass
+				}
+				record(&events, visited, i, symEvent{label: label, cfg: next})
+			}
+		}
+	}
+	if acceptAt < 0 {
+		return datagraph.DataPath{}, false
+	}
+	// Rebuild the witness: walk the event chain, keeping only letter steps;
+	// each position's value is c<curClass> at that point.
+	var chain []int
+	for cur := acceptAt; cur != -1; cur = events[cur].prev {
+		chain = append(chain, cur)
+	}
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	values := []datagraph.Value{datagraph.V(fmt.Sprintf("c%d", events[chain[0]].cfg.curClass))}
+	var labels []string
+	for _, idx := range chain[1:] {
+		ev := events[idx]
+		if ev.eps {
+			continue
+		}
+		labels = append(labels, ev.label)
+		values = append(values, datagraph.V(fmt.Sprintf("c%d", ev.cfg.curClass)))
+	}
+	w := datagraph.NewDataPath(values, labels)
+	if !a.MatchDataPath(w, datagraph.MarkedNulls) {
+		// The abstraction is sound and complete for the condition language,
+		// so this indicates a bug; fail closed.
+		panic(fmt.Sprintf("ra: symbolic witness rejected: %v", w))
+	}
+	return w, true
+}
+
+func record(events *[]symEvent, visited map[string]struct{}, prev int, ev symEvent) {
+	key := ev.cfg.canonical()
+	if _, dup := visited[key]; dup {
+		return
+	}
+	visited[key] = struct{}{}
+	ev.prev = prev
+	*events = append(*events, ev)
+}
+
+// registerClasses lists the distinct classes containing a register, sorted.
+func registerClasses(c symCfg) []int {
+	set := map[int]struct{}{}
+	for _, cl := range c.regClass {
+		if cl >= 0 {
+			set[cl] = struct{}{}
+		}
+	}
+	out := make([]int, 0, len(set))
+	for cl := range set {
+		out = append(out, cl)
+	}
+	sort.Ints(out)
+	return out
+}

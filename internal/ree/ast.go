@@ -1,0 +1,263 @@
+// Package ree implements regular expressions with equality (REE, Section 3
+// of Francis & Libkin PODS'17):
+//
+//	e := ε | a | e+e | e·e | e⁺ | e= | e≠
+//
+// e= (resp. e≠) accepts the data paths of e whose first and last data values
+// are equal (resp. different). The package provides a parser, compilation to
+// register automata (package ra) for graph evaluation, a direct
+// dynamic-programming membership matcher used as an ablation comparator, and
+// the structural subclasses the paper singles out: paths with tests
+// (e := a | e·e | e= | e≠) and REE= (no inequality, Section 8).
+//
+// Concrete syntax: the rex syntax plus postfix '=' and '!=', e.g.
+// ".* (.+)= .*" is the paper's Σ*·(Σ⁺)=·Σ* ("some data value repeats"), and
+// "(a (b c)=)!=" is the paper's paths-with-tests example.
+package ree
+
+import "strings"
+
+// Expr is the AST of a regular expression with equality.
+type Expr interface {
+	String() string
+	isExpr()
+}
+
+// Eps is ε: single-value data paths {d | d ∈ D}.
+type Eps struct{}
+
+// Lit is a letter a: data paths {d a d′}.
+type Lit struct{ Label string }
+
+// Any matches any single letter (convenience for the paper's Σ).
+type Any struct{}
+
+// Concat is e·e′ (data-path concatenation, sharing the junction value).
+type Concat struct{ Factors []Expr }
+
+// Union is e+e′.
+type Union struct{ Alts []Expr }
+
+// Plus is e⁺.
+type Plus struct{ Inner Expr }
+
+// Star is e* = ε + e⁺ (convenience).
+type Star struct{ Inner Expr }
+
+// Opt is e? = ε + e (convenience).
+type Opt struct{ Inner Expr }
+
+// Eq is e=: members of L(e) whose first and last data values are equal.
+type Eq struct{ Inner Expr }
+
+// Neq is e≠: members of L(e) whose first and last data values differ.
+type Neq struct{ Inner Expr }
+
+func (Eps) isExpr()    {}
+func (Lit) isExpr()    {}
+func (Any) isExpr()    {}
+func (Concat) isExpr() {}
+func (Union) isExpr()  {}
+func (Plus) isExpr()   {}
+func (Star) isExpr()   {}
+func (Opt) isExpr()    {}
+func (Eq) isExpr()     {}
+func (Neq) isExpr()    {}
+
+func (Eps) String() string   { return "()" }
+func (l Lit) String() string { return l.Label }
+func (Any) String() string   { return "." }
+
+func (c Concat) String() string {
+	parts := make([]string, len(c.Factors))
+	for i, f := range c.Factors {
+		s := f.String()
+		if _, isUnion := f.(Union); isUnion {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, " ")
+}
+
+func (u Union) String() string {
+	parts := make([]string, len(u.Alts))
+	for i, a := range u.Alts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func groupString(e Expr) string {
+	switch e.(type) {
+	case Lit, Any, Eps:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+func (p Plus) String() string { return groupString(p.Inner) + "+" }
+func (s Star) String() string { return groupString(s.Inner) + "*" }
+func (o Opt) String() string  { return groupString(o.Inner) + "?" }
+func (e Eq) String() string   { return groupString(e.Inner) + "=" }
+func (n Neq) String() string  { return groupString(n.Inner) + "!=" }
+
+// IsEqualityOnly reports whether the expression is in REE= (Section 8): no
+// e≠ subexpression anywhere.
+func IsEqualityOnly(e Expr) bool {
+	switch t := e.(type) {
+	case Eps, Lit, Any:
+		return true
+	case Concat:
+		for _, f := range t.Factors {
+			if !IsEqualityOnly(f) {
+				return false
+			}
+		}
+		return true
+	case Union:
+		for _, a := range t.Alts {
+			if !IsEqualityOnly(a) {
+				return false
+			}
+		}
+		return true
+	case Plus:
+		return IsEqualityOnly(t.Inner)
+	case Star:
+		return IsEqualityOnly(t.Inner)
+	case Opt:
+		return IsEqualityOnly(t.Inner)
+	case Eq:
+		return IsEqualityOnly(t.Inner)
+	case Neq:
+		return false
+	default:
+		return false
+	}
+}
+
+// CountNeq returns the number of e≠ subexpressions.
+func CountNeq(e Expr) int {
+	switch t := e.(type) {
+	case Concat:
+		n := 0
+		for _, f := range t.Factors {
+			n += CountNeq(f)
+		}
+		return n
+	case Union:
+		n := 0
+		for _, a := range t.Alts {
+			n += CountNeq(a)
+		}
+		return n
+	case Plus:
+		return CountNeq(t.Inner)
+	case Star:
+		return CountNeq(t.Inner)
+	case Opt:
+		return CountNeq(t.Inner)
+	case Eq:
+		return CountNeq(t.Inner)
+	case Neq:
+		return 1 + CountNeq(t.Inner)
+	default:
+		return 0
+	}
+}
+
+// PosTest is a test over positions of a path-with-tests: the data values at
+// positions Start and End (0-based, in the underlying word of length n with
+// n+1 positions) must be equal (Neq=false) or different (Neq=true).
+type PosTest struct {
+	Start, End int
+	Neq        bool
+}
+
+// FlattenPathWithTests checks that e is a path with tests
+// (e := a | e·e | e= | e≠, Section 3) and returns its underlying label word
+// together with the position tests. The certain-answer algorithm of
+// Proposition 4 consumes this flat form.
+func FlattenPathWithTests(e Expr) (labels []string, tests []PosTest, ok bool) {
+	labels, tests, n, ok := flattenPWT(e, 0)
+	_ = n
+	return labels, tests, ok
+}
+
+func flattenPWT(e Expr, offset int) (labels []string, tests []PosTest, length int, ok bool) {
+	switch t := e.(type) {
+	case Lit:
+		return []string{t.Label}, nil, 1, true
+	case Concat:
+		var allLabels []string
+		var allTests []PosTest
+		pos := offset
+		for _, f := range t.Factors {
+			ls, ts, n, fok := flattenPWT(f, pos)
+			if !fok {
+				return nil, nil, 0, false
+			}
+			allLabels = append(allLabels, ls...)
+			allTests = append(allTests, ts...)
+			pos += n
+		}
+		return allLabels, allTests, pos - offset, true
+	case Eq:
+		ls, ts, n, fok := flattenPWT(t.Inner, offset)
+		if !fok {
+			return nil, nil, 0, false
+		}
+		return ls, append(ts, PosTest{Start: offset, End: offset + n}), n, true
+	case Neq:
+		ls, ts, n, fok := flattenPWT(t.Inner, offset)
+		if !fok {
+			return nil, nil, 0, false
+		}
+		return ls, append(ts, PosTest{Start: offset, End: offset + n, Neq: true}), n, true
+	default:
+		return nil, nil, 0, false
+	}
+}
+
+// IsPathWithTests reports whether e is in the paths-with-tests fragment.
+func IsPathWithTests(e Expr) bool {
+	_, _, ok := FlattenPathWithTests(e)
+	return ok
+}
+
+// MaxEqDepth returns the maximum nesting depth of =/≠ operators; this equals
+// the number of registers the compiled automaton uses.
+func MaxEqDepth(e Expr) int {
+	switch t := e.(type) {
+	case Concat:
+		m := 0
+		for _, f := range t.Factors {
+			if d := MaxEqDepth(f); d > m {
+				m = d
+			}
+		}
+		return m
+	case Union:
+		m := 0
+		for _, a := range t.Alts {
+			if d := MaxEqDepth(a); d > m {
+				m = d
+			}
+		}
+		return m
+	case Plus:
+		return MaxEqDepth(t.Inner)
+	case Star:
+		return MaxEqDepth(t.Inner)
+	case Opt:
+		return MaxEqDepth(t.Inner)
+	case Eq:
+		return 1 + MaxEqDepth(t.Inner)
+	case Neq:
+		return 1 + MaxEqDepth(t.Inner)
+	default:
+		return 0
+	}
+}

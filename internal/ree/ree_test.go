@@ -1,0 +1,268 @@
+package ree
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+func dp(vals []string, labels ...string) datagraph.DataPath {
+	vv := make([]datagraph.Value, len(vals))
+	for i, s := range vals {
+		vv[i] = datagraph.V(s)
+	}
+	return datagraph.NewDataPath(vv, labels)
+}
+
+func matchBoth(t *testing.T, expr string, w datagraph.DataPath) bool {
+	t.Helper()
+	e := MustParse(expr)
+	auto := New(e).Match(w, datagraph.MarkedNulls)
+	direct := MatchDirect(e, w, datagraph.MarkedNulls)
+	if auto != direct {
+		t.Fatalf("matchers disagree on %q / %v: automaton=%v direct=%v", expr, w, auto, direct)
+	}
+	return auto
+}
+
+func TestBasicMembership(t *testing.T) {
+	cases := []struct {
+		expr string
+		w    datagraph.DataPath
+		want bool
+	}{
+		{"()", dp([]string{"1"}), true},
+		{"()", dp([]string{"1", "2"}, "a"), false},
+		{"a", dp([]string{"1", "2"}, "a"), true},
+		{"a", dp([]string{"1", "2"}, "b"), false},
+		{"a b", dp([]string{"1", "2", "3"}, "a", "b"), true},
+		{"a|b", dp([]string{"1", "2"}, "b"), true},
+		{"a+", dp([]string{"1", "2", "3"}, "a", "a"), true},
+		{"a+", dp([]string{"1"}), false},
+		{"a*", dp([]string{"1"}), true},
+		{"a?", dp([]string{"1"}), true},
+		{"a?", dp([]string{"1", "2"}, "a"), true},
+		{".", dp([]string{"1", "2"}, "zz"), true},
+	}
+	for _, c := range cases {
+		if got := matchBoth(t, c.expr, c.w); got != c.want {
+			t.Errorf("match(%q, %v) = %v, want %v", c.expr, c.w, got, c.want)
+		}
+	}
+}
+
+func TestEqualityTests(t *testing.T) {
+	cases := []struct {
+		expr string
+		w    datagraph.DataPath
+		want bool
+	}{
+		{"a=", dp([]string{"1", "1"}, "a"), true},
+		{"a=", dp([]string{"1", "2"}, "a"), false},
+		{"a!=", dp([]string{"1", "2"}, "a"), true},
+		{"a!=", dp([]string{"1", "1"}, "a"), false},
+		// (a b)= over three values: first == last.
+		{"(a b)=", dp([]string{"7", "x", "7"}, "a", "b"), true},
+		{"(a b)=", dp([]string{"7", "x", "8"}, "a", "b"), false},
+		// Paper's example: (a(bc)=)≠ matches d1 a d2 b d3 c d2 with d1≠d2.
+		{"(a (b c)=)!=", dp([]string{"1", "2", "3", "2"}, "a", "b", "c"), true},
+		{"(a (b c)=)!=", dp([]string{"2", "2", "3", "2"}, "a", "b", "c"), false},
+		{"(a (b c)=)!=", dp([]string{"1", "2", "3", "4"}, "a", "b", "c"), false},
+		// Paper's example: Σ*·(Σ+)=·Σ* — some data value repeats.
+		{".* (.+)= .*", dp([]string{"1", "2", "3", "1"}, "a", "b", "c"), true},
+		{".* (.+)= .*", dp([]string{"1", "2", "2", "3"}, "a", "b", "c"), true},
+		{".* (.+)= .*", dp([]string{"1", "2", "3", "4"}, "a", "b", "c"), false},
+		// ε with equality: (())= is trivially satisfied (d = d).
+		{"()=", dp([]string{"5"}), true},
+		{"()!=", dp([]string{"5"}), false},
+	}
+	for _, c := range cases {
+		if got := matchBoth(t, c.expr, c.w); got != c.want {
+			t.Errorf("match(%q, %v) = %v, want %v", c.expr, c.w, got, c.want)
+		}
+	}
+}
+
+func TestPlusWithEquality(t *testing.T) {
+	// (a=)+: each a-step has equal endpoints.
+	if !matchBoth(t, "(a=)+", dp([]string{"1", "1", "1"}, "a", "a")) {
+		t.Fatal("(a=)+ should accept 1 a 1 a 1")
+	}
+	if matchBoth(t, "(a=)+", dp([]string{"1", "1", "2"}, "a", "a")) {
+		t.Fatal("(a=)+ must reject 1 a 1 a 2")
+	}
+	// (a+)= only needs global endpoints equal.
+	if !matchBoth(t, "(a+)=", dp([]string{"1", "9", "1"}, "a", "a")) {
+		t.Fatal("(a+)= should accept 1 a 9 a 1")
+	}
+}
+
+func TestNestedRegistersReuse(t *testing.T) {
+	// ((a= ) (b=))= : inner tests share depth-1 register sequentially.
+	e := MustParse("(a= b=)=")
+	if MaxEqDepth(e) != 2 {
+		t.Fatalf("depth = %d, want 2", MaxEqDepth(e))
+	}
+	q := New(e)
+	if q.Automaton().NumRegs != 2 {
+		t.Fatalf("registers = %d, want 2", q.Automaton().NumRegs)
+	}
+	// 5 a 5 b 5: inner a= (5=5) ok, inner b= (5=5) ok, outer (5=5) ok.
+	if !matchBoth(t, "(a= b=)=", dp([]string{"5", "5", "5"}, "a", "b")) {
+		t.Fatal("should accept all-5s")
+	}
+	// 5 a 5 b 6: inner b= fails.
+	if matchBoth(t, "(a= b=)=", dp([]string{"5", "5", "6"}, "a", "b")) {
+		t.Fatal("must reject when inner b= fails")
+	}
+}
+
+func TestSQLNullsInQueries(t *testing.T) {
+	nullMid := datagraph.NewDataPath(
+		[]datagraph.Value{datagraph.V("1"), datagraph.Null(), datagraph.V("1")},
+		[]string{"a", "b"})
+	q := MustParseQuery("(a b)=")
+	// Endpoints are constants 1,1: holds in both modes.
+	if !q.Match(nullMid, datagraph.SQLNulls) || !q.Match(nullMid, datagraph.MarkedNulls) {
+		t.Fatal("(a b)= over constants should hold despite null midpoint")
+	}
+	nullEnd := datagraph.NewDataPath(
+		[]datagraph.Value{datagraph.V("1"), datagraph.Null()},
+		[]string{"a"})
+	qe := MustParseQuery("a=")
+	qn := MustParseQuery("a!=")
+	if qe.Match(nullEnd, datagraph.SQLNulls) || qn.Match(nullEnd, datagraph.SQLNulls) {
+		t.Fatal("comparisons with null must fail under SQL semantics")
+	}
+	if qn.Match(nullEnd, datagraph.MarkedNulls) != true {
+		t.Fatal("1 ≠ null under marked semantics")
+	}
+}
+
+func TestGraphEvaluation(t *testing.T) {
+	// Cycle with values where only one pair matches (knows+)=.
+	g := datagraph.New()
+	g.MustAddNode("a", datagraph.V("1"))
+	g.MustAddNode("b", datagraph.V("2"))
+	g.MustAddNode("c", datagraph.V("1"))
+	g.MustAddEdge("a", "knows", "b")
+	g.MustAddEdge("b", "knows", "c")
+	g.MustAddEdge("c", "knows", "a")
+	q := MustParseQuery("(knows knows)=")
+	got := q.Eval(g, datagraph.MarkedNulls)
+	ai, _ := g.IndexOf("a")
+	ci, _ := g.IndexOf("c")
+	// a -knows-> b -knows-> c : values 1,2,1 — equal endpoints. Also
+	// c -..-> b? c knows a knows b: 1,1,2 no. b knows c knows a: 2,1,1 no.
+	if got.Len() != 1 || !got.Has(ai, ci) {
+		t.Fatalf("Eval = %v", got.Sorted())
+	}
+	// EvalFrom agrees.
+	vs := q.EvalFrom(g, ai, datagraph.MarkedNulls)
+	if len(vs) != 1 || vs[0] != ci {
+		t.Fatalf("EvalFrom = %v", vs)
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !IsEqualityOnly(MustParse("a= (b c)= d+")) {
+		t.Fatal("equality-only expression misclassified")
+	}
+	if IsEqualityOnly(MustParse("a= b!=")) {
+		t.Fatal("expression with != accepted as REE=")
+	}
+	if CountNeq(MustParse("(a!= b!=)!= | c=")) != 3 {
+		t.Fatal("CountNeq wrong")
+	}
+	if CountNeq(MustParse("a b c")) != 0 {
+		t.Fatal("CountNeq on plain word")
+	}
+}
+
+func TestFlattenPathWithTests(t *testing.T) {
+	labels, tests, ok := FlattenPathWithTests(MustParse("(a (b c)=)!="))
+	if !ok {
+		t.Fatal("should be a path with tests")
+	}
+	if !reflect.DeepEqual(labels, []string{"a", "b", "c"}) {
+		t.Fatalf("labels = %v", labels)
+	}
+	want := []PosTest{{Start: 1, End: 3, Neq: false}, {Start: 0, End: 3, Neq: true}}
+	if !reflect.DeepEqual(tests, want) {
+		t.Fatalf("tests = %v, want %v", tests, want)
+	}
+	for _, not := range []string{"a*", "a|b", "a?", "()", ".", "(a|b)="} {
+		if IsPathWithTests(MustParse(not)) {
+			t.Errorf("%q misclassified as path-with-tests", not)
+		}
+	}
+	if !IsPathWithTests(MustParse("a b= (c d)!=")) {
+		t.Fatal("valid path-with-tests rejected")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"a", "a=", "a!=", "(a b)=", "(a (b c)=)!=", ".* (.+)= .*",
+		"a|b=", "(a|b)=", "a+ b?", "()=",
+	} {
+		e := MustParse(s)
+		e2 := MustParse(e.String())
+		if e.String() != e2.String() {
+			t.Errorf("round trip %q -> %q -> %q", s, e.String(), e2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "=", "!=", "!x", "a !", "(a", "a)", "|a", "a^"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+// Cross-validation of the two matchers on a batch of expressions and paths.
+func TestMatchersAgreeExhaustively(t *testing.T) {
+	exprs := []string{
+		"a", "a=", "a!=", "a b", "(a b)=", "(a b)!=", "a+", "(a=)+", "(a+)=",
+		"a*", "(a*)=", "a|b", "(a|b)=", ".* (.+)= .*", "(a (b a)=)!=",
+		"(a= a=)=", "a? b", "(a? b)=",
+	}
+	vals := []string{"1", "2", "1", "3", "1"}
+	labs := [][]string{
+		{"a", "a", "a", "a"},
+		{"a", "b", "a", "b"},
+		{"b", "a", "b", "a"},
+	}
+	for _, expr := range exprs {
+		e := MustParse(expr)
+		q := New(e)
+		for _, ls := range labs {
+			for l := 0; l <= len(ls); l++ {
+				w := dp(vals[:l+1], ls[:l]...)
+				a := q.Match(w, datagraph.MarkedNulls)
+				d := MatchDirect(e, w, datagraph.MarkedNulls)
+				if a != d {
+					t.Errorf("disagreement: %q on %v: automaton=%v direct=%v", expr, w, a, d)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxEqDepth(t *testing.T) {
+	cases := map[string]int{
+		"a":              0,
+		"a=":             1,
+		"(a= b=)":        1,
+		"((a=)= b)!=":    3,
+		"(a (b c)=)!= d": 2,
+	}
+	for s, want := range cases {
+		if got := MaxEqDepth(MustParse(s)); got != want {
+			t.Errorf("MaxEqDepth(%q) = %d, want %d", s, got, want)
+		}
+	}
+}

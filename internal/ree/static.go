@@ -1,0 +1,18 @@
+package ree
+
+import "repro/internal/datagraph"
+
+// Static analysis of equality RPQs. The paper (Section 3) cites that both
+// nonemptiness and membership for regular expressions with equality are
+// solvable in Ptime; nonemptiness is realised here through the symbolic
+// register-automaton reachability of package ra (polynomial for the
+// bounded register counts REE compilation produces: registers = nesting
+// depth of =/≠).
+
+// Nonempty reports whether L(e) contains at least one data path.
+func (q *Query) Nonempty() bool { return q.auto.Nonempty() }
+
+// WitnessDataPath returns a data path in L(e), if the language is nonempty.
+func (q *Query) WitnessDataPath() (datagraph.DataPath, bool) {
+	return q.auto.SomeDataPath()
+}

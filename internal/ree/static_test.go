@@ -1,0 +1,56 @@
+package ree
+
+import (
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+func TestNonemptiness(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"a", true},
+		{"a=", true},
+		{"a!=", true},
+		{"(a b)=", true},
+		{"()=", true},     // d = d trivially
+		{"()!=", false},   // d ≠ d unsatisfiable
+		{"(a=)!=", false}, // endpoints equal and different
+		{"(a!=)=", false}, // same contradiction
+		{".* (.+)= .*", true},
+		{"(a (b c)=)!=", true},
+		{"a ()!= b", false}, // contradiction embedded in a concat
+		{"a | ()!=", true},  // one satisfiable branch suffices
+		{"(()!=)+", false},  // plus of empty is empty
+		{"(()!=)*", true},   // star accepts the empty iteration
+	}
+	for _, c := range cases {
+		q := MustParseQuery(c.expr)
+		if got := q.Nonempty(); got != c.want {
+			t.Errorf("Nonempty(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestWitnessDataPathVerifies(t *testing.T) {
+	for _, expr := range []string{
+		"a", "a=", "a!=", "(a b)=", ".* (.+)= .*", "(a (b c)=)!=", "(a= b=)=",
+	} {
+		q := MustParseQuery(expr)
+		w, ok := q.WitnessDataPath()
+		if !ok {
+			t.Fatalf("%q should be nonempty", expr)
+		}
+		if !q.Match(w, datagraph.MarkedNulls) {
+			t.Fatalf("%q: witness %v not in language", expr, w)
+		}
+		if !MatchDirect(q.Expr(), w, datagraph.MarkedNulls) {
+			t.Fatalf("%q: direct matcher rejects witness %v", expr, w)
+		}
+	}
+	if _, ok := MustParseQuery("()!=").WitnessDataPath(); ok {
+		t.Fatal("empty language returned a witness")
+	}
+}

@@ -1,0 +1,255 @@
+// Package relational implements the relational representation of data
+// graphs and the relational encoding M_rel of relational graph schema
+// mappings (Section 6, Proposition 1 of Francis & Libkin PODS'17).
+//
+// A data graph G over Σ is represented as a relational database D_G with a
+// binary relation N (node id, data value) and a binary relation E_a (source
+// id, target id) for each a ∈ Σ. The encoding M_rel of a relational GSM M
+// consists of:
+//
+//   - for each rule (q, w) with w = a₁…aₙ, the st-tgd
+//     ∀x,y q(x,y) → ∃x₁…xₙ₋₁ E^t_a₁(x,x₁) ∧ … ∧ E^t_aₙ(xₙ₋₁,y);
+//   - membership tgds moving every node mentioned in a source-query answer
+//     into N^t with its data value;
+//   - the key constraint on N^t (each node id has one data value);
+//   - target tgds requiring every edge endpoint to appear in N^t.
+//
+// Proposition 1 states that solutions for D_Gs under M_rel are exactly the
+// D_Gt for solutions Gt of Gs under M; the package exposes both directions
+// so tests can validate the correspondence.
+package relational
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/rpq"
+)
+
+// nullMarker encodes the SQL null value in relational tuples.
+const nullMarker = "\x00null"
+
+// Tuple is a binary tuple.
+type Tuple struct{ A, B string }
+
+// Instance is a relational instance over the node relation N and the edge
+// relations E_a.
+type Instance struct {
+	// N holds (node id, data value) tuples.
+	N map[Tuple]struct{}
+	// E maps each label a to its E_a relation of (from id, to id) tuples.
+	E map[string]map[Tuple]struct{}
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{N: make(map[Tuple]struct{}), E: make(map[string]map[Tuple]struct{})}
+}
+
+// AddNode inserts an N tuple.
+func (in *Instance) AddNode(id string, v datagraph.Value) {
+	val := nullMarker
+	if !v.IsNull() {
+		val = v.Raw()
+	}
+	in.N[Tuple{id, val}] = struct{}{}
+}
+
+// AddEdge inserts an E_a tuple.
+func (in *Instance) AddEdge(from, label, to string) {
+	rel, ok := in.E[label]
+	if !ok {
+		rel = make(map[Tuple]struct{})
+		in.E[label] = rel
+	}
+	rel[Tuple{from, to}] = struct{}{}
+}
+
+// FromGraph builds D_G.
+func FromGraph(g *datagraph.Graph) *Instance {
+	in := NewInstance()
+	for _, n := range g.Nodes() {
+		in.AddNode(string(n.ID), n.Value)
+	}
+	for _, e := range g.Edges() {
+		in.AddEdge(string(e.From), e.Label, string(e.To))
+	}
+	return in
+}
+
+// ToGraph decodes the instance back into a data graph. It fails if the key
+// constraint is violated (some id with two values) or an edge endpoint is
+// not in N.
+func (in *Instance) ToGraph() (*datagraph.Graph, error) {
+	if id, ok := in.KeyViolation(); ok {
+		return nil, fmt.Errorf("relational: key violation on node id %q", id)
+	}
+	g := datagraph.New()
+	ids := make([]Tuple, 0, len(in.N))
+	for t := range in.N {
+		ids = append(ids, t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i].A < ids[j].A })
+	for _, t := range ids {
+		v := datagraph.V(t.B)
+		if t.B == nullMarker {
+			v = datagraph.Null()
+		}
+		g.MustAddNode(datagraph.NodeID(t.A), v)
+	}
+	for label, rel := range in.E {
+		for t := range rel {
+			if err := g.AddEdge(datagraph.NodeID(t.A), label, datagraph.NodeID(t.B)); err != nil {
+				return nil, fmt.Errorf("relational: dangling edge tuple %v: %v", t, err)
+			}
+		}
+	}
+	return g, nil
+}
+
+// KeyViolation reports an id bound to two different values, if any — the
+// key constraint ∀x,y,y′ (N(x,y) ∧ N(x,y′) → y = y′).
+func (in *Instance) KeyViolation() (string, bool) {
+	seen := make(map[string]string)
+	for t := range in.N {
+		if prev, ok := seen[t.A]; ok && prev != t.B {
+			return t.A, true
+		}
+		seen[t.A] = t.B
+	}
+	return "", false
+}
+
+// DanglingEdge reports an edge endpoint missing from N, if any — the target
+// tgds ∀x,y E_a(x,y) → ∃z,z′ N(x,z) ∧ N(y,z′).
+func (in *Instance) DanglingEdge() (string, bool) {
+	ids := make(map[string]struct{})
+	for t := range in.N {
+		ids[t.A] = struct{}{}
+	}
+	for label, rel := range in.E {
+		for t := range rel {
+			if _, ok := ids[t.A]; !ok {
+				return fmt.Sprintf("E_%s%v: %s", label, t, t.A), true
+			}
+			if _, ok := ids[t.B]; !ok {
+				return fmt.Sprintf("E_%s%v: %s", label, t, t.B), true
+			}
+		}
+	}
+	return "", false
+}
+
+// STTgd is a source-to-target tgd ∀x,y q(x,y) → q_w(x,y) of M_rel.
+type STTgd struct {
+	// Source is the (possibly non-conjunctive) source query q.
+	Source *rpq.Query
+	// Word is the target word w = a₁…aₙ; q_w is its conjunctive chain query.
+	Word []string
+}
+
+func (t STTgd) String() string {
+	return fmt.Sprintf("∀x,y %s(x,y) → q_{%s}(x,y)", t.Source, strings.Join(t.Word, "·"))
+}
+
+// Mrel is the relational encoding of a relational GSM.
+type Mrel struct {
+	Tgds []STTgd
+}
+
+// Encode builds M_rel from a relational GSM; it errors on non-relational
+// mappings.
+func Encode(m *core.Mapping) (*Mrel, error) {
+	if !m.IsRelational() {
+		return nil, fmt.Errorf("relational: mapping is not relational")
+	}
+	out := &Mrel{}
+	for _, r := range m.Rules {
+		w, _ := r.Target.AsWord()
+		out.Tgds = append(out.Tgds, STTgd{Source: r.Source, Word: w})
+	}
+	return out, nil
+}
+
+// chainReach computes, relationally, the ids reachable from `from` through
+// the conjunctive chain query q_w over the E_a relations of dt (a join
+// pipeline over tuples).
+func chainReach(dt *Instance, from string, word []string) map[string]struct{} {
+	frontier := map[string]struct{}{from: {}}
+	for _, label := range word {
+		rel := dt.E[label]
+		next := make(map[string]struct{})
+		for t := range rel {
+			if _, ok := frontier[t.A]; ok {
+				next[t.B] = struct{}{}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+	}
+	return frontier
+}
+
+// Satisfied checks (D_Gs, D_Gt) ⊨ M_rel: the st-tgds, the membership tgds,
+// the key constraint and the target tgds. It returns an explanation of the
+// first violation.
+func (mr *Mrel) Satisfied(ds, dt *Instance) (bool, string) {
+	if id, bad := dt.KeyViolation(); bad {
+		return false, fmt.Sprintf("key constraint violated on %q", id)
+	}
+	if where, bad := dt.DanglingEdge(); bad {
+		return false, fmt.Sprintf("target tgd violated at %s", where)
+	}
+	// Decode the source to evaluate RPQs; the source instance is assumed
+	// consistent (it encodes an actual data graph).
+	gs, err := ds.ToGraph()
+	if err != nil {
+		return false, fmt.Sprintf("source instance malformed: %v", err)
+	}
+	nodeValue := func(in *Instance, id string) (string, bool) {
+		for t := range in.N {
+			if t.A == id {
+				return t.B, true
+			}
+		}
+		return "", false
+	}
+	for _, tgd := range mr.Tgds {
+		pairs := tgd.Source.Eval(gs)
+		for _, p := range pairs.Sorted() {
+			x := gs.Node(p.From)
+			y := gs.Node(p.To)
+			// Membership tgds: both nodes must be in N^t with their values.
+			for _, n := range []datagraph.Node{x, y} {
+				val := nullMarker
+				if !n.Value.IsNull() {
+					val = n.Value.Raw()
+				}
+				got, ok := nodeValue(dt, string(n.ID))
+				if !ok {
+					return false, fmt.Sprintf("%s: node %s missing from N^t", tgd, n.ID)
+				}
+				if got != val {
+					return false, fmt.Sprintf("%s: node %s has value %q in N^t, want %q", tgd, n.ID, got, val)
+				}
+			}
+			// The chain query itself.
+			if len(tgd.Word) == 0 {
+				if x.ID != y.ID {
+					return false, fmt.Sprintf("%s: ε demands %s = %s", tgd, x.ID, y.ID)
+				}
+				continue
+			}
+			reach := chainReach(dt, string(x.ID), tgd.Word)
+			if _, ok := reach[string(y.ID)]; !ok {
+				return false, fmt.Sprintf("%s: no %v-chain from %s to %s", tgd, tgd.Word, x.ID, y.ID)
+			}
+		}
+	}
+	return true, ""
+}

@@ -1,0 +1,279 @@
+// Package rem implements regular expressions with memory (REM, Section 3 of
+// Francis & Libkin PODS'17):
+//
+//	e := ε | a | e+e | e·e | e⁺ | e[c] | ↓x̄.e
+//	c := x= | x≠ | c∧c | c∨c
+//
+// ↓x̄.e binds the current data value to the variables x̄ before matching e;
+// e[c] checks condition c against the data value reached after matching e.
+// REMs capture register automata; this package compiles them onto the shared
+// engine in package ra, giving data-path membership and graph evaluation
+// under both marked-null and SQL-null comparison semantics.
+//
+// Concrete syntax: the rex grammar extended with a prefix binder and a
+// postfix condition:
+//
+//	!x,y.FACTOR      ↓x,y.e (binds the following factor)
+//	FACTOR[c]        e[c], with c := atom | c & c | c | c, atom := x= | x!=
+//
+// The paper's examples read:
+//
+//	↓x.(a[x≠])⁺        !x.(a[x!=])+
+//	Σ*·↓x.Σ⁺[x=]·Σ*    .* !x.((.+)[x=]) .*
+package rem
+
+import "strings"
+
+// Cond is a condition over variables compared with the current data value.
+type Cond interface {
+	String() string
+	isCond()
+}
+
+// CAtom is x= (Neq=false) or x≠ (Neq=true).
+type CAtom struct {
+	Var string
+	Neq bool
+}
+
+// CAnd is conjunction c ∧ c.
+type CAnd struct{ L, R Cond }
+
+// COr is disjunction c ∨ c.
+type COr struct{ L, R Cond }
+
+func (CAtom) isCond() {}
+func (CAnd) isCond()  {}
+func (COr) isCond()   {}
+
+func (c CAtom) String() string {
+	if c.Neq {
+		return c.Var + "!="
+	}
+	return c.Var + "="
+}
+func (c CAnd) String() string { return "(" + c.L.String() + " & " + c.R.String() + ")" }
+func (c COr) String() string  { return "(" + c.L.String() + " | " + c.R.String() + ")" }
+
+// Negate returns ¬c pushed down to atoms (the paper notes conditions are
+// closed under negation by swapping = with ≠ and ∧ with ∨).
+func Negate(c Cond) Cond {
+	switch t := c.(type) {
+	case CAtom:
+		return CAtom{Var: t.Var, Neq: !t.Neq}
+	case CAnd:
+		return COr{L: Negate(t.L), R: Negate(t.R)}
+	case COr:
+		return CAnd{L: Negate(t.L), R: Negate(t.R)}
+	default:
+		panic("rem: unknown condition node")
+	}
+}
+
+// Expr is the AST of a regular expression with memory.
+type Expr interface {
+	String() string
+	isExpr()
+}
+
+// Eps is ε.
+type Eps struct{}
+
+// Lit is a letter a ∈ Σ.
+type Lit struct{ Label string }
+
+// Any matches any letter (convenience for Σ).
+type Any struct{}
+
+// Concat is e·e′.
+type Concat struct{ Factors []Expr }
+
+// Union is e+e′.
+type Union struct{ Alts []Expr }
+
+// Plus is e⁺.
+type Plus struct{ Inner Expr }
+
+// Star is e* = ε + e⁺ (convenience).
+type Star struct{ Inner Expr }
+
+// Opt is e? (convenience).
+type Opt struct{ Inner Expr }
+
+// Test is e[c].
+type Test struct {
+	Inner Expr
+	Cond  Cond
+}
+
+// Bind is ↓x̄.e.
+type Bind struct {
+	Vars  []string
+	Inner Expr
+}
+
+func (Eps) isExpr()    {}
+func (Lit) isExpr()    {}
+func (Any) isExpr()    {}
+func (Concat) isExpr() {}
+func (Union) isExpr()  {}
+func (Plus) isExpr()   {}
+func (Star) isExpr()   {}
+func (Opt) isExpr()    {}
+func (Test) isExpr()   {}
+func (Bind) isExpr()   {}
+
+func (Eps) String() string   { return "()" }
+func (l Lit) String() string { return l.Label }
+func (Any) String() string   { return "." }
+
+func (c Concat) String() string {
+	parts := make([]string, len(c.Factors))
+	for i, f := range c.Factors {
+		s := f.String()
+		if _, isUnion := f.(Union); isUnion {
+			s = "(" + s + ")"
+		}
+		parts[i] = s
+	}
+	return strings.Join(parts, " ")
+}
+
+func (u Union) String() string {
+	parts := make([]string, len(u.Alts))
+	for i, a := range u.Alts {
+		parts[i] = a.String()
+	}
+	return strings.Join(parts, "|")
+}
+
+func groupString(e Expr) string {
+	switch e.(type) {
+	case Lit, Any, Eps:
+		return e.String()
+	default:
+		return "(" + e.String() + ")"
+	}
+}
+
+func (p Plus) String() string { return groupString(p.Inner) + "+" }
+func (s Star) String() string { return groupString(s.Inner) + "*" }
+func (o Opt) String() string  { return groupString(o.Inner) + "?" }
+
+func (t Test) String() string { return groupString(t.Inner) + "[" + condBody(t.Cond) + "]" }
+
+// condBody renders a condition without its outermost parentheses.
+func condBody(c Cond) string {
+	s := c.String()
+	if strings.HasPrefix(s, "(") && strings.HasSuffix(s, ")") {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func (b Bind) String() string {
+	return "!" + strings.Join(b.Vars, ",") + "." + groupString(b.Inner)
+}
+
+// Vars returns all variables mentioned in the expression (bound or tested),
+// in first-occurrence order.
+func Vars(e Expr) []string {
+	var order []string
+	seen := make(map[string]struct{})
+	add := func(v string) {
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			order = append(order, v)
+		}
+	}
+	var walkCond func(Cond)
+	walkCond = func(c Cond) {
+		switch t := c.(type) {
+		case CAtom:
+			add(t.Var)
+		case CAnd:
+			walkCond(t.L)
+			walkCond(t.R)
+		case COr:
+			walkCond(t.L)
+			walkCond(t.R)
+		}
+	}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch t := e.(type) {
+		case Concat:
+			for _, f := range t.Factors {
+				walk(f)
+			}
+		case Union:
+			for _, a := range t.Alts {
+				walk(a)
+			}
+		case Plus:
+			walk(t.Inner)
+		case Star:
+			walk(t.Inner)
+		case Opt:
+			walk(t.Inner)
+		case Test:
+			walk(t.Inner)
+			walkCond(t.Cond)
+		case Bind:
+			for _, v := range t.Vars {
+				add(v)
+			}
+			walk(t.Inner)
+		}
+	}
+	walk(e)
+	return order
+}
+
+// IsEqualityOnly reports whether the expression is in REM= (Section 8): no
+// x≠ atom in any condition.
+func IsEqualityOnly(e Expr) bool {
+	var condOK func(Cond) bool
+	condOK = func(c Cond) bool {
+		switch t := c.(type) {
+		case CAtom:
+			return !t.Neq
+		case CAnd:
+			return condOK(t.L) && condOK(t.R)
+		case COr:
+			return condOK(t.L) && condOK(t.R)
+		default:
+			return false
+		}
+	}
+	switch t := e.(type) {
+	case Eps, Lit, Any:
+		return true
+	case Concat:
+		for _, f := range t.Factors {
+			if !IsEqualityOnly(f) {
+				return false
+			}
+		}
+		return true
+	case Union:
+		for _, a := range t.Alts {
+			if !IsEqualityOnly(a) {
+				return false
+			}
+		}
+		return true
+	case Plus:
+		return IsEqualityOnly(t.Inner)
+	case Star:
+		return IsEqualityOnly(t.Inner)
+	case Opt:
+		return IsEqualityOnly(t.Inner)
+	case Test:
+		return condOK(t.Cond) && IsEqualityOnly(t.Inner)
+	case Bind:
+		return IsEqualityOnly(t.Inner)
+	default:
+		return false
+	}
+}

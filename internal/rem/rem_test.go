@@ -1,0 +1,250 @@
+package rem
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+func dp(vals []string, labels ...string) datagraph.DataPath {
+	vv := make([]datagraph.Value, len(vals))
+	for i, s := range vals {
+		vv[i] = datagraph.V(s)
+	}
+	return datagraph.NewDataPath(vv, labels)
+}
+
+func TestPaperExampleAllDifferent(t *testing.T) {
+	// ↓x.(a[x≠])⁺ — all later values differ from the first.
+	q := MustParseQuery("!x.(a[x!=])+")
+	m := datagraph.MarkedNulls
+	if !q.Match(dp([]string{"d", "1", "2", "3"}, "a", "a", "a"), m) {
+		t.Fatal("d a 1 a 2 a 3 should match")
+	}
+	if q.Match(dp([]string{"d", "1", "d"}, "a", "a"), m) {
+		t.Fatal("d a 1 a d must not match")
+	}
+	if q.Match(dp([]string{"d"}), m) {
+		t.Fatal("single value must not match (plus requires one step)")
+	}
+	// Later duplicates among themselves are allowed.
+	if !q.Match(dp([]string{"d", "1", "1"}, "a", "a"), m) {
+		t.Fatal("d a 1 a 1 should match")
+	}
+}
+
+func TestPaperExampleValueRepeats(t *testing.T) {
+	// Σ*·↓x.Σ⁺[x=]·Σ* — some data value occurs twice.
+	q := MustParseQuery(".* !x.((.+)[x=]) .*")
+	m := datagraph.MarkedNulls
+	if !q.Match(dp([]string{"1", "2", "3", "1"}, "a", "b", "c"), m) {
+		t.Fatal("repeat at ends should match")
+	}
+	if !q.Match(dp([]string{"0", "5", "5", "9"}, "a", "a", "a"), m) {
+		t.Fatal("adjacent repeat should match")
+	}
+	if q.Match(dp([]string{"1", "2", "3", "4"}, "a", "b", "c"), m) {
+		t.Fatal("all-distinct must not match")
+	}
+}
+
+func TestBindMultipleVars(t *testing.T) {
+	// ↓x,y.a[x= & y=] — both bound to first value; both must equal last.
+	q := MustParseQuery("!x,y.(a[x= & y=])")
+	m := datagraph.MarkedNulls
+	if !q.Match(dp([]string{"7", "7"}, "a"), m) {
+		t.Fatal("7 a 7 should match")
+	}
+	if q.Match(dp([]string{"7", "8"}, "a"), m) {
+		t.Fatal("7 a 8 must not match")
+	}
+}
+
+func TestRebinding(t *testing.T) {
+	// a ↓x.(a[x=]) : x is bound at the *second* value.
+	q := MustParseQuery("a !x.(a[x=])")
+	m := datagraph.MarkedNulls
+	if !q.Match(dp([]string{"1", "2", "2"}, "a", "a"), m) {
+		t.Fatal("1 a 2 a 2 should match (x=2)")
+	}
+	if q.Match(dp([]string{"1", "2", "1"}, "a", "a"), m) {
+		t.Fatal("1 a 2 a 1 must not match")
+	}
+}
+
+func TestDisjunctionCondition(t *testing.T) {
+	// ↓x.a ↓y.(a[x= | y=]) : last equals first or second value.
+	q := MustParseQuery("!x.(a !y.(a[x= | y=]))")
+	m := datagraph.MarkedNulls
+	if !q.Match(dp([]string{"1", "2", "1"}, "a", "a"), m) {
+		t.Fatal("last=first should match")
+	}
+	if !q.Match(dp([]string{"1", "2", "2"}, "a", "a"), m) {
+		t.Fatal("last=second should match")
+	}
+	if q.Match(dp([]string{"1", "2", "3"}, "a", "a"), m) {
+		t.Fatal("all distinct must not match")
+	}
+}
+
+func TestUnboundVariableConditionIsFalse(t *testing.T) {
+	// a[x=] with x never bound: the paper excludes these; we evaluate the
+	// condition as false.
+	q := MustParseQuery("a[x=]")
+	if q.Match(dp([]string{"1", "1"}, "a"), datagraph.MarkedNulls) {
+		t.Fatal("unbound variable condition must be false")
+	}
+}
+
+func TestSQLNullSemantics(t *testing.T) {
+	q := MustParseQuery("!x.(a[x=])")
+	qn := MustParseQuery("!x.(a[x!=])")
+	null := datagraph.Null()
+	w := datagraph.NewDataPath([]datagraph.Value{null, null}, []string{"a"})
+	mixed := datagraph.NewDataPath([]datagraph.Value{null, datagraph.V("1")}, []string{"a"})
+	if q.Match(w, datagraph.SQLNulls) {
+		t.Fatal("null = null must fail under SQL semantics")
+	}
+	if !q.Match(w, datagraph.MarkedNulls) {
+		t.Fatal("null = null holds under marked semantics")
+	}
+	if qn.Match(mixed, datagraph.SQLNulls) {
+		t.Fatal("null ≠ 1 must fail under SQL semantics")
+	}
+	if !qn.Match(mixed, datagraph.MarkedNulls) {
+		t.Fatal("null ≠ 1 holds under marked semantics")
+	}
+}
+
+func TestGraphEvaluation(t *testing.T) {
+	// People graph: find pairs connected by knows-paths where every
+	// intermediate person has a different value (age) from the start:
+	// !x.(knows[x!=])+.
+	g := datagraph.New()
+	g.MustAddNode("ann", datagraph.V("30"))
+	g.MustAddNode("bob", datagraph.V("25"))
+	g.MustAddNode("carl", datagraph.V("30"))
+	g.MustAddEdge("ann", "knows", "bob")
+	g.MustAddEdge("bob", "knows", "carl")
+	q := MustParseQuery("!x.(knows[x!=])+")
+	got := q.Eval(g, datagraph.MarkedNulls)
+	ai, _ := g.IndexOf("ann")
+	bi, _ := g.IndexOf("bob")
+	ci, _ := g.IndexOf("carl")
+	// ann->bob (25≠30) yes; ann->carl via bob (30≠30 fails) no;
+	// bob->carl (30≠25) yes.
+	if !got.Has(ai, bi) || !got.Has(bi, ci) {
+		t.Fatalf("missing expected pairs: %v", got.Sorted())
+	}
+	if got.Has(ai, ci) {
+		t.Fatal("ann->carl should be blocked by equal ages")
+	}
+}
+
+func TestRegistersAndVars(t *testing.T) {
+	e := MustParse("!x.(a !y.(b[x= & y!=]))")
+	if got := Vars(e); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("Vars = %v", got)
+	}
+	q := New(e)
+	if got := q.Registers(); !reflect.DeepEqual(got, []string{"x", "y"}) {
+		t.Fatalf("Registers = %v", got)
+	}
+	if q.Automaton().NumRegs != 2 {
+		t.Fatalf("NumRegs = %d", q.Automaton().NumRegs)
+	}
+}
+
+func TestNegate(t *testing.T) {
+	c := CAnd{L: CAtom{Var: "x"}, R: COr{L: CAtom{Var: "y", Neq: true}, R: CAtom{Var: "z"}}}
+	n := Negate(c)
+	want := COr{L: CAtom{Var: "x", Neq: true}, R: CAnd{L: CAtom{Var: "y"}, R: CAtom{Var: "z", Neq: true}}}
+	if !reflect.DeepEqual(n, Cond(want)) {
+		t.Fatalf("Negate = %v, want %v", n, want)
+	}
+	if !reflect.DeepEqual(Negate(n), Cond(c)) {
+		t.Fatal("double negation should restore")
+	}
+}
+
+func TestIsEqualityOnly(t *testing.T) {
+	if !IsEqualityOnly(MustParse("!x.(a[x=])+")) {
+		t.Fatal("equality-only REM misclassified")
+	}
+	if IsEqualityOnly(MustParse("!x.(a[x!=])")) {
+		t.Fatal("inequality REM accepted as REM=")
+	}
+	if IsEqualityOnly(MustParse("!x.(a[x= | y!=])")) {
+		t.Fatal("nested inequality missed")
+	}
+	if !IsEqualityOnly(MustParse("a b | c*")) {
+		t.Fatal("condition-free REM is trivially REM=")
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"a", "!x.(a[x!=])+", ".* !x.((.+)[x=]) .*", "!x,y.(a[x= & y=])",
+		"a|b", "(a b)+", "a[x= | y!= & z=]", "()",
+	} {
+		e := MustParse(s)
+		e2 := MustParse(e.String())
+		if e.String() != e2.String() {
+			t.Errorf("round trip %q -> %q -> %q", s, e.String(), e2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"", "!x", "!x.", "!.a", "a[", "a[x]", "a[x==]", "a[x= &]", "a[]",
+		"(a", "a)", "|a", "!x,.a", "a[x= | ]", "a[(x=]",
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestCondPrecedence(t *testing.T) {
+	// & binds tighter than |.
+	e := MustParse("a[x= | y= & z=]")
+	test, ok := e.(Test)
+	if !ok {
+		t.Fatalf("not a test: %T", e)
+	}
+	or, ok := test.Cond.(COr)
+	if !ok {
+		t.Fatalf("top condition should be Or, got %T", test.Cond)
+	}
+	if _, ok := or.R.(CAnd); !ok {
+		t.Fatalf("right of Or should be And, got %T", or.R)
+	}
+	// Parenthesised override.
+	e2 := MustParse("a[(x= | y=) & z=]")
+	if _, ok := e2.(Test).Cond.(CAnd); !ok {
+		t.Fatal("parenthesised | should nest under &")
+	}
+}
+
+func TestBindScopesOverFactorOnly(t *testing.T) {
+	// "!x.a b" binds only a: the b step is outside the binder, so the
+	// expression equals (↓x.a)·b.
+	e := MustParse("!x.a b")
+	c, ok := e.(Concat)
+	if !ok || len(c.Factors) != 2 {
+		t.Fatalf("expected concat of two factors: %#v", e)
+	}
+	if _, ok := c.Factors[0].(Bind); !ok {
+		t.Fatalf("first factor should be bind: %#v", c.Factors[0])
+	}
+}
+
+func TestEpsAndTestOnEps(t *testing.T) {
+	// ↓x.(()[x=]) : trivially true on single-value paths (x = d = last).
+	q := MustParseQuery("!x.(()[x=])")
+	if !q.Match(dp([]string{"9"}), datagraph.MarkedNulls) {
+		t.Fatal("x bound to d must equal d")
+	}
+}

@@ -1,0 +1,17 @@
+package rem
+
+import "repro/internal/datagraph"
+
+// Static analysis of memory RPQs. The paper (Section 3) cites
+// Pspace-completeness of nonemptiness for regular expressions with memory /
+// register automata; the symbolic reachability of package ra realises the
+// upper bound (configurations are control states × partitions of the
+// registers plus the current value, i.e. Bell-many per state).
+
+// Nonempty reports whether L(e) contains at least one data path.
+func (q *Query) Nonempty() bool { return q.auto.Nonempty() }
+
+// WitnessDataPath returns a data path in L(e), if the language is nonempty.
+func (q *Query) WitnessDataPath() (datagraph.DataPath, bool) {
+	return q.auto.SomeDataPath()
+}

@@ -1,0 +1,67 @@
+package rem
+
+import (
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+func TestNonemptiness(t *testing.T) {
+	cases := []struct {
+		expr string
+		want bool
+	}{
+		{"a", true},
+		{"!x.(a[x=])", true},
+		{"!x.(a[x!=])", true},
+		{"!x.(a[x= & x!=])", false}, // contradiction
+		{"!x.(a[x=] a[x!=])", true}, // different positions, satisfiable
+		{"!x.(a[x!=])+", true},
+		{".* !x.((.+)[x=]) .*", true},
+		// x must equal two values that are forced to differ:
+		// bind x, then a-step requiring ≠ x that also rebinds... build a
+		// contradiction through two variables.
+		{"!x,y.(a[x= & y!=])", false}, // x and y hold the same value
+		{"!x.(!y.(a[x= | y!=]))", true},
+		{"a[z=]", false}, // unbound variable conditions are unsatisfiable
+	}
+	for _, c := range cases {
+		q := MustParseQuery(c.expr)
+		if got := q.Nonempty(); got != c.want {
+			t.Errorf("Nonempty(%q) = %v, want %v", c.expr, got, c.want)
+		}
+	}
+}
+
+func TestWitnessDataPathVerifies(t *testing.T) {
+	for _, expr := range []string{
+		"!x.(a[x=])", "!x.(a[x!=])+", ".* !x.((.+)[x=]) .*",
+		"!x.(a !y.(a[x= | y=]))",
+	} {
+		q := MustParseQuery(expr)
+		w, ok := q.WitnessDataPath()
+		if !ok {
+			t.Fatalf("%q should be nonempty", expr)
+		}
+		if !q.Match(w, datagraph.MarkedNulls) {
+			t.Fatalf("%q: witness %v not in language", expr, w)
+		}
+	}
+	if _, ok := MustParseQuery("!x.(a[x= & x!=])").WitnessDataPath(); ok {
+		t.Fatal("empty language returned a witness")
+	}
+}
+
+// The Pspace shape: nonemptiness cost grows with register count but stays
+// feasible for the handful of registers real queries use.
+func TestNonemptinessManyRegisters(t *testing.T) {
+	// !x1...!x5 binding chain with a final conjunction over all.
+	expr := "!x1.(a !x2.(a !x3.(a !x4.(a !x5.(a[x1= | x2= | x3= | x4= | x5=])))))"
+	q := MustParseQuery(expr)
+	if q.Automaton().NumRegs != 5 {
+		t.Fatalf("registers = %d", q.Automaton().NumRegs)
+	}
+	if !q.Nonempty() {
+		t.Fatal("satisfiable chain misjudged")
+	}
+}

@@ -1,0 +1,247 @@
+package rex
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Other is the pseudo-label used by DFAs to represent "any label not in the
+// declared alphabet". NFAs built from expressions with Any (Σ) transitions
+// accept words over an unbounded label set; to determinize we fix a finite
+// alphabet and fold every out-of-alphabet label into Other.
+const Other = "\x00other"
+
+// DFA is a total deterministic automaton over alphabet ∪ {Other}. State 0 is
+// the start state. Trans[s][symbolIndex] gives the successor; symbol indices
+// follow Alphabet order, with Other at index len(Alphabet).
+type DFA struct {
+	Alphabet []string
+	Trans    [][]int
+	Accepts  []bool
+}
+
+// symIndex maps a concrete label to its transition column.
+func (d *DFA) symIndex(label string) int {
+	for i, a := range d.Alphabet {
+		if a == label {
+			return i
+		}
+	}
+	return len(d.Alphabet)
+}
+
+// NumStates returns the number of DFA states.
+func (d *DFA) NumStates() int { return len(d.Trans) }
+
+// Matches reports whether the DFA accepts the word. Labels outside the
+// alphabet take the Other column.
+func (d *DFA) Matches(word []string) bool {
+	s := 0
+	for _, label := range word {
+		s = d.Trans[s][d.symIndex(label)]
+	}
+	return d.Accepts[s]
+}
+
+// Determinize converts the NFA to a total DFA over the given alphabet (plus
+// Other). The alphabet should include every label the caller cares to
+// distinguish; Any-transitions fire on all columns including Other.
+func Determinize(n *NFA, alphabet []string) *DFA {
+	alpha := append([]string(nil), alphabet...)
+	sort.Strings(alpha)
+	cols := len(alpha) + 1
+
+	key := func(set []int) string {
+		var b strings.Builder
+		for _, s := range set {
+			fmt.Fprintf(&b, "%d,", s)
+		}
+		return b.String()
+	}
+
+	start := n.Closure(n.Start)
+	d := &DFA{Alphabet: alpha}
+	ids := map[string]int{key(start): 0}
+	sets := [][]int{start}
+	d.Trans = append(d.Trans, make([]int, cols))
+	d.Accepts = append(d.Accepts, containsState(start, n.Accept))
+
+	for i := 0; i < len(sets); i++ {
+		set := sets[i]
+		for c := 0; c < cols; c++ {
+			var label string
+			other := c == len(alpha)
+			if !other {
+				label = alpha[c]
+			}
+			var next []int
+			seen := make(map[int]struct{})
+			for _, s := range set {
+				for _, step := range n.Steps[s] {
+					fires := step.AnyLabel || (!other && step.Label == label)
+					if fires {
+						if _, dup := seen[step.To]; !dup {
+							seen[step.To] = struct{}{}
+							next = append(next, step.To)
+						}
+					}
+				}
+			}
+			closed := n.closureOfSet(next)
+			k := key(closed)
+			id, ok := ids[k]
+			if !ok {
+				id = len(sets)
+				ids[k] = id
+				sets = append(sets, closed)
+				d.Trans = append(d.Trans, make([]int, cols))
+				d.Accepts = append(d.Accepts, containsState(closed, n.Accept))
+			}
+			d.Trans[i][c] = id
+		}
+	}
+	return d
+}
+
+func containsState(sorted []int, s int) bool {
+	lo, hi := 0, len(sorted)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		switch {
+		case sorted[mid] < s:
+			lo = mid + 1
+		case sorted[mid] > s:
+			hi = mid
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Complement returns the DFA accepting exactly the words d rejects (over the
+// same alphabet ∪ Other universe).
+func (d *DFA) Complement() *DFA {
+	acc := make([]bool, len(d.Accepts))
+	for i, a := range d.Accepts {
+		acc[i] = !a
+	}
+	trans := make([][]int, len(d.Trans))
+	for i, row := range d.Trans {
+		trans[i] = append([]int(nil), row...)
+	}
+	return &DFA{Alphabet: append([]string(nil), d.Alphabet...), Trans: trans, Accepts: acc}
+}
+
+// Intersect returns the product DFA recognising L(d) ∩ L(e). Both automata
+// must have the same alphabet.
+func Intersect(d, e *DFA) (*DFA, error) {
+	if !sameAlphabet(d.Alphabet, e.Alphabet) {
+		return nil, fmt.Errorf("rex: intersect requires identical alphabets: %v vs %v", d.Alphabet, e.Alphabet)
+	}
+	cols := len(d.Alphabet) + 1
+	type pair struct{ a, b int }
+	ids := map[pair]int{{0, 0}: 0}
+	order := []pair{{0, 0}}
+	out := &DFA{Alphabet: append([]string(nil), d.Alphabet...)}
+	out.Trans = append(out.Trans, make([]int, cols))
+	out.Accepts = append(out.Accepts, d.Accepts[0] && e.Accepts[0])
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		for c := 0; c < cols; c++ {
+			np := pair{d.Trans[p.a][c], e.Trans[p.b][c]}
+			id, ok := ids[np]
+			if !ok {
+				id = len(order)
+				ids[np] = id
+				order = append(order, np)
+				out.Trans = append(out.Trans, make([]int, cols))
+				out.Accepts = append(out.Accepts, d.Accepts[np.a] && e.Accepts[np.b])
+			}
+			out.Trans[i][c] = id
+		}
+	}
+	return out, nil
+}
+
+func sameAlphabet(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the DFA accepts no word.
+func (d *DFA) Empty() bool {
+	seen := make([]bool, len(d.Trans))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Accepts[s] {
+			return false
+		}
+		for _, nx := range d.Trans[s] {
+			if !seen[nx] {
+				seen[nx] = true
+				stack = append(stack, nx)
+			}
+		}
+	}
+	return true
+}
+
+// SomeWord returns a shortest accepted word, using Other's canonical
+// rendering "·" for the out-of-alphabet column.
+func (d *DFA) SomeWord() ([]string, bool) {
+	type entry struct {
+		state int
+		word  []string
+	}
+	seen := make([]bool, len(d.Trans))
+	queue := []entry{{0, nil}}
+	seen[0] = true
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if d.Accepts[e.state] {
+			return e.word, true
+		}
+		for c, nx := range d.Trans[e.state] {
+			if seen[nx] {
+				continue
+			}
+			seen[nx] = true
+			label := "·"
+			if c < len(d.Alphabet) {
+				label = d.Alphabet[c]
+			}
+			w := make([]string, len(e.word)+1)
+			copy(w, e.word)
+			w[len(e.word)] = label
+			queue = append(queue, entry{nx, w})
+		}
+	}
+	return nil, false
+}
+
+// Equivalent reports whether d and e accept the same language (over the
+// shared alphabet ∪ Other universe).
+func Equivalent(d, e *DFA) (bool, error) {
+	de, err := Intersect(d, e.Complement())
+	if err != nil {
+		return false, err
+	}
+	ed, err := Intersect(e, d.Complement())
+	if err != nil {
+		return false, err
+	}
+	return de.Empty() && ed.Empty(), nil
+}

@@ -1,0 +1,114 @@
+package rex
+
+import "testing"
+
+// Algebraic laws of regular languages, verified through DFA equivalence on
+// a fixed alphabet — these exercise determinization, complement and
+// intersection together.
+
+func dfaOf(t *testing.T, expr string, alpha []string) *DFA {
+	t.Helper()
+	return Determinize(Compile(MustParse(expr)), alpha)
+}
+
+func assertEquivalent(t *testing.T, alpha []string, e1, e2 string) {
+	t.Helper()
+	eq, err := Equivalent(dfaOf(t, e1, alpha), dfaOf(t, e2, alpha))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Errorf("expected %q ≡ %q over %v", e1, e2, alpha)
+	}
+}
+
+func assertDistinct(t *testing.T, alpha []string, e1, e2 string) {
+	t.Helper()
+	eq, err := Equivalent(dfaOf(t, e1, alpha), dfaOf(t, e2, alpha))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Errorf("expected %q ≢ %q over %v", e1, e2, alpha)
+	}
+}
+
+func TestLawStarIdempotent(t *testing.T) {
+	alpha := []string{"a", "b"}
+	assertEquivalent(t, alpha, "(a*)*", "a*")
+	assertEquivalent(t, alpha, "(a|b)*", "((a|b)*)*")
+}
+
+func TestLawPlusStarRelations(t *testing.T) {
+	alpha := []string{"a"}
+	assertEquivalent(t, alpha, "a+", "a a*")
+	assertEquivalent(t, alpha, "a*", "()|a+")
+	assertEquivalent(t, alpha, "a?", "()|a")
+}
+
+func TestLawUnionCommutativeAssociative(t *testing.T) {
+	alpha := []string{"a", "b", "c"}
+	assertEquivalent(t, alpha, "a|b|c", "c|b|a")
+	assertEquivalent(t, alpha, "(a|b)|c", "a|(b|c)")
+	assertEquivalent(t, alpha, "a|a", "a")
+}
+
+func TestLawConcatDistributes(t *testing.T) {
+	alpha := []string{"a", "b", "c"}
+	assertEquivalent(t, alpha, "a (b|c)", "a b|a c")
+	assertEquivalent(t, alpha, "(a|b) c", "a c|b c")
+}
+
+func TestLawEpsilonIdentity(t *testing.T) {
+	alpha := []string{"a"}
+	assertEquivalent(t, alpha, "() a", "a")
+	assertEquivalent(t, alpha, "a ()", "a")
+	assertEquivalent(t, alpha, "()*", "()")
+}
+
+func TestLawDeMorganViaComplement(t *testing.T) {
+	alpha := []string{"a", "b"}
+	a := dfaOf(t, "a (a|b)*", alpha)
+	b := dfaOf(t, "(a|b)* b", alpha)
+	// ¬(A ∪ B) = ¬A ∩ ¬B via explicit automata.
+	union, err := Intersect(a.Complement(), b.Complement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build A ∪ B as ¬(¬A ∩ ¬B) and check equivalence with the syntactic
+	// union.
+	syntactic := dfaOf(t, "a (a|b)*|(a|b)* b", alpha)
+	eq, err := Equivalent(union.Complement(), syntactic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("De Morgan failed")
+	}
+}
+
+func TestLawDistinctLanguages(t *testing.T) {
+	alpha := []string{"a", "b"}
+	assertDistinct(t, alpha, "a*", "a+")
+	assertDistinct(t, alpha, "a b", "b a")
+	assertDistinct(t, alpha, "a", "a a")
+}
+
+// Kleene-algebra sanity: (ab)*a ≡ a(ba)*.
+func TestLawSlidingRule(t *testing.T) {
+	assertEquivalent(t, []string{"a", "b"}, "(a b)* a", "a (b a)*")
+}
+
+// Complement really is with respect to the padded universe Σ ∪ {Other}:
+// the complement of Σ* over alphabet {a} still rejects everything.
+func TestComplementUniverse(t *testing.T) {
+	alpha := []string{"a"}
+	full := dfaOf(t, ".*", alpha)
+	empty := full.Complement()
+	if !empty.Empty() {
+		t.Fatal("complement of Σ* must be empty")
+	}
+	if w, ok := empty.SomeWord(); ok {
+		t.Fatalf("empty language yielded %v", w)
+	}
+}

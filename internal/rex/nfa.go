@@ -1,0 +1,267 @@
+package rex
+
+// NFA is a nondeterministic finite automaton over edge labels, built by
+// Thompson construction. Transitions carry either a specific label, the
+// wildcard Any (matching every label), or ε.
+type NFA struct {
+	// NumStates is the number of states, numbered 0..NumStates-1.
+	NumStates int
+	// Start is the initial state.
+	Start int
+	// Accept is the single accepting state (Thompson construction invariant).
+	Accept int
+	// Eps[s] lists the ε-successors of s.
+	Eps [][]int
+	// Steps[s] lists the consuming transitions out of s.
+	Steps [][]NFAStep
+
+	epsClosure [][]int // memoized ε-closures
+}
+
+// NFAStep is a consuming transition: on reading a label matching the step,
+// move to To.
+type NFAStep struct {
+	// Label is the required label; ignored when AnyLabel is set.
+	Label string
+	// AnyLabel makes the step match every label (the paper's Σ).
+	AnyLabel bool
+	To       int
+}
+
+// Matches reports whether the step fires on the given label.
+func (s NFAStep) Matches(label string) bool { return s.AnyLabel || s.Label == label }
+
+// Compile builds an NFA from a regular expression by Thompson construction.
+func Compile(e Regex) *NFA {
+	b := &nfaBuilder{}
+	start, accept := b.build(e)
+	n := &NFA{
+		NumStates: b.n,
+		Start:     start,
+		Accept:    accept,
+		Eps:       b.eps,
+		Steps:     b.steps,
+	}
+	n.epsClosure = make([][]int, n.NumStates)
+	return n
+}
+
+type nfaBuilder struct {
+	n     int
+	eps   [][]int
+	steps [][]NFAStep
+}
+
+func (b *nfaBuilder) state() int {
+	b.n++
+	b.eps = append(b.eps, nil)
+	b.steps = append(b.steps, nil)
+	return b.n - 1
+}
+
+func (b *nfaBuilder) addEps(from, to int) { b.eps[from] = append(b.eps[from], to) }
+
+func (b *nfaBuilder) build(e Regex) (start, accept int) {
+	switch t := e.(type) {
+	case Eps:
+		s, a := b.state(), b.state()
+		b.addEps(s, a)
+		return s, a
+	case Lit:
+		s, a := b.state(), b.state()
+		b.steps[s] = append(b.steps[s], NFAStep{Label: t.Label, To: a})
+		return s, a
+	case Any:
+		s, a := b.state(), b.state()
+		b.steps[s] = append(b.steps[s], NFAStep{AnyLabel: true, To: a})
+		return s, a
+	case Concat:
+		if len(t.Factors) == 0 {
+			return b.build(Eps{})
+		}
+		start, accept = b.build(t.Factors[0])
+		for _, f := range t.Factors[1:] {
+			s2, a2 := b.build(f)
+			b.addEps(accept, s2)
+			accept = a2
+		}
+		return start, accept
+	case Union:
+		s, a := b.state(), b.state()
+		for _, alt := range t.Alts {
+			as, aa := b.build(alt)
+			b.addEps(s, as)
+			b.addEps(aa, a)
+		}
+		return s, a
+	case Star:
+		s, a := b.state(), b.state()
+		is, ia := b.build(t.Inner)
+		b.addEps(s, is)
+		b.addEps(s, a)
+		b.addEps(ia, is)
+		b.addEps(ia, a)
+		return s, a
+	case Plus:
+		s, a := b.state(), b.state()
+		is, ia := b.build(t.Inner)
+		b.addEps(s, is)
+		b.addEps(ia, is)
+		b.addEps(ia, a)
+		return s, a
+	case Opt:
+		s, a := b.state(), b.state()
+		is, ia := b.build(t.Inner)
+		b.addEps(s, is)
+		b.addEps(s, a)
+		b.addEps(ia, a)
+		return s, a
+	default:
+		panic("rex: unknown regex node")
+	}
+}
+
+// Closure returns the ε-closure of state s (memoized, sorted).
+func (n *NFA) Closure(s int) []int {
+	if n.epsClosure[s] != nil {
+		return n.epsClosure[s]
+	}
+	seen := make([]bool, n.NumStates)
+	stack := []int{s}
+	seen[s] = true
+	var out []int
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, cur)
+		for _, nx := range n.Eps[cur] {
+			if !seen[nx] {
+				seen[nx] = true
+				stack = append(stack, nx)
+			}
+		}
+	}
+	// Insertion sort keeps closures deterministic for subset construction.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	n.epsClosure[s] = out
+	return out
+}
+
+// closureOfSet returns the ε-closure of a set of states as a sorted set.
+func (n *NFA) closureOfSet(states []int) []int {
+	seen := make([]bool, n.NumStates)
+	var out []int
+	for _, s := range states {
+		for _, c := range n.Closure(s) {
+			if !seen[c] {
+				seen[c] = true
+				out = append(out, c)
+			}
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Matches reports whether the NFA accepts the word (sequence of labels).
+func (n *NFA) Matches(word []string) bool {
+	cur := n.Closure(n.Start)
+	for _, label := range word {
+		var next []int
+		seen := make(map[int]struct{})
+		for _, s := range cur {
+			for _, step := range n.Steps[s] {
+				if step.Matches(label) {
+					if _, dup := seen[step.To]; !dup {
+						seen[step.To] = struct{}{}
+						next = append(next, step.To)
+					}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		cur = n.closureOfSet(next)
+	}
+	for _, s := range cur {
+		if s == n.Accept {
+			return true
+		}
+	}
+	return false
+}
+
+// Empty reports whether L(NFA) = ∅, i.e. the accept state is unreachable.
+func (n *NFA) Empty() bool {
+	seen := make([]bool, n.NumStates)
+	stack := []int{n.Start}
+	seen[n.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s == n.Accept {
+			return false
+		}
+		for _, nx := range n.Eps[s] {
+			if !seen[nx] {
+				seen[nx] = true
+				stack = append(stack, nx)
+			}
+		}
+		for _, st := range n.Steps[s] {
+			if !seen[st.To] {
+				seen[st.To] = true
+				stack = append(stack, st.To)
+			}
+		}
+	}
+	return true
+}
+
+// SomeWord returns a shortest accepted word, if any (BFS over states).
+func (n *NFA) SomeWord() ([]string, bool) {
+	type entry struct {
+		state int
+		word  []string
+	}
+	seen := make([]bool, n.NumStates)
+	queue := []entry{}
+	for _, c := range n.Closure(n.Start) {
+		if !seen[c] {
+			seen[c] = true
+			queue = append(queue, entry{c, nil})
+		}
+	}
+	for len(queue) > 0 {
+		e := queue[0]
+		queue = queue[1:]
+		if e.state == n.Accept {
+			return e.word, true
+		}
+		for _, st := range n.Steps[e.state] {
+			label := st.Label
+			if st.AnyLabel {
+				label = "·" // canonical wildcard witness
+			}
+			for _, c := range n.Closure(st.To) {
+				if !seen[c] {
+					seen[c] = true
+					w := make([]string, len(e.word)+1)
+					copy(w, e.word)
+					w[len(e.word)] = label
+					queue = append(queue, entry{c, w})
+				}
+			}
+		}
+	}
+	return nil, false
+}

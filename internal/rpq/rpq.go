@@ -1,0 +1,290 @@
+// Package rpq implements regular path queries (RPQs) over data graphs
+// (Section 2 of Francis & Libkin, PODS'17). An RPQ is a regular expression e
+// over the edge alphabet Σ; on a data graph G it returns the pairs of nodes
+// connected by a path whose label is in L(e):
+//
+//	e(G) = {(v, v′) | ∃π : v →π v′ and λ(π) ∈ e}
+//
+// Evaluation uses the product of the graph with the Thompson NFA of e,
+// explored by BFS — the textbook NLogspace-style procedure. Word RPQs and
+// atomic RPQs (the building blocks of relational and LAV mappings,
+// Definitions 1 and 3) get dedicated fast paths.
+package rpq
+
+import (
+	"fmt"
+
+	"repro/internal/datagraph"
+	"repro/internal/rex"
+)
+
+// Query is a compiled RPQ.
+type Query struct {
+	expr rex.Regex
+	nfa  *rex.NFA
+	word []string // non-nil iff the expression denotes a single word
+	// kind caches the structural classification used by mapping analysis.
+	kind Kind
+}
+
+// Kind classifies RPQs the way the paper's mapping definitions do.
+type Kind int
+
+const (
+	// KindRegex is a general regular expression.
+	KindRegex Kind = iota
+	// KindWord is a word RPQ (single word w ∈ Σ*), the right-hand-side
+	// class of relational mappings (Definition 3).
+	KindWord
+	// KindAtomic is a single letter a ∈ Σ, the left-hand-side class of LAV
+	// mappings and both sides of LAV/GAV rules.
+	KindAtomic
+	// KindReachability is Σ*, the unconstrained reachability query of the
+	// relational/reachability mappings in Theorem 1.
+	KindReachability
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindWord:
+		return "word"
+	case KindAtomic:
+		return "atomic"
+	case KindReachability:
+		return "reachability"
+	default:
+		return "regex"
+	}
+}
+
+// New compiles a regular expression into an RPQ.
+func New(e rex.Regex) *Query {
+	q := &Query{expr: e, nfa: rex.Compile(e), kind: KindRegex}
+	if w, ok := rex.IsWord(e); ok {
+		q.word = w
+		q.kind = KindWord
+		if len(w) == 1 {
+			q.kind = KindAtomic
+		}
+	} else if rex.IsReachability(e) {
+		q.kind = KindReachability
+	}
+	return q
+}
+
+// Parse compiles the rex concrete syntax into an RPQ.
+func Parse(s string) (*Query, error) {
+	e, err := rex.Parse(s)
+	if err != nil {
+		return nil, fmt.Errorf("rpq: %w", err)
+	}
+	return New(e), nil
+}
+
+// MustParse is Parse that panics on error.
+func MustParse(s string) *Query {
+	q, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Atomic returns the atomic RPQ for label a.
+func Atomic(a string) *Query { return New(rex.Lit{Label: a}) }
+
+// Word returns the word RPQ for w = a₁…aₙ.
+func Word(labels ...string) *Query { return New(rex.Word(labels...)) }
+
+// Reachability returns the RPQ Σ*.
+func Reachability() *Query { return New(rex.Reachability()) }
+
+// Expr returns the underlying regular expression.
+func (q *Query) Expr() rex.Regex { return q.expr }
+
+// Kind returns the structural classification.
+func (q *Query) Kind() Kind { return q.kind }
+
+// AsWord returns the word and true if the query is a word RPQ.
+func (q *Query) AsWord() ([]string, bool) {
+	if q.word == nil {
+		return nil, false
+	}
+	return append([]string(nil), q.word...), true
+}
+
+// String renders the query in rex syntax.
+func (q *Query) String() string { return q.expr.String() }
+
+// Eval returns e(G): all pairs of node indices connected by a path whose
+// label is in L(e).
+func (q *Query) Eval(g *datagraph.Graph) *datagraph.PairSet {
+	out := datagraph.NewPairSet()
+	n := g.NumNodes()
+	for u := 0; u < n; u++ {
+		for _, v := range q.EvalFrom(g, u) {
+			out.Add(u, v)
+		}
+	}
+	return out
+}
+
+// EvalFrom returns the nodes v such that (u, v) ∈ e(G), by BFS over the
+// product of G with the query NFA.
+func (q *Query) EvalFrom(g *datagraph.Graph, u int) []int {
+	if q.kind == KindReachability {
+		return reachableFrom(g, u)
+	}
+	if q.word != nil {
+		return wordTargets(g, u, q.word)
+	}
+	return q.productFrom(g, u)
+}
+
+func (q *Query) productFrom(g *datagraph.Graph, u int) []int {
+	numStates := q.nfa.NumStates
+	visited := make([]bool, g.NumNodes()*numStates)
+	var queue []int // encoded node*numStates+state
+	push := func(node, state int) {
+		id := node*numStates + state
+		if !visited[id] {
+			visited[id] = true
+			queue = append(queue, id)
+		}
+	}
+	for _, s := range q.nfa.Closure(q.nfa.Start) {
+		push(u, s)
+	}
+	var result []int
+	seenResult := make(map[int]struct{})
+	for len(queue) > 0 {
+		id := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		node, state := id/numStates, id%numStates
+		if state == q.nfa.Accept {
+			if _, dup := seenResult[node]; !dup {
+				seenResult[node] = struct{}{}
+				result = append(result, node)
+			}
+		}
+		for _, he := range g.Out(node) {
+			for _, step := range q.nfa.Steps[state] {
+				if step.Matches(he.Label) {
+					for _, c := range q.nfa.Closure(step.To) {
+						push(he.To, c)
+					}
+				}
+			}
+		}
+	}
+	return result
+}
+
+// wordTargets walks the fixed word w level by level.
+func wordTargets(g *datagraph.Graph, u int, word []string) []int {
+	frontier := map[int]struct{}{u: {}}
+	for _, label := range word {
+		next := make(map[int]struct{})
+		for node := range frontier {
+			for _, he := range g.Out(node) {
+				if he.Label == label {
+					next[he.To] = struct{}{}
+				}
+			}
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		frontier = next
+	}
+	out := make([]int, 0, len(frontier))
+	for node := range frontier {
+		out = append(out, node)
+	}
+	return out
+}
+
+// reachableFrom returns every node reachable from u by any path (including
+// u itself via the empty path, since ε ∈ Σ*).
+func reachableFrom(g *datagraph.Graph, u int) []int {
+	seen := make([]bool, g.NumNodes())
+	seen[u] = true
+	stack := []int{u}
+	var out []int
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		out = append(out, node)
+		for _, he := range g.Out(node) {
+			if !seen[he.To] {
+				seen[he.To] = true
+				stack = append(stack, he.To)
+			}
+		}
+	}
+	return out
+}
+
+// Witness returns a path from u to v whose label is accepted by the query,
+// if one exists. It is used by solution builders that must materialise the
+// paths promised by mapping rules, and by tests. The returned path is
+// shortest in the number of edges.
+func (q *Query) Witness(g *datagraph.Graph, u, v int) (datagraph.Path, bool) {
+	numStates := q.nfa.NumStates
+	type prev struct {
+		id    int // predecessor product-state id, -1 for roots
+		label string
+	}
+	parents := make(map[int]prev)
+	var queue []int
+	push := func(node, state, from int, label string) {
+		id := node*numStates + state
+		if _, dup := parents[id]; !dup {
+			parents[id] = prev{id: from, label: label}
+			queue = append(queue, id)
+		}
+	}
+	for _, s := range q.nfa.Closure(q.nfa.Start) {
+		push(u, s, -1, "")
+	}
+	// BFS (queue processed in FIFO order) so the witness is shortest.
+	for i := 0; i < len(queue); i++ {
+		id := queue[i]
+		node, state := id/numStates, id%numStates
+		if node == v && state == q.nfa.Accept {
+			// Every non-root parent edge corresponds to one graph edge, so
+			// the chain of parents spells the path in reverse.
+			var revNodes []int
+			var revLabels []string
+			for cur := id; ; {
+				revNodes = append(revNodes, cur/numStates)
+				p := parents[cur]
+				if p.id == -1 {
+					break
+				}
+				revLabels = append(revLabels, p.label)
+				cur = p.id
+			}
+			n, m := len(revNodes), len(revLabels)
+			nodes := make([]int, n)
+			labels := make([]string, m)
+			for i, x := range revNodes {
+				nodes[n-1-i] = x
+			}
+			for i, l := range revLabels {
+				labels[m-1-i] = l
+			}
+			return datagraph.Path{Nodes: nodes, Labels: labels}, true
+		}
+		for _, he := range g.Out(node) {
+			for _, step := range q.nfa.Steps[state] {
+				if step.Matches(he.Label) {
+					for _, c := range q.nfa.Closure(step.To) {
+						push(he.To, c, id, he.Label)
+					}
+				}
+			}
+		}
+	}
+	return datagraph.Path{}, false
+}

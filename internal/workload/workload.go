@@ -1,0 +1,237 @@
+// Package workload provides deterministic synthetic workload generators for
+// the experiments: random data graphs with controlled value skew, chains,
+// grids, a property-graph-style social network (showing the paper's
+// push-data-to-nodes abstraction of property graphs), random relational
+// mappings, random REE queries, and random PCP instances.
+//
+// All generators are pure functions of their seed.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/pcp"
+	"repro/internal/ree"
+)
+
+// GraphSpec parameterises RandomGraph.
+type GraphSpec struct {
+	Nodes  int
+	Edges  int
+	Labels []string
+	// Values is the size of the data-value pool; values are drawn with a
+	// quadratic skew (low indices more likely), mimicking attribute skew in
+	// property graphs.
+	Values int
+	Seed   int64
+}
+
+// RandomGraph generates a random data graph per the spec.
+func RandomGraph(spec GraphSpec) *datagraph.Graph {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	g := datagraph.New()
+	if spec.Values <= 0 {
+		spec.Values = spec.Nodes
+	}
+	if len(spec.Labels) == 0 {
+		spec.Labels = []string{"a", "b"}
+	}
+	for i := 0; i < spec.Nodes; i++ {
+		v := skewed(rng, spec.Values)
+		g.MustAddNode(nodeID(i), datagraph.V(fmt.Sprintf("d%d", v)))
+	}
+	for e := 0; e < spec.Edges; e++ {
+		from := rng.Intn(spec.Nodes)
+		to := rng.Intn(spec.Nodes)
+		label := spec.Labels[rng.Intn(len(spec.Labels))]
+		g.MustAddEdge(nodeID(from), label, nodeID(to))
+	}
+	return g
+}
+
+func nodeID(i int) datagraph.NodeID { return datagraph.NodeID(fmt.Sprintf("n%d", i)) }
+
+// skewed draws from [0, n) with quadratic skew toward 0.
+func skewed(rng *rand.Rand, n int) int {
+	x := rng.Float64()
+	return int(x * x * float64(n))
+}
+
+// Chain generates a labelled chain of n edges with values cycling through a
+// pool of the given size (valuePool ≤ 0 means all-distinct).
+func Chain(n int, label string, valuePool int) *datagraph.Graph {
+	g := datagraph.New()
+	for i := 0; i <= n; i++ {
+		val := fmt.Sprintf("c%d", i)
+		if valuePool > 0 {
+			val = fmt.Sprintf("c%d", i%valuePool)
+		}
+		g.MustAddNode(nodeID(i), datagraph.V(val))
+	}
+	for i := 0; i < n; i++ {
+		g.MustAddEdge(nodeID(i), label, nodeID(i+1))
+	}
+	return g
+}
+
+// SocialNetwork generates a property-graph-style social network: persons
+// with an age value, knows-edges among persons, posts with a topic value,
+// likes-edges from persons to posts. This is the data-graph rendering of a
+// property graph (one value per node; record fields pushed to nodes), per
+// the paper's Section 1 abstraction argument.
+func SocialNetwork(persons, posts, knowsPerPerson, likesPerPerson int, seed int64) *datagraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := datagraph.New()
+	for i := 0; i < persons; i++ {
+		age := 18 + rng.Intn(50)
+		g.MustAddNode(datagraph.NodeID(fmt.Sprintf("person%d", i)), datagraph.V(fmt.Sprintf("%d", age)))
+	}
+	for i := 0; i < posts; i++ {
+		topic := []string{"go", "db", "graphs", "theory", "music"}[rng.Intn(5)]
+		g.MustAddNode(datagraph.NodeID(fmt.Sprintf("post%d", i)), datagraph.V(topic))
+	}
+	for i := 0; i < persons; i++ {
+		for k := 0; k < knowsPerPerson; k++ {
+			j := rng.Intn(persons)
+			if j != i {
+				g.MustAddEdge(datagraph.NodeID(fmt.Sprintf("person%d", i)), "knows",
+					datagraph.NodeID(fmt.Sprintf("person%d", j)))
+			}
+		}
+		for k := 0; k < likesPerPerson && posts > 0; k++ {
+			j := rng.Intn(posts)
+			g.MustAddEdge(datagraph.NodeID(fmt.Sprintf("person%d", i)), "likes",
+				datagraph.NodeID(fmt.Sprintf("post%d", j)))
+		}
+	}
+	return g
+}
+
+// MappingSpec parameterises RandomRelationalMapping.
+type MappingSpec struct {
+	// SourceLabels to draw rule sources from (atomic, so the mapping is
+	// LAV).
+	SourceLabels []string
+	// TargetLabels to draw rule target words from.
+	TargetLabels []string
+	// Rules is the number of rules.
+	Rules int
+	// MaxWordLen bounds target word length (≥ 1).
+	MaxWordLen int
+	Seed       int64
+}
+
+// RandomRelationalMapping generates a LAV relational mapping.
+func RandomRelationalMapping(spec MappingSpec) *core.Mapping {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.MaxWordLen < 1 {
+		spec.MaxWordLen = 3
+	}
+	var rules []core.Rule
+	for i := 0; i < spec.Rules; i++ {
+		src := spec.SourceLabels[rng.Intn(len(spec.SourceLabels))]
+		wordLen := 1 + rng.Intn(spec.MaxWordLen)
+		word := ""
+		for j := 0; j < wordLen; j++ {
+			if j > 0 {
+				word += " "
+			}
+			word += spec.TargetLabels[rng.Intn(len(spec.TargetLabels))]
+		}
+		rules = append(rules, core.R(src, word))
+	}
+	return core.NewMapping(rules...)
+}
+
+// QuerySpec parameterises RandomREEQuery.
+type QuerySpec struct {
+	Labels []string
+	// Depth bounds the expression tree depth.
+	Depth int
+	// AllowNeq permits ≠ tests (off for REE= workloads).
+	AllowNeq bool
+	Seed     int64
+}
+
+// RandomREEQuery generates a random REE expression.
+func RandomREEQuery(spec QuerySpec) ree.Expr {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	if spec.Depth <= 0 {
+		spec.Depth = 3
+	}
+	var gen func(depth int) ree.Expr
+	gen = func(depth int) ree.Expr {
+		if depth == 0 {
+			return ree.Lit{Label: spec.Labels[rng.Intn(len(spec.Labels))]}
+		}
+		switch rng.Intn(7) {
+		case 0:
+			return ree.Lit{Label: spec.Labels[rng.Intn(len(spec.Labels))]}
+		case 1:
+			return ree.Concat{Factors: []ree.Expr{gen(depth - 1), gen(depth - 1)}}
+		case 2:
+			return ree.Union{Alts: []ree.Expr{gen(depth - 1), gen(depth - 1)}}
+		case 3:
+			return ree.Plus{Inner: gen(depth - 1)}
+		case 4:
+			return ree.Star{Inner: gen(depth - 1)}
+		case 5:
+			return ree.Eq{Inner: gen(depth - 1)}
+		default:
+			if spec.AllowNeq {
+				return ree.Neq{Inner: gen(depth - 1)}
+			}
+			return ree.Eq{Inner: gen(depth - 1)}
+		}
+	}
+	return gen(spec.Depth)
+}
+
+// RandomPathWithTests generates a random path-with-tests expression with at
+// most maxNeq inequality tests, for the Proposition 4 experiments.
+func RandomPathWithTests(labels []string, length, maxNeq int, seed int64) ree.Expr {
+	rng := rand.New(rand.NewSource(seed))
+	if length < 1 {
+		length = 1
+	}
+	factors := make([]ree.Expr, length)
+	for i := range factors {
+		factors[i] = ree.Lit{Label: labels[rng.Intn(len(labels))]}
+	}
+	var e ree.Expr = ree.Concat{Factors: factors}
+	// Wrap random contiguous spans with tests, from inside out; wrapping
+	// the whole concat keeps it a valid path-with-tests.
+	neqLeft := maxNeq
+	wraps := rng.Intn(3)
+	for w := 0; w < wraps; w++ {
+		if neqLeft > 0 && rng.Intn(2) == 0 {
+			e = ree.Neq{Inner: e}
+			neqLeft--
+		} else {
+			e = ree.Eq{Inner: e}
+		}
+	}
+	return e
+}
+
+// RandomPCP generates a random PCP instance with the given number of tiles
+// and maximum word length.
+func RandomPCP(tiles, maxWordLen int, seed int64) pcp.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	word := func() string {
+		n := 1 + rng.Intn(maxWordLen)
+		out := make([]byte, n)
+		for i := range out {
+			out[i] = "ab"[rng.Intn(2)]
+		}
+		return string(out)
+	}
+	in := pcp.Instance{}
+	for i := 0; i < tiles; i++ {
+		in.Tiles = append(in.Tiles, pcp.Tile{U: word(), V: word()})
+	}
+	return in
+}
