@@ -1,0 +1,40 @@
+# Single source of truth for the checks CI runs: .github/workflows/ci.yml
+# invokes exactly these targets, so a green `make ci` locally means a green
+# pipeline.
+
+GO ?= go
+
+.PHONY: build test test-race bench bench-smoke lint fmt vet ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Full benchmark pass (slow; regenerates every experiment table).
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) run ./cmd/gsmbench -quick
+
+# Seconds-long smoke pass for CI: one iteration per benchmark plus a
+# time-boxed gsmbench run.
+bench-smoke:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) run ./cmd/gsmbench -quick -timeout 30s
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+lint: fmt vet
+
+ci: build lint test-race bench-smoke

@@ -8,6 +8,7 @@
 //	gsm solve    -graph gs.txt -mapping m.txt [-style null|fresh]
 //	gsm certain  -graph gs.txt -mapping m.txt -query Q [-lang ree|rem|rpq]
 //	             [-algo null|exact|least|oneneq] [-from X -to Y]
+//	             [-parallel] [-workers N]   (worker-pool engine; null/least)
 //	gsm classify -mapping m.txt
 //	gsm check    -source gs.txt -target gt.txt -mapping m.txt
 //	gsm conj     -graph g.txt -query "ans(x,y) :- x -[a]-> z, z -[b=]-> y"
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -26,6 +28,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crpq"
 	"repro/internal/datagraph"
+	"repro/internal/engine"
 	"repro/internal/gxpath"
 	"repro/internal/ree"
 	"repro/internal/rem"
@@ -289,6 +292,8 @@ func cmdCertain(args []string, out io.Writer) error {
 	fromID := fs.String("from", "", "pair source (oneneq only)")
 	toID := fs.String("to", "", "pair target (oneneq only)")
 	maxNulls := fs.Int("maxnulls", 10, "exact-search budget")
+	parallel := fs.Bool("parallel", false, "evaluate on the worker-pool engine (null and least only)")
+	workers := fs.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -304,6 +309,9 @@ func cmdCertain(args []string, out io.Writer) error {
 		return err
 	}
 	if *algo == "oneneq" {
+		if *parallel {
+			return fmt.Errorf("certain: -parallel supports -algo null and least only")
+		}
 		q, err := ree.ParseQuery(*queryText)
 		if err != nil {
 			return err
@@ -324,13 +332,25 @@ func cmdCertain(args []string, out io.Writer) error {
 		return err
 	}
 	var ans *core.Answers
+	opts := engine.Options{Workers: *workers}
 	switch *algo {
 	case "null":
-		ans, err = core.CertainNull(m, gs, q)
+		if *parallel {
+			ans, err = engine.CertainNull(context.Background(), m, gs, q, opts)
+		} else {
+			ans, err = core.CertainNull(m, gs, q)
+		}
 	case "exact":
+		if *parallel {
+			return fmt.Errorf("certain: -parallel supports -algo null and least only")
+		}
 		ans, err = core.CertainExact(m, gs, q, core.ExactOptions{MaxNulls: *maxNulls})
 	case "least":
-		ans, err = core.CertainLeastInformative(m, gs, q)
+		if *parallel {
+			ans, err = engine.CertainLeastInformative(context.Background(), m, gs, q, opts)
+		} else {
+			ans, err = core.CertainLeastInformative(m, gs, q)
+		}
 	default:
 		return fmt.Errorf("certain: unknown algorithm %q", *algo)
 	}

@@ -145,6 +145,34 @@ func TestCLICertain(t *testing.T) {
 	}
 }
 
+func TestCLICertainParallel(t *testing.T) {
+	graph, mapping := fixtures(t)
+	for _, algo := range []string{"null", "least"} {
+		want, err := runCLI(t, "certain", "-graph", graph, "-mapping", mapping,
+			"-query", "f f", "-algo", algo)
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		got, err := runCLI(t, "certain", "-graph", graph, "-mapping", mapping,
+			"-query", "f f", "-algo", algo, "-parallel", "-workers", "4")
+		if err != nil {
+			t.Fatalf("%s -parallel: %v", algo, err)
+		}
+		if got != want {
+			t.Fatalf("%s: parallel output %q differs from sequential %q", algo, got, want)
+		}
+	}
+	if _, err := runCLI(t, "certain", "-graph", graph, "-mapping", mapping,
+		"-query", "f", "-algo", "exact", "-parallel"); err == nil {
+		t.Fatal("-parallel with -algo exact should fail")
+	}
+	if _, err := runCLI(t, "certain", "-graph", graph, "-mapping", mapping,
+		"-query", "(f f)!=", "-algo", "oneneq", "-from", "ann", "-to", "bob",
+		"-parallel"); err == nil {
+		t.Fatal("-parallel with -algo oneneq should fail")
+	}
+}
+
 func TestCLIConj(t *testing.T) {
 	graph, mapping := fixtures(t)
 	// Direct evaluation.

@@ -3,10 +3,16 @@
 //
 // Usage:
 //
-//	gsmbench            # run everything, full workloads
-//	gsmbench -quick     # shrunken workloads (seconds instead of minutes)
-//	gsmbench -exp E6    # a single experiment
-//	gsmbench -list      # list experiments
+//	gsmbench              # run everything, full workloads
+//	gsmbench -quick       # shrunken workloads (seconds instead of minutes)
+//	gsmbench -exp E6      # a single experiment
+//	gsmbench -list        # list experiments
+//	gsmbench -timeout 30s # stop starting new experiments after the budget
+//
+// The -timeout budget is checked between experiments: once it is exhausted
+// the remaining experiments are skipped (reported on stdout) and the
+// command exits successfully — this is what the CI benchmark smoke job
+// relies on to finish in seconds.
 package main
 
 import (
@@ -22,6 +28,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id (E1..E12) or 'all'")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	list := flag.Bool("list", false, "list experiments and exit")
+	timeout := flag.Duration("timeout", 0, "wall-clock budget; skip remaining experiments once exceeded (0 = none)")
 	flag.Parse()
 
 	all := experiments.All()
@@ -31,10 +38,14 @@ func main() {
 		}
 		return
 	}
-	ran := 0
+	ran, skipped := 0, 0
 	start := time.Now()
 	for _, e := range all {
 		if *exp != "all" && e.ID != *exp {
+			continue
+		}
+		if *timeout > 0 && time.Since(start) > *timeout {
+			skipped++
 			continue
 		}
 		ran++
@@ -47,9 +58,12 @@ func main() {
 		table.Fprint(os.Stdout)
 		fmt.Printf("   (%s completed in %s)\n\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
-	if ran == 0 {
+	if ran == 0 && skipped == 0 {
 		fmt.Fprintf(os.Stderr, "gsmbench: unknown experiment %q (try -list)\n", *exp)
 		os.Exit(1)
+	}
+	if skipped > 0 {
+		fmt.Printf("skipped %d experiment(s): -timeout %s exhausted\n", skipped, *timeout)
 	}
 	fmt.Printf("ran %d experiment(s) in %s\n", ran, time.Since(start).Round(time.Millisecond))
 }

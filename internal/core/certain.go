@@ -23,17 +23,35 @@ func (n NavQuery) Eval(g *datagraph.Graph, _ datagraph.CompareMode) *datagraph.P
 	return n.Q.Eval(g)
 }
 
-// CertainNull computes 2ⁿ_M(Q, Gs), the certain answers over target graphs
-// with SQL-null nodes (Theorem 4): build the universal solution, evaluate Q
-// under SQL-null semantics, and keep only tuples without null nodes. Exact
-// for queries preserved under homomorphisms (all data RPQs, Proposition 6);
-// in general an underapproximation of 2_M(Q, Gs) (Section 7).
-func CertainNull(m *Mapping, gs *datagraph.Graph, q Query) (*Answers, error) {
-	u, err := UniversalSolution(m, gs)
-	if err != nil {
-		return nil, err
+// EvalFrom implements FromEvaluator, so navigational RPQs can be sharded by
+// start node exactly like REE/REM queries.
+func (n NavQuery) EvalFrom(g *datagraph.Graph, u int, _ datagraph.CompareMode) []int {
+	return n.Q.EvalFrom(g, u)
+}
+
+// StartLabels exposes the RPQ's frontier metadata for schedulers.
+func (n NavQuery) StartLabels() ([]string, bool) { return n.Q.StartLabels() }
+
+// AcceptsEmptyPath exposes the RPQ's frontier metadata for schedulers.
+func (n NavQuery) AcceptsEmptyPath() bool { return n.Q.AcceptsEmptyPath() }
+
+// EvalFunc evaluates a query over a graph under a comparison mode. The
+// certain-answer algorithms accept one so an execution engine (see
+// internal/engine) can substitute a parallel, frontier-sharded evaluator
+// for the sequential q.Eval; nil means q.Eval.
+type EvalFunc func(g *datagraph.Graph, q Query, mode datagraph.CompareMode) *datagraph.PairSet
+
+func runEval(eval EvalFunc, g *datagraph.Graph, q Query, mode datagraph.CompareMode) *datagraph.PairSet {
+	if eval == nil {
+		return q.Eval(g, mode)
 	}
-	res := q.Eval(u, datagraph.SQLNulls)
+	return eval(g, q, mode)
+}
+
+// FilterNullAnswers keeps the pairs of res whose endpoints are non-null
+// nodes of u, as Answers — the final filtering step of the Theorem 4
+// algorithm, shared between the sequential path and the parallel engine.
+func FilterNullAnswers(u *datagraph.Graph, res *datagraph.PairSet) *Answers {
 	out := NewAnswers()
 	res.Each(func(p datagraph.Pair) {
 		from, to := u.Node(p.From), u.Node(p.To)
@@ -42,7 +60,25 @@ func CertainNull(m *Mapping, gs *datagraph.Graph, q Query) (*Answers, error) {
 		}
 		out.Add(Answer{From: from, To: to})
 	})
-	return out, nil
+	return out
+}
+
+// CertainNull computes 2ⁿ_M(Q, Gs), the certain answers over target graphs
+// with SQL-null nodes (Theorem 4): build the universal solution, evaluate Q
+// under SQL-null semantics, and keep only tuples without null nodes. Exact
+// for queries preserved under homomorphisms (all data RPQs, Proposition 6);
+// in general an underapproximation of 2_M(Q, Gs) (Section 7).
+func CertainNull(m *Mapping, gs *datagraph.Graph, q Query) (*Answers, error) {
+	return CertainNullEval(m, gs, q, nil)
+}
+
+// CertainNullEval is CertainNull with a pluggable evaluator.
+func CertainNullEval(m *Mapping, gs *datagraph.Graph, q Query, eval EvalFunc) (*Answers, error) {
+	u, err := UniversalSolution(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return FilterNullAnswers(u, runEval(eval, u, q, datagraph.SQLNulls)), nil
 }
 
 // CertainLeastInformative computes 2_M(Q, Gs) for REM= and REE= queries
@@ -51,12 +87,18 @@ func CertainNull(m *Mapping, gs *datagraph.Graph, q Query) (*Answers, error) {
 // equality-only (rem.IsEqualityOnly / ree.IsEqualityOnly); for queries with
 // inequalities the result may overapproximate.
 func CertainLeastInformative(m *Mapping, gs *datagraph.Graph, q Query) (*Answers, error) {
+	return CertainLeastInformativeEval(m, gs, q, nil)
+}
+
+// CertainLeastInformativeEval is CertainLeastInformative with a pluggable
+// evaluator.
+func CertainLeastInformativeEval(m *Mapping, gs *datagraph.Graph, q Query, eval EvalFunc) (*Answers, error) {
 	li, err := LeastInformativeSolution(m, gs)
 	if err != nil {
 		return nil, err
 	}
 	dom := DomIDs(m, gs)
-	res := q.Eval(li, datagraph.MarkedNulls)
+	res := runEval(eval, li, q, datagraph.MarkedNulls)
 	out := NewAnswers()
 	res.Each(func(p datagraph.Pair) {
 		from, to := li.Node(p.From), li.Node(p.To)

@@ -151,11 +151,9 @@ func matchingPaths(u *datagraph.Graph, x, y int, labels []string, budget int) ([
 			}
 			return nil
 		}
-		for _, he := range u.Out(node) {
-			if he.Label == labels[pos] {
-				if err := walk(he.To, pos+1); err != nil {
-					return err
-				}
+		for _, to := range u.OutEdges(node, labels[pos]) {
+			if err := walk(to, pos+1); err != nil {
+				return err
 			}
 		}
 		return nil

@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/datagraph"
 	"repro/internal/ree"
@@ -48,6 +50,11 @@ type Prop5Options struct {
 	MaxChoices int
 	// MaxNulls caps fresh nodes per candidate solution. Default 10.
 	MaxNulls int
+	// Workers is the number of goroutines sharding the adversary's choice
+	// combinations (each combination is checked independently, so the search
+	// parallelizes perfectly). ≤ 1 runs sequentially. internal/engine sets
+	// this to GOMAXPROCS.
+	Workers int
 }
 
 // CertainDataPathArbitrary decides (from, to) ∈ 2_M(Q, Gs) for an arbitrary
@@ -126,33 +133,86 @@ func CertainDataPathArbitrary(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 	}
 
 	// Enumerate choice combinations; for each, build the canonical target
-	// and run the CertainExactPair-style specialization check inline.
-	choice := make([]int, len(slots))
-	for {
+	// and run the CertainExactPair-style specialization check inline. Each
+	// combination is independent, so the enumeration shards across workers:
+	// combination indices are decoded mixed-radix into choice vectors.
+	checkCombo := func(idx int, choice []int) (holds bool, err error) {
+		for i := range slots {
+			choice[i] = idx % len(slots[i].words)
+			idx /= len(slots[i].words)
+		}
 		gt, err := buildChoiceSolution(m, gs, slots, choice, L)
 		if err != nil {
 			return false, err
 		}
-		holds, err := pairCertainOverSpecializations(gs, gt, q, from, to, opts.MaxNulls)
-		if err != nil {
-			return false, err
-		}
-		if !holds {
-			return false, nil // adversary found a counterexample family
-		}
-		// Next combination.
-		i := 0
-		for ; i < len(slots); i++ {
-			choice[i]++
-			if choice[i] < len(slots[i].words) {
-				break
-			}
-			choice[i] = 0
-		}
-		if i == len(slots) {
-			return true, nil
-		}
+		return pairCertainOverSpecializations(gs, gt, q, from, to, opts.MaxNulls)
 	}
+
+	workers := opts.Workers
+	if workers > total {
+		workers = total
+	}
+	if workers <= 1 {
+		choice := make([]int, len(slots))
+		for idx := 0; idx < total; idx++ {
+			holds, err := checkCombo(idx, choice)
+			if err != nil {
+				return false, err
+			}
+			if !holds {
+				return false, nil // adversary found a counterexample family
+			}
+		}
+		return true, nil
+	}
+
+	var (
+		next     atomic.Int64
+		refuted  atomic.Bool // a counterexample family was found
+		stop     atomic.Bool
+		mu       sync.Mutex
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			choice := make([]int, len(slots))
+			for !stop.Load() {
+				idx := int(next.Add(1)) - 1
+				if idx >= total {
+					return
+				}
+				holds, err := checkCombo(idx, choice)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+				if !holds {
+					refuted.Store(true)
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// A refutation is definitive — some combination admits no match, so the
+	// pair is not certain — and must win over a concurrent worker's budget
+	// error, or the outcome would depend on the worker count.
+	if refuted.Load() {
+		return false, nil
+	}
+	if firstErr != nil {
+		return false, firstErr
+	}
+	return true, nil
 }
 
 func uniqueLabels(ls []string) []string {

@@ -44,18 +44,34 @@ type HalfEdge struct {
 // address nodes by their index (0-based insertion order), while the public
 // API also accepts NodeIDs.
 //
-// The zero Graph is empty and ready to use.
+// Besides the flat adjacency lists, the graph maintains per-label indexes —
+// per-node successor/predecessor lists keyed by label and a global per-label
+// edge list — built incrementally by AddEdge. Evaluators that know the label
+// they are traversing (word RPQs, automaton transitions, GXPath atoms) use
+// OutEdges/InEdges/LabelPairs instead of filtering the flat lists.
+//
+// The zero Graph is empty and ready to use. A Graph is safe for concurrent
+// readers once construction is complete; mutation is not synchronized.
 type Graph struct {
 	nodes []Node
 	index map[NodeID]int
 	out   [][]HalfEdge
 	in    [][]HalfEdge
 	edges map[Edge]struct{}
+
+	// Per-label indexes, maintained incrementally by AddEdge.
+	outIdx  []map[string][]int // node -> label -> successor indices
+	inIdx   []map[string][]int // node -> label -> predecessor indices
+	byLabel map[string][]Pair  // label -> (from, to) dense-index pairs
 }
 
 // New returns an empty data graph.
 func New() *Graph {
-	return &Graph{index: make(map[NodeID]int), edges: make(map[Edge]struct{})}
+	return &Graph{
+		index:   make(map[NodeID]int),
+		edges:   make(map[Edge]struct{}),
+		byLabel: make(map[string][]Pair),
+	}
 }
 
 func (g *Graph) ensureInit() {
@@ -64,6 +80,9 @@ func (g *Graph) ensureInit() {
 	}
 	if g.edges == nil {
 		g.edges = make(map[Edge]struct{})
+	}
+	if g.byLabel == nil {
+		g.byLabel = make(map[string][]Pair)
 	}
 }
 
@@ -78,6 +97,8 @@ func (g *Graph) AddNode(id NodeID, value Value) error {
 	g.nodes = append(g.nodes, Node{ID: id, Value: value})
 	g.out = append(g.out, nil)
 	g.in = append(g.in, nil)
+	g.outIdx = append(g.outIdx, nil)
+	g.inIdx = append(g.inIdx, nil)
 	return nil
 }
 
@@ -108,6 +129,15 @@ func (g *Graph) AddEdge(from NodeID, label string, to NodeID) error {
 	g.edges[e] = struct{}{}
 	g.out[fi] = append(g.out[fi], HalfEdge{Label: label, To: ti})
 	g.in[ti] = append(g.in[ti], HalfEdge{Label: label, To: fi})
+	if g.outIdx[fi] == nil {
+		g.outIdx[fi] = make(map[string][]int)
+	}
+	g.outIdx[fi][label] = append(g.outIdx[fi][label], ti)
+	if g.inIdx[ti] == nil {
+		g.inIdx[ti] = make(map[string][]int)
+	}
+	g.inIdx[ti][label] = append(g.inIdx[ti][label], fi)
+	g.byLabel[label] = append(g.byLabel[label], Pair{From: fi, To: ti})
 	return nil
 }
 
@@ -164,6 +194,58 @@ func (g *Graph) Out(i int) []HalfEdge { return g.out[i] }
 // In returns the incoming adjacency list of the node at index i. The
 // returned slice must not be modified.
 func (g *Graph) In(i int) []HalfEdge { return g.in[i] }
+
+// OutEdges returns the successors of the node at index i along edges with
+// the given label, in edge-insertion order. The returned slice must not be
+// modified. This is the indexed counterpart of filtering Out(i) by label.
+func (g *Graph) OutEdges(i int, label string) []int {
+	if g.outIdx[i] == nil {
+		return nil
+	}
+	return g.outIdx[i][label]
+}
+
+// InEdges returns the predecessors of the node at index i along edges with
+// the given label, in edge-insertion order. The returned slice must not be
+// modified.
+func (g *Graph) InEdges(i int, label string) []int {
+	if g.inIdx[i] == nil {
+		return nil
+	}
+	return g.inIdx[i][label]
+}
+
+// LabelPairs returns every edge with the given label as a (from, to) pair of
+// dense indices, in edge-insertion order. The returned slice must not be
+// modified.
+func (g *Graph) LabelPairs(label string) []Pair {
+	if g.byLabel == nil {
+		return nil
+	}
+	return g.byLabel[label]
+}
+
+// HasEdgeIndex reports whether the edge (from, label, to) is present, with
+// both endpoints given as dense indices. It scans the shorter of the two
+// per-label adjacency lists.
+func (g *Graph) HasEdgeIndex(from int, label string, to int) bool {
+	outs := g.OutEdges(from, label)
+	ins := g.InEdges(to, label)
+	if len(ins) < len(outs) {
+		for _, s := range ins {
+			if s == from {
+				return true
+			}
+		}
+		return false
+	}
+	for _, t := range outs {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
 
 // Value returns δ(v) for the node at index i.
 func (g *Graph) Value(i int) Value { return g.nodes[i].Value }

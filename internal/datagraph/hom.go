@@ -104,12 +104,12 @@ func findHom(g, h *Graph, fixed map[NodeID]NodeID, mode homMode) (map[NodeID]Nod
 	// consistent checks every edge of g between already-assigned nodes.
 	consistent := func(i, target int) bool {
 		for _, he := range g.Out(i) {
-			if t := assign[he.To]; t >= 0 && !hasEdgeIdx(h, target, he.Label, t) {
+			if t := assign[he.To]; t >= 0 && !h.HasEdgeIndex(target, he.Label, t) {
 				return false
 			}
 		}
 		for _, he := range g.In(i) {
-			if s := assign[he.To]; s >= 0 && !hasEdgeIdx(h, s, he.Label, target) {
+			if s := assign[he.To]; s >= 0 && !h.HasEdgeIndex(s, he.Label, target) {
 				return false
 			}
 		}
@@ -148,15 +148,6 @@ func findHom(g, h *Graph, fixed map[NodeID]NodeID, mode homMode) (map[NodeID]Nod
 		out[g.Node(i).ID] = h.Node(assign[i]).ID
 	}
 	return out, true
-}
-
-func hasEdgeIdx(g *Graph, from int, label string, to int) bool {
-	for _, he := range g.Out(from) {
-		if he.Label == label && he.To == to {
-			return true
-		}
-	}
-	return false
 }
 
 // IsHomomorphism verifies that m is a homomorphism from g to h in the

@@ -1,0 +1,141 @@
+package datagraph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// randomIndexedGraph builds a random graph through the public mutation API,
+// so the per-label indexes are exercised exactly as production code builds
+// them (incrementally, with duplicate-edge no-ops mixed in).
+func randomIndexedGraph(t *testing.T, rng *rand.Rand, nodes, edges int, labels []string) *Graph {
+	t.Helper()
+	g := New()
+	for i := 0; i < nodes; i++ {
+		g.MustAddNode(NodeID(fmt.Sprintf("n%d", i)), V(fmt.Sprintf("d%d", rng.Intn(5))))
+	}
+	for e := 0; e < edges; e++ {
+		from := NodeID(fmt.Sprintf("n%d", rng.Intn(nodes)))
+		to := NodeID(fmt.Sprintf("n%d", rng.Intn(nodes)))
+		g.MustAddEdge(from, labels[rng.Intn(len(labels))], to)
+	}
+	return g
+}
+
+func sortedCopy(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIndexAgreesWithScan is the property test for the adjacency indexes:
+// on random graphs, OutEdges/InEdges/LabelPairs/HasEdgeIndex must agree with
+// a naive scan of the flat adjacency lists and the edge set.
+func TestIndexAgreesWithScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	labels := []string{"a", "b", "c"}
+	for trial := 0; trial < 50; trial++ {
+		nodes := 1 + rng.Intn(20)
+		edges := rng.Intn(60)
+		g := randomIndexedGraph(t, rng, nodes, edges, labels)
+
+		for i := 0; i < g.NumNodes(); i++ {
+			for _, lab := range labels {
+				var wantOut, wantIn []int
+				for _, he := range g.Out(i) {
+					if he.Label == lab {
+						wantOut = append(wantOut, he.To)
+					}
+				}
+				for _, he := range g.In(i) {
+					if he.Label == lab {
+						wantIn = append(wantIn, he.To)
+					}
+				}
+				if got := g.OutEdges(i, lab); !equalInts(sortedCopy(got), sortedCopy(wantOut)) {
+					t.Fatalf("trial %d: OutEdges(%d, %q) = %v, scan gives %v", trial, i, lab, got, wantOut)
+				}
+				if got := g.InEdges(i, lab); !equalInts(sortedCopy(got), sortedCopy(wantIn)) {
+					t.Fatalf("trial %d: InEdges(%d, %q) = %v, scan gives %v", trial, i, lab, got, wantIn)
+				}
+			}
+		}
+
+		// LabelPairs must partition the edge set by label.
+		total := 0
+		for _, lab := range labels {
+			pairs := g.LabelPairs(lab)
+			total += len(pairs)
+			for _, p := range pairs {
+				if !g.HasEdge(g.Node(p.From).ID, lab, g.Node(p.To).ID) {
+					t.Fatalf("trial %d: LabelPairs(%q) lists %v, not an edge", trial, lab, p)
+				}
+			}
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("trial %d: LabelPairs cover %d edges, graph has %d", trial, total, g.NumEdges())
+		}
+
+		// HasEdgeIndex must agree with the id-keyed edge set everywhere.
+		for i := 0; i < g.NumNodes(); i++ {
+			for j := 0; j < g.NumNodes(); j++ {
+				for _, lab := range labels {
+					want := g.HasEdge(g.Node(i).ID, lab, g.Node(j).ID)
+					if got := g.HasEdgeIndex(i, lab, j); got != want {
+						t.Fatalf("trial %d: HasEdgeIndex(%d, %q, %d) = %v, HasEdge says %v",
+							trial, i, lab, j, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestIndexSurvivesCloneAndSpecialize checks that the derived-graph
+// constructors rebuild the indexes consistently.
+func TestIndexSurvivesCloneAndSpecialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := randomIndexedGraph(t, rng, 12, 30, []string{"a", "b"})
+	for _, d := range []*Graph{g.Clone(), g.Specialize(map[NodeID]Value{"n0": V("zz")})} {
+		if d.NumEdges() != g.NumEdges() {
+			t.Fatalf("derived graph lost edges: %d vs %d", d.NumEdges(), g.NumEdges())
+		}
+		for _, lab := range []string{"a", "b"} {
+			if len(d.LabelPairs(lab)) != len(g.LabelPairs(lab)) {
+				t.Fatalf("derived graph index for %q has %d pairs, want %d",
+					lab, len(d.LabelPairs(lab)), len(g.LabelPairs(lab)))
+			}
+		}
+	}
+}
+
+// TestIndexZeroGraph checks the zero Graph works with the index accessors.
+func TestIndexZeroGraph(t *testing.T) {
+	var g Graph
+	g.MustAddNode("x", V("1"))
+	g.MustAddNode("y", V("2"))
+	g.MustAddEdge("x", "a", "y")
+	if got := g.OutEdges(0, "a"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("OutEdges on zero-value graph: %v", got)
+	}
+	if !g.HasEdgeIndex(0, "a", 1) || g.HasEdgeIndex(1, "a", 0) {
+		t.Fatal("HasEdgeIndex wrong on zero-value graph")
+	}
+	if got := g.LabelPairs("a"); len(got) != 1 {
+		t.Fatalf("LabelPairs on zero-value graph: %v", got)
+	}
+}

@@ -25,10 +25,9 @@ func (p Path) Validate(g *Graph) error {
 		return fmt.Errorf("datagraph: path has %d nodes and %d labels", len(p.Nodes), len(p.Labels))
 	}
 	for i, lab := range p.Labels {
-		from := g.Node(p.Nodes[i]).ID
-		to := g.Node(p.Nodes[i+1]).ID
-		if !g.HasEdge(from, lab, to) {
-			return fmt.Errorf("datagraph: path step %d: no edge %s -%s-> %s", i, from, lab, to)
+		if !g.HasEdgeIndex(p.Nodes[i], lab, p.Nodes[i+1]) {
+			return fmt.Errorf("datagraph: path step %d: no edge %s -%s-> %s",
+				i, g.Node(p.Nodes[i]).ID, lab, g.Node(p.Nodes[i+1]).ID)
 		}
 	}
 	return nil

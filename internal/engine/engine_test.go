@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/ree"
+	"repro/internal/rem"
+	"repro/internal/rpq"
+	"repro/internal/workload"
+)
+
+func testMapping() *core.Mapping {
+	return core.NewMapping(core.R("a", "p q"), core.R("b", "r"))
+}
+
+func testGraph(seed int64) *datagraph.Graph {
+	return workload.RandomGraph(workload.GraphSpec{
+		Nodes: 60, Edges: 180, Labels: []string{"a", "b"}, Values: 10, Seed: seed,
+	})
+}
+
+func testQueries(t *testing.T) []core.Query {
+	t.Helper()
+	nav, err := rpq.Parse("p q*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []core.Query{
+		ree.MustParseQuery("(p q)="),
+		ree.MustParseQuery("(p q)!= | r"),
+		rem.MustParseQuery("!x.(p (q[x=])?) q*"),
+		core.NavQuery{Q: nav},
+	}
+}
+
+// TestEvalMatchesSequential checks that the parallel engine computes
+// exactly the certain answers of the sequential Theorem 4 algorithm, for
+// every query language and several worker counts.
+func TestEvalMatchesSequential(t *testing.T) {
+	m := testMapping()
+	queries := testQueries(t)
+	for seed := int64(1); seed <= 5; seed++ {
+		gs := testGraph(seed)
+		var want []*core.Answers
+		for _, q := range queries {
+			w, err := core.CertainNull(m, gs, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want = append(want, w)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			got, err := EvalOpts(context.Background(), m, gs, Options{Workers: workers}, queries...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range queries {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("seed %d, workers %d, query %d: engine answers differ\n got: %v\nwant: %v",
+						seed, workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestEvalGraphMatchesEval checks the parallel whole-graph evaluator
+// against the sequential q.Eval for each query kind.
+func TestEvalGraphMatchesEval(t *testing.T) {
+	g := testGraph(11)
+	for _, q := range testQueries(t) {
+		want := q.Eval(g, datagraph.MarkedNulls)
+		got, err := EvalGraph(context.Background(), g, q, datagraph.MarkedNulls, Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("EvalGraph differs from Eval: got %d pairs, want %d", got.Len(), want.Len())
+		}
+	}
+}
+
+// TestEvalConcurrentCallers runs many engine.Eval calls concurrently over
+// one shared graph, mapping and query set — the scenario the race detector
+// must pass (compiled queries and graphs are shared read-only).
+func TestEvalConcurrentCallers(t *testing.T) {
+	m := testMapping()
+	gs := testGraph(3)
+	queries := testQueries(t)
+	want, err := Eval(context.Background(), m, gs, queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got, err := Eval(context.Background(), m, gs, queries...)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range queries {
+				if !got[i].Equal(want[i]) {
+					t.Errorf("concurrent Eval: query %d answers differ", i)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestEvalCancellation checks that a cancelled context aborts every
+// engine entry point with an error rather than returning empty answers.
+func TestEvalCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m, gs := testMapping(), testGraph(1)
+	q := testQueries(t)[0]
+	if _, err := Eval(ctx, m, gs, q); err == nil {
+		t.Fatal("expected a context error from a cancelled Eval")
+	}
+	if _, err := CertainNull(ctx, m, gs, q, Options{}); err == nil {
+		t.Fatal("expected a context error from a cancelled CertainNull")
+	}
+	if _, err := CertainLeastInformative(ctx, m, gs, q, Options{}); err == nil {
+		t.Fatal("expected a context error from a cancelled CertainLeastInformative")
+	}
+}
+
+// TestCertainVariants checks the engine-backed certain-answer entry points
+// against their sequential counterparts.
+func TestCertainVariants(t *testing.T) {
+	m := testMapping()
+	gs := testGraph(9)
+	q := ree.MustParseQuery("(p q)=")
+
+	seqNull, err := core.CertainNull(m, gs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parNull, err := CertainNull(context.Background(), m, gs, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parNull.Equal(seqNull) {
+		t.Fatal("engine CertainNull differs from core.CertainNull")
+	}
+
+	seqLI, err := core.CertainLeastInformative(m, gs, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parLI, err := CertainLeastInformative(context.Background(), m, gs, q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !parLI.Equal(seqLI) {
+		t.Fatal("engine CertainLeastInformative differs from core")
+	}
+}
+
+// TestProp5Parallel cross-checks the parallel Proposition 5 search against
+// the sequential one on a small arbitrary (non-relational) mapping.
+func TestProp5Parallel(t *testing.T) {
+	gs := datagraph.New()
+	gs.MustAddNode("u", datagraph.V("1"))
+	gs.MustAddNode("v", datagraph.V("2"))
+	gs.MustAddEdge("u", "a", "v")
+	m := core.NewMapping(core.R("a", "p | q q"))
+	q := ree.MustParseQuery("(p)=")
+	for _, pair := range [][2]datagraph.NodeID{{"u", "v"}, {"u", "u"}} {
+		seq, err := core.CertainDataPathArbitrary(m, gs, q, pair[0], pair[1], core.Prop5Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := CertainDataPathArbitrary(m, gs, q, pair[0], pair[1], Options{Workers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq != par {
+			t.Fatalf("pair %v: parallel Prop5 = %v, sequential = %v", pair, par, seq)
+		}
+	}
+}
+
+// TestFrontierPruning checks that start-node pruning keeps answers intact
+// on a graph where most nodes cannot start a match.
+func TestFrontierPruning(t *testing.T) {
+	g := datagraph.New()
+	// A small p-chain plus many isolated b-edges that can never start (p p).
+	for i := 0; i < 40; i++ {
+		g.MustAddNode(datagraph.NodeID(fmt.Sprintf("n%02d", i)), datagraph.V("d"))
+	}
+	nodes := g.Nodes()
+	for i := 0; i+1 < 10; i++ {
+		g.MustAddEdge(nodes[i].ID, "p", nodes[i+1].ID)
+	}
+	for i := 10; i+1 < 40; i += 2 {
+		g.MustAddEdge(nodes[i].ID, "b", nodes[i+1].ID)
+	}
+	q := ree.MustParseQuery("p p")
+	want := q.Eval(g, datagraph.MarkedNulls)
+	got, err := EvalGraph(context.Background(), g, q, datagraph.MarkedNulls, Options{Workers: 3, ChunkSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("pruned evaluation differs: got %d pairs, want %d", got.Len(), want.Len())
+	}
+}

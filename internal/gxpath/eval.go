@@ -17,17 +17,14 @@ func EvalPath(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) *datag
 		}
 		return out
 	case PLabel:
-		// [[a]] = {(v, v′) | (v, a, v′) ∈ E}; [[a⁻]] swaps the pair.
+		// [[a]] = {(v, v′) | (v, a, v′) ∈ E}; [[a⁻]] swaps the pair. The
+		// per-label edge index yields exactly the matching edges.
 		out := datagraph.NewPairSet()
-		for v := 0; v < g.NumNodes(); v++ {
-			for _, he := range g.Out(v) {
-				if he.Label == t.Label {
-					if t.Inverse {
-						out.Add(he.To, v)
-					} else {
-						out.Add(v, he.To)
-					}
-				}
+		for _, p := range g.LabelPairs(t.Label) {
+			if t.Inverse {
+				out.Add(p.To, p.From)
+			} else {
+				out.Add(p.From, p.To)
 			}
 		}
 		return out
@@ -132,16 +129,16 @@ func starClosure(g *datagraph.Graph, label string, inverse bool) *datagraph.Pair
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			out.Add(u, v)
-			var adj []datagraph.HalfEdge
+			var adj []int
 			if inverse {
-				adj = g.In(v)
+				adj = g.InEdges(v, label)
 			} else {
-				adj = g.Out(v)
+				adj = g.OutEdges(v, label)
 			}
-			for _, he := range adj {
-				if he.Label == label && !seen[he.To] {
-					seen[he.To] = true
-					stack = append(stack, he.To)
+			for _, to := range adj {
+				if !seen[to] {
+					seen[to] = true
+					stack = append(stack, to)
 				}
 			}
 		}

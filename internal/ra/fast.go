@@ -231,18 +231,15 @@ func (a *Automaton) evalFromFast(g *datagraph.Graph, u int, mode datagraph.Compa
 				}
 				continue
 			}
-			for _, he := range g.Out(int(c.pos)) {
-				if !t.AnyLabel && he.Label != t.Label {
-					continue
-				}
-				nv := vals[he.To]
+			step := func(to int) {
+				nv := vals[to]
 				ok, _ := evalCondID(t.Cond, c.regs[:maxFastRegs], nv, in.nullID, mode)
 				if !ok {
-					continue
+					return
 				}
 				next := c
 				next.state = int32(t.To)
-				next.pos = int32(he.To)
+				next.pos = int32(to)
 				for _, r := range t.Store {
 					next.regs[r] = nv
 				}
@@ -250,6 +247,15 @@ func (a *Automaton) evalFromFast(g *datagraph.Graph, u int, mode datagraph.Compa
 				if _, dup := visited[k]; !dup {
 					visited[k] = struct{}{}
 					queue = append(queue, next)
+				}
+			}
+			if t.AnyLabel {
+				for _, he := range g.Out(int(c.pos)) {
+					step(he.To)
+				}
+			} else {
+				for _, to := range g.OutEdges(int(c.pos), t.Label) {
+					step(to)
 				}
 			}
 		}

@@ -17,6 +17,7 @@ package ra
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"repro/internal/datagraph"
@@ -112,8 +113,14 @@ type Automaton struct {
 	Trans     [][]Transition // indexed by source state
 
 	// fast caches whether the interned-id engine applies (few registers,
-	// known condition node types): 0 unknown, 1 yes, -1 no.
+	// known condition node types): 0 unknown, 1 yes, -1 no. Resolved eagerly
+	// by Finish so evaluation never mutates the automaton (workers share it).
 	fast int8
+
+	// Start-frontier metadata, precomputed by Finish (see StartLabels).
+	startLabels []string
+	startAny    bool
+	emptyOK     bool
 }
 
 func (a *Automaton) fastOK() bool {
@@ -125,6 +132,57 @@ func (a *Automaton) fastOK() bool {
 		}
 	}
 	return a.fast == 1
+}
+
+// StartLabels returns a superset of the edge labels able to begin a
+// nonempty match, and whether that superset is exhaustive (it is not when
+// an any-label transition is ε-reachable from the start state). Frontier
+// schedulers use it to skip start nodes with no matching out-edge; because
+// it over-approximates (register conditions are ignored), skipping is
+// always sound.
+func (a *Automaton) StartLabels() (labels []string, exhaustive bool) {
+	return a.startLabels, !a.startAny
+}
+
+// AcceptsEmptyPath reports whether the automaton may accept a single-node
+// data path — an over-approximation by ε-reachability of the accept state,
+// ignoring register conditions. When it returns false, no start node can be
+// its own answer, so frontier pruning by StartLabels is complete.
+func (a *Automaton) AcceptsEmptyPath() bool { return a.emptyOK }
+
+// computeStartInfo fills the start-frontier metadata: walk ε-transitions
+// from the start state (ignoring conditions — an over-approximation) and
+// collect the consuming transitions encountered.
+func (a *Automaton) computeStartInfo() {
+	seen := make([]bool, a.NumStates)
+	stack := []int{a.Start}
+	seen[a.Start] = true
+	labelSet := map[string]struct{}{}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s == a.Accept {
+			a.emptyOK = true
+		}
+		for _, t := range a.Trans[s] {
+			if t.Eps {
+				if !seen[t.To] {
+					seen[t.To] = true
+					stack = append(stack, t.To)
+				}
+				continue
+			}
+			if t.AnyLabel {
+				a.startAny = true
+				continue
+			}
+			labelSet[t.Label] = struct{}{}
+		}
+	}
+	for l := range labelSet {
+		a.startLabels = append(a.startLabels, l)
+	}
+	sort.Strings(a.startLabels)
 }
 
 // Builder incrementally constructs an Automaton.
@@ -181,15 +239,20 @@ func (b *Builder) noteRegs(cond Cond, store []int) {
 	walk(cond)
 }
 
-// Finish seals the automaton.
+// Finish seals the automaton. All lazily-derivable metadata (fast-path
+// eligibility, start-frontier labels) is resolved here so the finished
+// automaton is never written to again and can be shared across goroutines.
 func (b *Builder) Finish(start, accept int) *Automaton {
-	return &Automaton{
+	a := &Automaton{
 		NumStates: len(b.trans),
 		NumRegs:   b.numRegs,
 		Start:     start,
 		Accept:    accept,
 		Trans:     b.trans,
 	}
+	a.fastOK()
+	a.computeStartInfo()
+	return a
 }
 
 // regSnapshot encodes a register assignment as a compact string key for
@@ -332,19 +395,25 @@ func (a *Automaton) EvalFrom(g *datagraph.Graph, u int, mode datagraph.CompareMo
 				}
 				continue
 			}
-			for _, he := range g.Out(c.pos) {
-				if !t.AnyLabel && he.Label != t.Label {
-					continue
-				}
-				nv := g.Value(he.To)
+			step := func(to int) {
+				nv := g.Value(to)
 				if !t.Cond.Eval(c.regs, c.set, nv, mode) {
-					continue
+					return
 				}
-				next := applyStore(config{state: t.To, pos: he.To, regs: c.regs, set: c.set}, t.Store, nv)
+				next := applyStore(config{state: t.To, pos: to, regs: c.regs, set: c.set}, t.Store, nv)
 				k := next.key()
 				if _, dup := visited[k]; !dup {
 					visited[k] = struct{}{}
 					queue = append(queue, next)
+				}
+			}
+			if t.AnyLabel {
+				for _, he := range g.Out(c.pos) {
+					step(he.To)
+				}
+			} else {
+				for _, to := range g.OutEdges(c.pos, t.Label) {
+					step(to)
 				}
 			}
 		}

@@ -88,6 +88,14 @@ func (q *Query) EvalFrom(g *datagraph.Graph, u int, mode datagraph.CompareMode) 
 	return q.auto.EvalFrom(g, u, mode)
 }
 
+// StartLabels returns a superset of the labels able to begin a nonempty
+// match and whether it is exhaustive; see ra.Automaton.StartLabels.
+func (q *Query) StartLabels() ([]string, bool) { return q.auto.StartLabels() }
+
+// AcceptsEmptyPath reports whether the query may accept a single-node path;
+// see ra.Automaton.AcceptsEmptyPath.
+func (q *Query) AcceptsEmptyPath() bool { return q.auto.AcceptsEmptyPath() }
+
 type frag struct{ start, accept int }
 
 type compiler struct {

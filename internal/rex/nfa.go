@@ -43,6 +43,12 @@ func Compile(e Regex) *NFA {
 		Steps:     b.steps,
 	}
 	n.epsClosure = make([][]int, n.NumStates)
+	// Precompute every ε-closure so the NFA is immutable afterwards: compiled
+	// queries are shared across the engine's worker goroutines, and a lazy
+	// memo would race.
+	for s := 0; s < n.NumStates; s++ {
+		n.Closure(s)
+	}
 	return n
 }
 

@@ -13,6 +13,7 @@ package rpq
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/datagraph"
 	"repro/internal/rex"
@@ -25,6 +26,10 @@ type Query struct {
 	word []string // non-nil iff the expression denotes a single word
 	// kind caches the structural classification used by mapping analysis.
 	kind Kind
+	// Start-frontier metadata, computed once by New (see StartLabels).
+	startLabels []string
+	startAny    bool
+	emptyOK     bool
 }
 
 // Kind classifies RPQs the way the paper's mapping definitions do.
@@ -69,8 +74,35 @@ func New(e rex.Regex) *Query {
 	} else if rex.IsReachability(e) {
 		q.kind = KindReachability
 	}
+	labelSet := map[string]struct{}{}
+	for _, s := range q.nfa.Closure(q.nfa.Start) {
+		if s == q.nfa.Accept {
+			q.emptyOK = true
+		}
+		for _, step := range q.nfa.Steps[s] {
+			if step.AnyLabel {
+				q.startAny = true
+				continue
+			}
+			labelSet[step.Label] = struct{}{}
+		}
+	}
+	for l := range labelSet {
+		q.startLabels = append(q.startLabels, l)
+	}
+	sort.Strings(q.startLabels)
 	return q
 }
+
+// StartLabels returns the set of labels able to begin a nonempty match and
+// whether the set is exhaustive (false when an any-label step is reachable
+// from the start state). Frontier schedulers use it with the graph's
+// per-label adjacency index to skip start nodes that cannot match.
+func (q *Query) StartLabels() ([]string, bool) { return q.startLabels, !q.startAny }
+
+// AcceptsEmptyPath reports whether ε ∈ L(e), i.e. every node matches
+// itself. When false, frontier pruning by StartLabels is complete.
+func (q *Query) AcceptsEmptyPath() bool { return q.emptyOK }
 
 // Parse compiles the rex concrete syntax into an RPQ.
 func Parse(s string) (*Query, error) {
@@ -167,12 +199,20 @@ func (q *Query) productFrom(g *datagraph.Graph, u int) []int {
 				result = append(result, node)
 			}
 		}
-		for _, he := range g.Out(node) {
-			for _, step := range q.nfa.Steps[state] {
-				if step.Matches(he.Label) {
+		// Iterate the NFA steps first so concrete-label steps can use the
+		// per-label adjacency index instead of scanning every out-edge.
+		for _, step := range q.nfa.Steps[state] {
+			if step.AnyLabel {
+				for _, he := range g.Out(node) {
 					for _, c := range q.nfa.Closure(step.To) {
 						push(he.To, c)
 					}
+				}
+				continue
+			}
+			for _, to := range g.OutEdges(node, step.Label) {
+				for _, c := range q.nfa.Closure(step.To) {
+					push(to, c)
 				}
 			}
 		}
@@ -186,10 +226,8 @@ func wordTargets(g *datagraph.Graph, u int, word []string) []int {
 	for _, label := range word {
 		next := make(map[int]struct{})
 		for node := range frontier {
-			for _, he := range g.Out(node) {
-				if he.Label == label {
-					next[he.To] = struct{}{}
-				}
+			for _, to := range g.OutEdges(node, label) {
+				next[to] = struct{}{}
 			}
 		}
 		if len(next) == 0 {
@@ -276,12 +314,18 @@ func (q *Query) Witness(g *datagraph.Graph, u, v int) (datagraph.Path, bool) {
 			}
 			return datagraph.Path{Nodes: nodes, Labels: labels}, true
 		}
-		for _, he := range g.Out(node) {
-			for _, step := range q.nfa.Steps[state] {
-				if step.Matches(he.Label) {
+		for _, step := range q.nfa.Steps[state] {
+			if step.AnyLabel {
+				for _, he := range g.Out(node) {
 					for _, c := range q.nfa.Closure(step.To) {
 						push(he.To, c, id, he.Label)
 					}
+				}
+				continue
+			}
+			for _, to := range g.OutEdges(node, step.Label) {
+				for _, c := range q.nfa.Closure(step.To) {
+					push(to, c, id, step.Label)
 				}
 			}
 		}

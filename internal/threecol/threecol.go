@@ -198,9 +198,9 @@ func ProperColouringSolution(g Graph) (*datagraph.Graph, error) {
 	assign := make(map[datagraph.NodeID]datagraph.Value)
 	for v := 0; v < g.N; v++ {
 		xi, _ := u.IndexOf(VertexID(v))
-		for _, he := range u.Out(xi) {
-			if he.Label == "c" && u.Node(he.To).IsNullNode() {
-				assign[u.Node(he.To).ID] = palette[colors[v]]
+		for _, to := range u.OutEdges(xi, "c") {
+			if u.Node(to).IsNullNode() {
+				assign[u.Node(to).ID] = palette[colors[v]]
 			}
 		}
 	}

@@ -18,9 +18,12 @@
 package repro
 
 import (
+	"context"
+
 	"repro/internal/core"
 	"repro/internal/crpq"
 	"repro/internal/datagraph"
+	"repro/internal/engine"
 	"repro/internal/gxpath"
 	"repro/internal/ree"
 	"repro/internal/rem"
@@ -126,6 +129,46 @@ func CertainOneInequality(m *Mapping, gs *Graph, q *REEQuery, from, to NodeID) (
 // procedure, exponential in the mapping's word choices and fresh nodes.
 func CertainDataPathArbitrary(m *Mapping, gs *Graph, q *REEQuery, from, to NodeID) (bool, error) {
 	return core.CertainDataPathArbitrary(m, gs, q, from, to, core.Prop5Options{})
+}
+
+// The concurrent evaluation engine (internal/engine): certain answers
+// computed over the per-label adjacency indexes by a pool of GOMAXPROCS
+// workers, sharding independent queries and independent source-node
+// frontiers. Output is deterministic and identical to the sequential
+// algorithms.
+type (
+	// EngineOptions configure the engine's worker pool.
+	EngineOptions = engine.Options
+)
+
+// Eval computes the certain answers 2ⁿ_M(Q, Gs) (Theorem 4) for every
+// query concurrently, returning one answer set per query, index-aligned.
+// The universal solution is built once and shared by all workers.
+func Eval(ctx context.Context, m *Mapping, gs *Graph, queries ...Query) ([]*Answers, error) {
+	return engine.Eval(ctx, m, gs, queries...)
+}
+
+// EvalOpts is Eval with explicit worker-pool options.
+func EvalOpts(ctx context.Context, m *Mapping, gs *Graph, opts EngineOptions, queries ...Query) ([]*Answers, error) {
+	return engine.EvalOpts(ctx, m, gs, opts, queries...)
+}
+
+// CertainNullParallel is CertainNull on the worker-pool engine.
+func CertainNullParallel(ctx context.Context, m *Mapping, gs *Graph, q Query) (*Answers, error) {
+	return engine.CertainNull(ctx, m, gs, q, EngineOptions{})
+}
+
+// CertainLeastInformativeParallel is CertainLeastInformative on the
+// worker-pool engine.
+func CertainLeastInformativeParallel(ctx context.Context, m *Mapping, gs *Graph, q Query) (*Answers, error) {
+	return engine.CertainLeastInformative(ctx, m, gs, q, EngineOptions{})
+}
+
+// EvalGraphParallel evaluates one query over one graph with the start-node
+// frontier sharded across the worker pool — the parallel counterpart of
+// q.Eval(g, mode).
+func EvalGraphParallel(ctx context.Context, g *Graph, q Query, mode CompareMode) (*PairSet, error) {
+	return engine.EvalGraph(ctx, g, q, mode, EngineOptions{})
 }
 
 // Query languages.
