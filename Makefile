@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke lint fmt vet ci
+.PHONY: build test test-race bench bench-smoke bench-json lint fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -26,6 +26,11 @@ bench-smoke:
 	$(GO) test -bench . -benchtime 1x -run '^$$' .
 	$(GO) run ./cmd/gsmbench -quick -timeout 30s
 
+# Machine-readable benchmark report (CI uploads it as a BENCH_*.json
+# artifact so the perf trajectory accumulates run over run).
+bench-json:
+	$(GO) run ./cmd/gsmbench -quick -timeout 30s -json > BENCH_smoke.json
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -37,4 +42,4 @@ vet:
 
 lint: fmt vet
 
-ci: build lint test-race bench-smoke
+ci: build lint test-race bench-smoke bench-json

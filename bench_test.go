@@ -19,6 +19,7 @@ import (
 	"repro/internal/ree"
 	"repro/internal/relational"
 	"repro/internal/rem"
+	"repro/internal/rpq"
 	"repro/internal/threecol"
 	"repro/internal/workload"
 )
@@ -412,6 +413,77 @@ func BenchmarkAdjacencyWordIndexed(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		adjacencyWalkIndexed(g, adjacencyWord)
+	}
+}
+
+// Dense-frontier benchmarks (PR 2): expanding an all-nodes word frontier on
+// the dense multi-label graph, with the PR 1 strategy (string-keyed
+// per-label index + hash-set frontiers, adjacencyWalkIndexed above) against
+// the snapshot kernel (interned labels, CSR adjacency, bitset frontiers).
+// Run with -bench Frontier to reproduce the speedup reported in CHANGES.md.
+
+// frontierWalkBitset is adjacencyWalkIndexed on the frozen snapshot: CSR
+// lookups by interned label, NodeSet frontiers.
+func frontierWalkBitset(snap *datagraph.Snapshot, word []datagraph.Label) int {
+	n := snap.NumNodes()
+	cur, next := datagraph.NewNodeSet(n), datagraph.NewNodeSet(n)
+	for u := 0; u < n; u++ {
+		cur.Add(u)
+	}
+	for _, l := range word {
+		next.Clear()
+		cur.Each(func(node int) {
+			for _, to := range snap.OutLabeled(node, l) {
+				next.Add(int(to))
+			}
+		})
+		cur, next = next, cur
+	}
+	return cur.Len()
+}
+
+// BenchmarkFrontierDenseMap is the PR 1 baseline path: per-label index maps
+// with hash-set frontiers.
+func BenchmarkFrontierDenseMap(b *testing.B) {
+	g := adjacencyBenchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adjacencyWalkIndexed(g, adjacencyWord)
+	}
+}
+
+// BenchmarkFrontierDenseBitset is the same expansion over the interned CSR
+// snapshot with bitset frontiers.
+func BenchmarkFrontierDenseBitset(b *testing.B) {
+	g := adjacencyBenchGraph()
+	snap := g.Freeze()
+	word := make([]datagraph.Label, len(adjacencyWord))
+	for i, name := range adjacencyWord {
+		l, ok := snap.LabelID(name)
+		if !ok {
+			b.Fatalf("label %q missing from graph", name)
+		}
+		word[i] = l
+	}
+	// The two walkers must agree before we compare their cost.
+	if got, want := frontierWalkBitset(snap, word), adjacencyWalkIndexed(g, adjacencyWord); got != want {
+		b.Fatalf("bitset walk found %d nodes, map walk %d", got, want)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		frontierWalkBitset(snap, word)
+	}
+}
+
+// BenchmarkFrontierRPQEval runs the same dense-frontier regime through the
+// real RPQ evaluator end to end (snapshot kernel, dense PairSet answers).
+func BenchmarkFrontierRPQEval(b *testing.B) {
+	g := adjacencyBenchGraph()
+	q := rpq.Word(adjacencyWord...)
+	g.Freeze()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Eval(g)
 	}
 }
 

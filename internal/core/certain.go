@@ -29,6 +29,12 @@ func (n NavQuery) EvalFrom(g *datagraph.Graph, u int, _ datagraph.CompareMode) [
 	return n.Q.EvalFrom(g, u)
 }
 
+// EvalRange implements RangeEvaluator: snapshot evaluation over a start
+// frontier chunk with shared scratch.
+func (n NavQuery) EvalRange(g *datagraph.Graph, lo, hi int, _ datagraph.CompareMode, emit func(u, v int)) {
+	n.Q.EvalRange(g, lo, hi, emit)
+}
+
 // StartLabels exposes the RPQ's frontier metadata for schedulers.
 func (n NavQuery) StartLabels() ([]string, bool) { return n.Q.StartLabels() }
 
@@ -156,11 +162,21 @@ func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (
 		freshPool[i] = fresh.next()
 	}
 
-	var result *Answers
-	assign := make(map[datagraph.NodeID]datagraph.Value, len(nulls))
+	// One mutable copy of the universal solution, specialized in place per
+	// candidate (like CertainExactPair): cloning and re-indexing the graph
+	// once per enumerated specialization would dominate the search.
+	spec := u.Clone()
+	nullIdx := make([]int, len(nulls))
+	for i, id := range nulls {
+		nullIdx[i], _ = spec.IndexOf(id)
+	}
+	assign := make([]datagraph.Value, len(nulls))
 
+	var result *Answers
 	evalOne := func() bool { // returns false to stop early (result empty)
-		spec := u.Specialize(assign)
+		for i, idx := range nullIdx {
+			spec.SetValue(idx, assign[i])
+		}
 		res := q.Eval(spec, datagraph.MarkedNulls)
 		ans := NewAnswers()
 		res.Each(func(p datagraph.Pair) {
@@ -190,13 +206,13 @@ func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (
 			return evalOne()
 		}
 		for _, v := range sourceValues {
-			assign[nulls[i]] = v
+			assign[i] = v
 			if !rec(i+1, classesOpen) {
 				return false
 			}
 		}
 		for c := 0; c <= classesOpen; c++ {
-			assign[nulls[i]] = freshPool[c]
+			assign[i] = freshPool[c]
 			open := classesOpen
 			if c == classesOpen {
 				open++
@@ -205,7 +221,6 @@ func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (
 				return false
 			}
 		}
-		delete(assign, nulls[i])
 		return true
 	}
 	rec(0, 0)
@@ -219,6 +234,15 @@ func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (
 // evaluate from a single start node (ree.Query and rem.Query do).
 type FromEvaluator interface {
 	EvalFrom(g *datagraph.Graph, u int, mode datagraph.CompareMode) []int
+}
+
+// RangeEvaluator is the batched refinement of FromEvaluator: evaluate every
+// start node in [lo, hi) against the graph's interned snapshot, reusing
+// scratch across the whole chunk and emitting each answer pair once. The
+// engine's frontier shards prefer it over per-node EvalFrom calls.
+// ree.Query, rem.Query and NavQuery implement it.
+type RangeEvaluator interface {
+	EvalRange(g *datagraph.Graph, lo, hi int, mode datagraph.CompareMode, emit func(u, v int))
 }
 
 // CertainExactPair decides whether the single pair (from, to) is a certain

@@ -162,6 +162,10 @@ func buildSolution(m *Mapping, gs *datagraph.Graph, style solutionStyle) (*datag
 			gt.MustAddEdge(prev, word[len(word)-1], to.ID)
 		}
 	}
+	// Freeze once so every downstream evaluation of this solution — the
+	// certain-answer batch, all engine workers — shares one interned
+	// snapshot.
+	gt.Freeze()
 	return gt, nil
 }
 

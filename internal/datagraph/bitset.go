@@ -1,0 +1,133 @@
+package datagraph
+
+import "math/bits"
+
+// NodeSet is a set of dense node indices backed by a bitmap. It is the
+// frontier and visited-set representation of the snapshot evaluation kernel:
+// membership, insertion and the set algebra are word-wise operations on
+// []uint64, so a frontier expansion touches 64 nodes per machine word
+// instead of one hash probe per node.
+//
+// The zero NodeSet is not usable; create with NewNodeSet. A NodeSet has a
+// fixed capacity (the universe size given at creation); indices outside
+// [0, Cap()) must not be passed.
+type NodeSet struct {
+	n     int
+	words []uint64
+}
+
+// NewNodeSet returns an empty set over the universe {0, …, n−1}.
+func NewNodeSet(n int) *NodeSet {
+	return &NodeSet{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Cap returns the universe size.
+func (s *NodeSet) Cap() int { return s.n }
+
+// Add inserts i and reports whether it was newly added.
+func (s *NodeSet) Add(i int) bool {
+	w, b := i>>6, uint64(1)<<(i&63)
+	if s.words[w]&b != 0 {
+		return false
+	}
+	s.words[w] |= b
+	return true
+}
+
+// Has reports membership.
+func (s *NodeSet) Has(i int) bool {
+	return s.words[i>>6]&(uint64(1)<<(i&63)) != 0
+}
+
+// Remove deletes i from the set.
+func (s *NodeSet) Remove(i int) {
+	s.words[i>>6] &^= uint64(1) << (i & 63)
+}
+
+// Len returns the number of elements (population count).
+func (s *NodeSet) Len() int {
+	total := 0
+	for _, w := range s.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// Empty reports whether the set has no elements.
+func (s *NodeSet) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clear removes every element, keeping the backing storage.
+func (s *NodeSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Each calls f for every element in ascending order.
+func (s *NodeSet) Each(f func(int)) {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			f(base + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
+// AppendTo appends the elements in ascending order to dst and returns it.
+func (s *NodeSet) AppendTo(dst []int) []int {
+	for wi, w := range s.words {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, base+bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
+// UnionWith adds every element of t (same universe) to s.
+func (s *NodeSet) UnionWith(t *NodeSet) {
+	for i, w := range t.words {
+		s.words[i] |= w
+	}
+}
+
+// IntersectWith removes the elements of s not in t (same universe).
+func (s *NodeSet) IntersectWith(t *NodeSet) {
+	for i, w := range t.words {
+		s.words[i] &= w
+	}
+}
+
+// SubsetOf reports s ⊆ t (same universe).
+func (s *NodeSet) SubsetOf(t *NodeSet) bool {
+	for i, w := range s.words {
+		if w&^t.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and t (same universe) contain the same elements.
+func (s *NodeSet) Equal(t *NodeSet) bool {
+	for i, w := range s.words {
+		if w != t.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// CopyFrom overwrites s with the contents of t (same universe).
+func (s *NodeSet) CopyFrom(t *NodeSet) {
+	copy(s.words, t.words)
+}

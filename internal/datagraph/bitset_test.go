@@ -1,0 +1,242 @@
+package datagraph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestNodeSetAgainstMap cross-validates NodeSet against a map reference
+// under a randomized operation mix.
+func TestNodeSetAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		s := NewNodeSet(n)
+		ref := make(map[int]bool)
+		for op := 0; op < 300; op++ {
+			i := rng.Intn(n)
+			switch rng.Intn(3) {
+			case 0:
+				added := s.Add(i)
+				if added == ref[i] {
+					t.Fatalf("Add(%d) newly-added=%v, ref has=%v", i, added, ref[i])
+				}
+				ref[i] = true
+			case 1:
+				s.Remove(i)
+				delete(ref, i)
+			default:
+				if s.Has(i) != ref[i] {
+					t.Fatalf("Has(%d)=%v, want %v", i, s.Has(i), ref[i])
+				}
+			}
+		}
+		if s.Len() != len(ref) {
+			t.Fatalf("Len=%d, want %d", s.Len(), len(ref))
+		}
+		if s.Empty() != (len(ref) == 0) {
+			t.Fatalf("Empty=%v with %d elements", s.Empty(), len(ref))
+		}
+		var got []int
+		s.Each(func(i int) { got = append(got, i) })
+		if len(got) != len(ref) {
+			t.Fatalf("Each visited %d elements, want %d", len(got), len(ref))
+		}
+		for k, i := range got {
+			if !ref[i] {
+				t.Fatalf("Each yielded %d, not in ref", i)
+			}
+			if k > 0 && got[k-1] >= i {
+				t.Fatalf("Each not ascending: %v", got)
+			}
+		}
+		appended := s.AppendTo(nil)
+		if len(appended) != len(got) {
+			t.Fatalf("AppendTo %v != Each %v", appended, got)
+		}
+	}
+}
+
+// TestNodeSetAlgebra checks the word-wise set algebra against per-element
+// computation.
+func TestNodeSetAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	n := 150
+	randomSet := func() *NodeSet {
+		s := NewNodeSet(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(3) == 0 {
+				s.Add(i)
+			}
+		}
+		return s
+	}
+	for trial := 0; trial < 30; trial++ {
+		a, b := randomSet(), randomSet()
+		union := NewNodeSet(n)
+		union.CopyFrom(a)
+		union.UnionWith(b)
+		inter := NewNodeSet(n)
+		inter.CopyFrom(a)
+		inter.IntersectWith(b)
+		subset := a.SubsetOf(b)
+		refSubset := true
+		for i := 0; i < n; i++ {
+			if union.Has(i) != (a.Has(i) || b.Has(i)) {
+				t.Fatalf("union wrong at %d", i)
+			}
+			if inter.Has(i) != (a.Has(i) && b.Has(i)) {
+				t.Fatalf("intersection wrong at %d", i)
+			}
+			if a.Has(i) && !b.Has(i) {
+				refSubset = false
+			}
+		}
+		if subset != refSubset {
+			t.Fatalf("SubsetOf=%v, want %v", subset, refSubset)
+		}
+		if !a.Equal(a) || (a.Equal(b) && !refSubset) {
+			t.Fatal("Equal inconsistent")
+		}
+	}
+}
+
+// TestPairSetDenseAgainstSparse runs an identical randomized workload
+// through a dense and a sparse PairSet and checks every accessor agrees —
+// the cross-validation for the bitmap representation.
+func TestPairSetDenseAgainstSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(120)
+		dense := NewPairSetSized(n)
+		sparse := NewPairSet()
+		if !dense.Dense() {
+			t.Fatal("NewPairSetSized should be dense at this size")
+		}
+		for op := 0; op < 500; op++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				dense.Add(u, v)
+				sparse.Add(u, v)
+			} else if dense.Has(u, v) != sparse.Has(u, v) {
+				t.Fatalf("Has(%d,%d) disagrees", u, v)
+			}
+		}
+		if dense.Len() != sparse.Len() {
+			t.Fatalf("Len %d vs %d", dense.Len(), sparse.Len())
+		}
+		ds, ss := dense.Sorted(), sparse.Sorted()
+		if len(ds) != len(ss) {
+			t.Fatalf("Sorted length %d vs %d", len(ds), len(ss))
+		}
+		for i := range ds {
+			if ds[i] != ss[i] {
+				t.Fatalf("Sorted[%d]: %v vs %v", i, ds[i], ss[i])
+			}
+		}
+		if !dense.Equal(sparse) || !sparse.Equal(dense) {
+			t.Fatal("Equal disagrees across representations")
+		}
+		if !dense.SubsetOf(sparse) || !sparse.SubsetOf(dense) {
+			t.Fatal("SubsetOf disagrees across representations")
+		}
+		// Row accessors against a filter of Sorted.
+		u := rng.Intn(n)
+		var rowWant []int
+		for _, p := range ss {
+			if p.From == u {
+				rowWant = append(rowWant, p.To)
+			}
+		}
+		var rowGot []int
+		dense.EachInRow(u, func(v int) { rowGot = append(rowGot, v) })
+		if len(rowGot) != len(rowWant) {
+			t.Fatalf("EachInRow(%d): %v want %v", u, rowGot, rowWant)
+		}
+		for i := range rowGot {
+			if rowGot[i] != rowWant[i] {
+				t.Fatalf("EachInRow(%d): %v want %v", u, rowGot, rowWant)
+			}
+		}
+		if dense.RowNonEmpty(u) != (len(rowWant) > 0) {
+			t.Fatalf("RowNonEmpty(%d) wrong", u)
+		}
+	}
+}
+
+// TestPairSetAlgebraMixedRepresentations checks Union/Intersect/Compose/
+// Complement over every dense/sparse operand combination.
+func TestPairSetAlgebraMixedRepresentations(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 60
+	build := func(dense bool) (*PairSet, map[Pair]bool) {
+		var s *PairSet
+		if dense {
+			s = NewPairSetSized(n)
+		} else {
+			s = NewPairSet()
+		}
+		ref := make(map[Pair]bool)
+		for k := 0; k < 150; k++ {
+			p := Pair{rng.Intn(n), rng.Intn(n)}
+			s.AddPair(p)
+			ref[p] = true
+		}
+		return s, ref
+	}
+	for trial := 0; trial < 12; trial++ {
+		for _, combo := range [][2]bool{{true, true}, {true, false}, {false, true}, {false, false}} {
+			a, ra := build(combo[0])
+			b, rb := build(combo[1])
+			union := a.Union(b)
+			inter := a.Intersect(b)
+			comp := ComposePairs(a, b)
+			neg := ComplementPairs(a, n)
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					p := Pair{u, v}
+					if union.Has(u, v) != (ra[p] || rb[p]) {
+						t.Fatalf("union wrong at %v (dense %v/%v)", p, combo[0], combo[1])
+					}
+					if inter.Has(u, v) != (ra[p] && rb[p]) {
+						t.Fatalf("intersect wrong at %v", p)
+					}
+					if neg.Has(u, v) != !ra[p] {
+						t.Fatalf("complement wrong at %v", p)
+					}
+					want := false
+					for m := 0; m < n && !want; m++ {
+						if ra[Pair{u, m}] && rb[Pair{m, v}] {
+							want = true
+						}
+					}
+					if comp.Has(u, v) != want {
+						t.Fatalf("compose wrong at %v", p)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPairSetAddRowSet checks the word-wise row union.
+func TestPairSetAddRowSet(t *testing.T) {
+	n := 100
+	s := NewPairSetSized(n)
+	ns := NewNodeSet(n)
+	for _, v := range []int{0, 3, 63, 64, 99} {
+		ns.Add(v)
+	}
+	s.AddRowSet(7, ns)
+	for v := 0; v < n; v++ {
+		if s.Has(7, v) != ns.Has(v) {
+			t.Fatalf("AddRowSet mismatch at %d", v)
+		}
+	}
+	// Sparse fallback.
+	sp := NewPairSet()
+	sp.AddRowSet(7, ns)
+	if !sp.Equal(s) {
+		t.Fatal("sparse AddRowSet disagrees with dense")
+	}
+}

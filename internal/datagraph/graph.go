@@ -2,8 +2,10 @@ package datagraph
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // NodeID identifies a node; ids are drawn from the countable set N of the
@@ -39,38 +41,67 @@ type HalfEdge struct {
 	To    int // dense node index of the other endpoint
 }
 
+// seqEdge is an edge in the global insertion-order log, with endpoints as
+// dense indices. The log is what derived structures (label indexes,
+// snapshots) are rebuilt from, deterministically.
+type seqEdge struct {
+	from, to int32
+	label    string
+}
+
 // Graph is a data graph G = ⟨V, E⟩: a finite set of nodes with unique ids and
 // a set of labeled edges E ⊆ V × Σ × V. Nodes are stored densely; evaluators
 // address nodes by their index (0-based insertion order), while the public
 // API also accepts NodeIDs.
 //
-// Besides the flat adjacency lists, the graph maintains per-label indexes —
-// per-node successor/predecessor lists keyed by label and a global per-label
-// edge list — built incrementally by AddEdge. Evaluators that know the label
-// they are traversing (word RPQs, automaton transitions, GXPath atoms) use
-// OutEdges/InEdges/LabelPairs instead of filtering the flat lists.
+// Mutation (AddNode/AddEdge/SetValue) maintains only the flat adjacency
+// lists and the edge set; the per-label string-keyed indexes behind
+// OutEdges/InEdges/LabelPairs are built lazily on first use and invalidated
+// by topology changes. The hot evaluation form is a frozen Snapshot (see
+// Freeze): interned labels and values with CSR adjacency, cached on the
+// graph and shared by concurrent evaluators.
 //
 // The zero Graph is empty and ready to use. A Graph is safe for concurrent
 // readers once construction is complete; mutation is not synchronized.
 type Graph struct {
 	nodes []Node
 	index map[NodeID]int
-	out   [][]HalfEdge
-	in    [][]HalfEdge
 	edges map[Edge]struct{}
+	seq   []seqEdge
 
-	// Per-label indexes, maintained incrementally by AddEdge.
-	outIdx  []map[string][]int // node -> label -> successor indices
-	inIdx   []map[string][]int // node -> label -> predecessor indices
-	byLabel map[string][]Pair  // label -> (from, to) dense-index pairs
+	// topoVersion counts node/edge insertions, valVersion value overwrites;
+	// together they key the derived-structure caches below.
+	topoVersion uint64
+	valVersion  uint64
+	aidx        atomic.Pointer[adjIndex]
+	lidx        atomic.Pointer[labelIndex]
+	snap        atomic.Pointer[Snapshot]
+}
+
+// adjIndex is the lazily built flat adjacency form behind Out/In: per-node
+// half-edge lists carved out of two contiguous backing arrays, rebuilt in
+// one counting pass over the edge log. Keeping it out of AddEdge makes
+// edge insertion allocation-free apart from the log and the edge set.
+type adjIndex struct {
+	topoVersion uint64
+	out         [][]HalfEdge
+	in          [][]HalfEdge
+}
+
+// labelIndex is the lazily built per-label adjacency index serving the
+// string-keyed accessors on unfrozen graphs.
+type labelIndex struct {
+	topoVersion uint64
+	out         []map[string][]int // node -> label -> successor indices
+	in          []map[string][]int // node -> label -> predecessor indices
+	byLabel     map[string][]Pair  // label -> (from, to) dense-index pairs
 }
 
 // New returns an empty data graph.
 func New() *Graph {
 	return &Graph{
-		index:   make(map[NodeID]int),
-		edges:   make(map[Edge]struct{}),
-		byLabel: make(map[string][]Pair),
+		index: make(map[NodeID]int),
+		edges: make(map[Edge]struct{}),
 	}
 }
 
@@ -80,9 +111,6 @@ func (g *Graph) ensureInit() {
 	}
 	if g.edges == nil {
 		g.edges = make(map[Edge]struct{})
-	}
-	if g.byLabel == nil {
-		g.byLabel = make(map[string][]Pair)
 	}
 }
 
@@ -95,10 +123,7 @@ func (g *Graph) AddNode(id NodeID, value Value) error {
 	}
 	g.index[id] = len(g.nodes)
 	g.nodes = append(g.nodes, Node{ID: id, Value: value})
-	g.out = append(g.out, nil)
-	g.in = append(g.in, nil)
-	g.outIdx = append(g.outIdx, nil)
-	g.inIdx = append(g.inIdx, nil)
+	g.topoVersion++
 	return nil
 }
 
@@ -127,17 +152,8 @@ func (g *Graph) AddEdge(from NodeID, label string, to NodeID) error {
 		return nil
 	}
 	g.edges[e] = struct{}{}
-	g.out[fi] = append(g.out[fi], HalfEdge{Label: label, To: ti})
-	g.in[ti] = append(g.in[ti], HalfEdge{Label: label, To: fi})
-	if g.outIdx[fi] == nil {
-		g.outIdx[fi] = make(map[string][]int)
-	}
-	g.outIdx[fi][label] = append(g.outIdx[fi][label], ti)
-	if g.inIdx[ti] == nil {
-		g.inIdx[ti] = make(map[string][]int)
-	}
-	g.inIdx[ti][label] = append(g.inIdx[ti][label], fi)
-	g.byLabel[label] = append(g.byLabel[label], Pair{From: fi, To: ti})
+	g.seq = append(g.seq, seqEdge{from: int32(fi), to: int32(ti), label: label})
+	g.topoVersion++
 	return nil
 }
 
@@ -152,7 +168,7 @@ func (g *Graph) MustAddEdge(from NodeID, label string, to NodeID) {
 func (g *Graph) NumNodes() int { return len(g.nodes) }
 
 // NumEdges returns |E|.
-func (g *Graph) NumEdges() int { return len(g.edges) }
+func (g *Graph) NumEdges() int { return len(g.seq) }
 
 // Node returns the node at dense index i.
 func (g *Graph) Node(i int) Node { return g.nodes[i] }
@@ -187,42 +203,120 @@ func (g *Graph) HasEdge(from NodeID, label string, to NodeID) bool {
 	return ok
 }
 
+// adj returns the flat adjacency index, building it on first use after a
+// topology change (same publication discipline as labelIdx).
+func (g *Graph) adj() *adjIndex {
+	if a := g.aidx.Load(); a != nil && a.topoVersion == g.topoVersion {
+		return a
+	}
+	n := len(g.nodes)
+	a := &adjIndex{
+		topoVersion: g.topoVersion,
+		out:         make([][]HalfEdge, n),
+		in:          make([][]HalfEdge, n),
+	}
+	outDeg := make([]int32, n)
+	inDeg := make([]int32, n)
+	for i := range g.seq {
+		outDeg[g.seq[i].from]++
+		inDeg[g.seq[i].to]++
+	}
+	outBack := make([]HalfEdge, len(g.seq))
+	inBack := make([]HalfEdge, len(g.seq))
+	var outAt, inAt int32
+	for u := 0; u < n; u++ {
+		a.out[u] = outBack[outAt : outAt : outAt+outDeg[u]]
+		outAt += outDeg[u]
+		a.in[u] = inBack[inAt : inAt : inAt+inDeg[u]]
+		inAt += inDeg[u]
+	}
+	// Forward pass keeps per-node insertion order in both directions.
+	for i := range g.seq {
+		e := &g.seq[i]
+		a.out[e.from] = append(a.out[e.from], HalfEdge{Label: e.label, To: int(e.to)})
+		a.in[e.to] = append(a.in[e.to], HalfEdge{Label: e.label, To: int(e.from)})
+	}
+	g.aidx.Store(a)
+	return a
+}
+
 // Out returns the outgoing adjacency list of the node at index i. The
 // returned slice must not be modified.
-func (g *Graph) Out(i int) []HalfEdge { return g.out[i] }
+func (g *Graph) Out(i int) []HalfEdge { return g.adj().out[i] }
 
 // In returns the incoming adjacency list of the node at index i. The
 // returned slice must not be modified.
-func (g *Graph) In(i int) []HalfEdge { return g.in[i] }
+func (g *Graph) In(i int) []HalfEdge { return g.adj().in[i] }
+
+// labelIdx returns the per-label index, building it on first use after a
+// topology change. Concurrent readers may build it redundantly; the result
+// is identical and publication is atomic, so races only waste work.
+func (g *Graph) labelIdx() *labelIndex {
+	if li := g.lidx.Load(); li != nil && li.topoVersion == g.topoVersion {
+		return li
+	}
+	li := &labelIndex{
+		topoVersion: g.topoVersion,
+		out:         make([]map[string][]int, len(g.nodes)),
+		in:          make([]map[string][]int, len(g.nodes)),
+		byLabel:     make(map[string][]Pair),
+	}
+	adj := g.adj()
+	for u, hes := range adj.out {
+		if len(hes) == 0 {
+			continue
+		}
+		m := make(map[string][]int, len(hes))
+		for _, he := range hes {
+			m[he.Label] = append(m[he.Label], he.To)
+		}
+		li.out[u] = m
+	}
+	for u, hes := range adj.in {
+		if len(hes) == 0 {
+			continue
+		}
+		m := make(map[string][]int, len(hes))
+		for _, he := range hes {
+			m[he.Label] = append(m[he.Label], he.To)
+		}
+		li.in[u] = m
+	}
+	for i := range g.seq {
+		e := &g.seq[i]
+		li.byLabel[e.label] = append(li.byLabel[e.label], Pair{From: int(e.from), To: int(e.to)})
+	}
+	g.lidx.Store(li)
+	return li
+}
 
 // OutEdges returns the successors of the node at index i along edges with
 // the given label, in edge-insertion order. The returned slice must not be
 // modified. This is the indexed counterpart of filtering Out(i) by label.
 func (g *Graph) OutEdges(i int, label string) []int {
-	if g.outIdx[i] == nil {
+	m := g.labelIdx().out[i]
+	if m == nil {
 		return nil
 	}
-	return g.outIdx[i][label]
+	return m[label]
 }
 
 // InEdges returns the predecessors of the node at index i along edges with
 // the given label, in edge-insertion order. The returned slice must not be
 // modified.
 func (g *Graph) InEdges(i int, label string) []int {
-	if g.inIdx[i] == nil {
+	m := g.labelIdx().in[i]
+	if m == nil {
 		return nil
 	}
-	return g.inIdx[i][label]
+	return m[label]
 }
 
 // LabelPairs returns every edge with the given label as a (from, to) pair of
 // dense indices, in edge-insertion order. The returned slice must not be
 // modified.
 func (g *Graph) LabelPairs(label string) []Pair {
-	if g.byLabel == nil {
-		return nil
-	}
-	return g.byLabel[label]
+	return g.labelIdx().byLabel[label]
 }
 
 // HasEdgeIndex reports whether the edge (from, label, to) is present, with
@@ -247,6 +341,33 @@ func (g *Graph) HasEdgeIndex(from int, label string, to int) bool {
 	return false
 }
 
+// Freeze compiles (or returns the cached) immutable Snapshot of the graph:
+// interned labels and values with CSR adjacency. The snapshot is cached on
+// the graph and invalidated by mutation; a SetValue-only change re-interns
+// values but reuses the CSR topology. Freeze follows the graph's
+// concurrency contract: any number of concurrent readers may call it (a
+// race only builds the snapshot twice), but it must not run concurrently
+// with mutation.
+func (g *Graph) Freeze() *Snapshot {
+	if s := g.snap.Load(); s != nil && s.topoVersion == g.topoVersion && s.valVersion == g.valVersion {
+		return s
+	}
+	s := buildSnapshot(g, g.snap.Load())
+	g.snap.Store(s)
+	return s
+}
+
+// Snapshot returns the cached snapshot if it is still current, and nil
+// otherwise — it never builds. Evaluators use it to pick the interned
+// kernel opportunistically without paying a rebuild inside mutation loops
+// (e.g. the SetValue specialization search of the certain-answer oracle).
+func (g *Graph) Snapshot() *Snapshot {
+	if s := g.snap.Load(); s != nil && s.topoVersion == g.topoVersion && s.valVersion == g.valVersion {
+		return s
+	}
+	return nil
+}
+
 // Value returns δ(v) for the node at index i.
 func (g *Graph) Value(i int) Value { return g.nodes[i].Value }
 
@@ -259,9 +380,10 @@ func (g *Graph) Nodes() []Node {
 
 // Edges returns the edge set in a deterministic (sorted) order.
 func (g *Graph) Edges() []Edge {
-	out := make([]Edge, 0, len(g.edges))
-	for e := range g.edges {
-		out = append(out, e)
+	out := make([]Edge, 0, len(g.seq))
+	for i := range g.seq {
+		e := &g.seq[i]
+		out = append(out, Edge{From: g.nodes[e.from].ID, Label: e.label, To: g.nodes[e.to].ID})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].From != out[j].From {
@@ -278,8 +400,8 @@ func (g *Graph) Edges() []Edge {
 // Labels returns the set of edge labels used in the graph, sorted.
 func (g *Graph) Labels() []string {
 	set := make(map[string]struct{})
-	for e := range g.edges {
-		set[e.Label] = struct{}{}
+	for i := range g.seq {
+		set[g.seq[i].label] = struct{}{}
 	}
 	out := make([]string, 0, len(set))
 	for l := range set {
@@ -306,39 +428,37 @@ func (g *Graph) Values() []Value {
 	return out
 }
 
-// Clone returns a deep copy of the graph.
+// Clone returns a deep copy of the graph. The node list, edge set and edge
+// log are copied directly — O(V + E), no sorting or re-hashing — and the
+// derived adjacency structures are rebuilt lazily on first use.
 func (g *Graph) Clone() *Graph {
-	c := New()
-	for _, n := range g.nodes {
-		c.MustAddNode(n.ID, n.Value)
+	return &Graph{
+		nodes: append([]Node(nil), g.nodes...),
+		index: maps.Clone(g.index),
+		edges: maps.Clone(g.edges),
+		seq:   append([]seqEdge(nil), g.seq...),
 	}
-	for _, e := range g.Edges() {
-		c.MustAddEdge(e.From, e.Label, e.To)
-	}
-	return c
 }
 
 // SetValue overwrites the data value of the node at dense index i. It is
 // the in-place counterpart of Specialize, used by the certain-answer
 // oracle, which evaluates queries over very many value specializations of
 // one universal solution and cannot afford a graph clone per candidate.
-func (g *Graph) SetValue(i int, v Value) { g.nodes[i].Value = v }
+func (g *Graph) SetValue(i int, v Value) {
+	g.nodes[i].Value = v
+	g.valVersion++
+}
 
 // Specialize returns a copy of the graph in which the value of each node is
 // replaced according to assign; nodes absent from assign keep their value.
 // It is used to build the value specializations σ(U) of a universal solution
 // discussed in DESIGN.md (certain-answer oracle).
 func (g *Graph) Specialize(assign map[NodeID]Value) *Graph {
-	c := New()
-	for _, n := range g.nodes {
-		v := n.Value
-		if nv, ok := assign[n.ID]; ok {
-			v = nv
+	c := g.Clone()
+	for id, v := range assign {
+		if i, ok := c.index[id]; ok {
+			c.nodes[i].Value = v
 		}
-		c.MustAddNode(n.ID, v)
-	}
-	for _, e := range g.Edges() {
-		c.MustAddEdge(e.From, e.Label, e.To)
 	}
 	return c
 }
@@ -346,10 +466,10 @@ func (g *Graph) Specialize(assign map[NodeID]Value) *Graph {
 // Union returns a new graph containing all nodes and edges of g and h.
 // Nodes with the same id must carry the same value in both graphs.
 func Union(g, h *Graph) (*Graph, error) {
-	u := New()
-	for _, n := range g.nodes {
-		u.MustAddNode(n.ID, n.Value)
-	}
+	// Start from a direct copy of g, then merge h through the normal
+	// insertion path (which deduplicates shared edges).
+	u := g.Clone()
+	u.ensureInit()
 	for _, n := range h.nodes {
 		if prev, ok := u.NodeByID(n.ID); ok {
 			if prev.Value != n.Value {
@@ -360,11 +480,9 @@ func Union(g, h *Graph) (*Graph, error) {
 		}
 		u.MustAddNode(n.ID, n.Value)
 	}
-	for _, e := range g.Edges() {
-		u.MustAddEdge(e.From, e.Label, e.To)
-	}
-	for _, e := range h.Edges() {
-		u.MustAddEdge(e.From, e.Label, e.To)
+	for i := range h.seq {
+		e := &h.seq[i]
+		u.MustAddEdge(h.nodes[e.from].ID, e.label, h.nodes[e.to].ID)
 	}
 	return u, nil
 }

@@ -71,18 +71,69 @@ func findHom(g, h *Graph, fixed map[NodeID]NodeID, mode homMode) (map[NodeID]Nod
 		assign[fi] = ti
 	}
 
-	// Candidate targets per source node, filtered by value compatibility.
+	// Candidate targets per source node, as bitsets: target nodes grouped
+	// by value once, then pruned per source node by label-degree
+	// requirements (a target must offer at least one out-/in-edge for every
+	// label the source node uses) with word-wise intersections.
+	hn := h.NumNodes()
+	byValue := make(map[Value]*NodeSet)
+	for j := 0; j < hn; j++ {
+		v := h.Value(j)
+		s := byValue[v]
+		if s == nil {
+			s = NewNodeSet(hn)
+			byValue[v] = s
+		}
+		s.Add(j)
+	}
+	var full *NodeSet
+	if mode == homNulls {
+		full = NewNodeSet(hn)
+		for j := 0; j < hn; j++ {
+			full.Add(j)
+		}
+	}
+	// Per-label bitsets of target nodes with at least one matching edge,
+	// built on first demand.
+	outHas := make(map[string]*NodeSet)
+	inHas := make(map[string]*NodeSet)
+	labelSet := func(cache map[string]*NodeSet, label string, incoming bool) *NodeSet {
+		if s, ok := cache[label]; ok {
+			return s
+		}
+		s := NewNodeSet(hn)
+		for _, p := range h.LabelPairs(label) {
+			if incoming {
+				s.Add(p.To)
+			} else {
+				s.Add(p.From)
+			}
+		}
+		cache[label] = s
+		return s
+	}
 	candidates := make([][]int, n)
+	cs := NewNodeSet(hn)
 	for i := 0; i < n; i++ {
 		if assign[i] >= 0 {
 			candidates[i] = []int{assign[i]}
 			continue
 		}
-		for j := 0; j < h.NumNodes(); j++ {
-			if valueCompatible(mode, g.Value(i), h.Value(j)) {
-				candidates[i] = append(candidates[i], j)
-			}
+		base := byValue[g.Value(i)]
+		if mode == homNulls && g.Value(i).IsNull() {
+			base = full
 		}
+		if base == nil {
+			return nil, false
+		}
+		cs.CopyFrom(base)
+		for _, he := range g.Out(i) {
+			cs.IntersectWith(labelSet(outHas, he.Label, false))
+		}
+		for _, he := range g.In(i) {
+			cs.IntersectWith(labelSet(inHas, he.Label, true))
+		}
+		candidates[i] = cs.AppendTo(nil)
 		if len(candidates[i]) == 0 {
 			return nil, false
 		}

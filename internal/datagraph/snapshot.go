@@ -1,0 +1,309 @@
+package datagraph
+
+import "sort"
+
+// Label is an interned edge label: a small dense integer assigned per
+// snapshot in edge-insertion order. Interning happens once at Freeze time;
+// evaluators then traverse by integer comparison and array offset instead
+// of string hashing.
+type Label int32
+
+// NoLabel is the sentinel for "no such label in this snapshot".
+const NoLabel Label = -1
+
+// Snapshot is a frozen, interned evaluation form of a Graph: CSR
+// (compressed-sparse-row) out/in adjacency grouped by interned label,
+// per-label edge lists, and interned node values. It is immutable and safe
+// to share across goroutines; the engine freezes a graph once per batch and
+// every worker evaluates against the same snapshot.
+//
+// Layout: for each direction, the half-edges of node u are grouped into
+// label slots. nodeOff[u:u+2] brackets u's slots; labels[slot] is the slot's
+// interned label (ascending within a node, so lookup is a binary search);
+// slotOff[slot:slot+2] brackets the slot's targets. All targets of u are
+// contiguous, so the any-label adjacency is the single slice spanning u's
+// slots — no separate wildcard index is needed.
+type Snapshot struct {
+	g *Graph
+	n int
+
+	labels   []string
+	labelIDs map[string]Label
+
+	out csrDir
+	in  csrDir
+
+	// Per-label edge lists in insertion order (pairFrom/pairTo share the
+	// offsets): the interned counterpart of Graph.LabelPairs.
+	pairOff  []int32
+	pairFrom []int32
+	pairTo   []int32
+
+	// Interned node values: valueID[u] ≥ 1 for every node; all null nodes
+	// share nullID (−1 when the graph has no nulls). Id 0 is reserved so
+	// register-automaton kernels can use it for "register unset".
+	valueID   []int32
+	nullID    int32
+	numValues int
+
+	topoVersion uint64
+	valVersion  uint64
+}
+
+type csrDir struct {
+	nodeOff []int32 // len n+1: slot range per node
+	labels  []Label // per slot, ascending within each node
+	slotOff []int32 // len numSlots+1: target range per slot
+	targets []int32
+}
+
+// NumNodes returns the number of nodes.
+func (s *Snapshot) NumNodes() int { return s.n }
+
+// NumLabels returns the number of distinct edge labels.
+func (s *Snapshot) NumLabels() int { return len(s.labels) }
+
+// NumValues returns the number of distinct interned values (nulls count
+// once).
+func (s *Snapshot) NumValues() int { return s.numValues }
+
+// Graph returns the graph this snapshot was frozen from.
+func (s *Snapshot) Graph() *Graph { return s.g }
+
+// LabelID resolves a label string to its interned id; ok is false when the
+// label does not occur in the graph (so no edge can match it).
+func (s *Snapshot) LabelID(name string) (Label, bool) {
+	l, ok := s.labelIDs[name]
+	return l, ok
+}
+
+// LabelName returns the string form of an interned label.
+func (s *Snapshot) LabelName(l Label) string { return s.labels[l] }
+
+// ValueID returns the interned data value of node u (≥ 1; all nulls share
+// NullValueID).
+func (s *Snapshot) ValueID(u int) int32 { return s.valueID[u] }
+
+// NullValueID returns the interned id of the SQL null value, or −1 when the
+// graph has no null node.
+func (s *Snapshot) NullValueID() int32 { return s.nullID }
+
+// Value returns δ(u), delegating to the underlying graph.
+func (s *Snapshot) Value(u int) Value { return s.g.Value(u) }
+
+func (d *csrDir) labeled(u int, l Label) []int32 {
+	lo, hi := d.nodeOff[u], d.nodeOff[u+1]
+	// Binary search for l among u's slots.
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.labels[mid] < l {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < d.nodeOff[u+1] && d.labels[lo] == l {
+		return d.targets[d.slotOff[lo]:d.slotOff[lo+1]]
+	}
+	return nil
+}
+
+func (d *csrDir) all(u int) []int32 {
+	return d.targets[d.slotOff[d.nodeOff[u]]:d.slotOff[d.nodeOff[u+1]]]
+}
+
+// OutLabeled returns the successors of u along edges labeled l.
+func (s *Snapshot) OutLabeled(u int, l Label) []int32 { return s.out.labeled(u, l) }
+
+// InLabeled returns the predecessors of u along edges labeled l.
+func (s *Snapshot) InLabeled(u int, l Label) []int32 { return s.in.labeled(u, l) }
+
+// OutAll returns all successors of u (with duplicates per parallel label).
+func (s *Snapshot) OutAll(u int) []int32 { return s.out.all(u) }
+
+// InAll returns all predecessors of u.
+func (s *Snapshot) InAll(u int) []int32 { return s.in.all(u) }
+
+// OutDegree returns the number of outgoing edges of u.
+func (s *Snapshot) OutDegree(u int) int { return len(s.out.all(u)) }
+
+// HasOutLabeled reports whether u has at least one outgoing edge labeled l.
+func (s *Snapshot) HasOutLabeled(u int, l Label) bool { return len(s.out.labeled(u, l)) > 0 }
+
+// LabelEdges returns every edge labeled l as parallel from/to slices of
+// dense indices, in edge-insertion order. The slices must not be modified.
+func (s *Snapshot) LabelEdges(l Label) (from, to []int32) {
+	lo, hi := s.pairOff[l], s.pairOff[l+1]
+	return s.pairFrom[lo:hi], s.pairTo[lo:hi]
+}
+
+// HasEdge reports whether (u, l, v) is an edge, scanning the shorter of the
+// two per-label adjacency slices.
+func (s *Snapshot) HasEdge(u int, l Label, v int) bool {
+	outs := s.out.labeled(u, l)
+	ins := s.in.labeled(v, l)
+	if len(ins) < len(outs) {
+		for _, x := range ins {
+			if int(x) == u {
+				return true
+			}
+		}
+		return false
+	}
+	for _, x := range outs {
+		if int(x) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// buildSnapshot compiles the graph into a snapshot. When prev still matches
+// the graph's topology version, its CSR arrays are reused and only the value
+// interning is rebuilt (the SetValue-only invalidation path).
+func buildSnapshot(g *Graph, prev *Snapshot) *Snapshot {
+	if prev != nil && prev.topoVersion == g.topoVersion && prev.g == g {
+		s := &Snapshot{
+			g: g, n: prev.n,
+			labels: prev.labels, labelIDs: prev.labelIDs,
+			out: prev.out, in: prev.in,
+			pairOff: prev.pairOff, pairFrom: prev.pairFrom, pairTo: prev.pairTo,
+			topoVersion: g.topoVersion,
+			valVersion:  g.valVersion,
+		}
+		s.internValues()
+		return s
+	}
+
+	n := len(g.nodes)
+	s := &Snapshot{
+		g: g, n: n,
+		labelIDs:    make(map[string]Label),
+		topoVersion: g.topoVersion,
+		valVersion:  g.valVersion,
+	}
+	// Intern labels in edge-insertion order (deterministic).
+	for i := range g.seq {
+		name := g.seq[i].label
+		if _, ok := s.labelIDs[name]; !ok {
+			s.labelIDs[name] = Label(len(s.labels))
+			s.labels = append(s.labels, name)
+		}
+	}
+	nl := len(s.labels)
+
+	// Per-label edge lists: counting pass, then fill in insertion order.
+	s.pairOff = make([]int32, nl+1)
+	for i := range g.seq {
+		s.pairOff[s.labelIDs[g.seq[i].label]+1]++
+	}
+	for l := 0; l < nl; l++ {
+		s.pairOff[l+1] += s.pairOff[l]
+	}
+	s.pairFrom = make([]int32, len(g.seq))
+	s.pairTo = make([]int32, len(g.seq))
+	fill := make([]int32, nl)
+	for i := range g.seq {
+		e := &g.seq[i]
+		l := s.labelIDs[e.label]
+		at := s.pairOff[l] + fill[l]
+		fill[l]++
+		s.pairFrom[at] = e.from
+		s.pairTo[at] = e.to
+	}
+
+	adj := g.adj()
+	s.out = buildCSR(n, adj.out, s.labelIDs)
+	s.in = buildCSR(n, adj.in, s.labelIDs)
+	s.internValues()
+	return s
+}
+
+// buildCSR compiles one direction of per-node half-edge lists into label-
+// grouped CSR form. Within a (node, label) slot, targets keep their
+// insertion order, matching Graph.OutEdges/InEdges.
+func buildCSR(n int, adj [][]HalfEdge, labelIDs map[string]Label) csrDir {
+	totalEdges := 0
+	for _, hes := range adj {
+		totalEdges += len(hes)
+	}
+	d := csrDir{
+		nodeOff: make([]int32, n+1),
+		targets: make([]int32, 0, totalEdges),
+	}
+	var scratch []slotEdge
+	for u := 0; u < n; u++ {
+		hes := adj[u]
+		scratch = scratch[:0]
+		for _, he := range hes {
+			scratch = append(scratch, slotEdge{label: labelIDs[he.Label], to: int32(he.To)})
+		}
+		sortSlotEdges(scratch)
+		for i := 0; i < len(scratch); {
+			l := scratch[i].label
+			d.labels = append(d.labels, l)
+			d.slotOff = append(d.slotOff, int32(len(d.targets)))
+			for i < len(scratch) && scratch[i].label == l {
+				d.targets = append(d.targets, scratch[i].to)
+				i++
+			}
+		}
+		d.nodeOff[u+1] = int32(len(d.labels))
+	}
+	d.slotOff = append(d.slotOff, int32(len(d.targets)))
+	return d
+}
+
+type slotEdge struct {
+	label Label
+	to    int32
+}
+
+// sortSlotEdges stable-sorts a node's half-edges by label. Degrees are
+// small in practice, so an insertion sort (stable, allocation-free) beats
+// sort.Slice, whose reflection closure allocates per call; genuinely large
+// adjacency lists fall back to the library sort.
+func sortSlotEdges(s []slotEdge) {
+	if len(s) > 128 {
+		sort.SliceStable(s, func(i, j int) bool { return s[i].label < s[j].label })
+		return
+	}
+	for i := 1; i < len(s); i++ {
+		e := s[i]
+		j := i
+		for j > 0 && s[j-1].label > e.label {
+			s[j] = s[j-1]
+			j--
+		}
+		s[j] = e
+	}
+}
+
+// internValues assigns dense ids (starting at 1) to the distinct data
+// values of the graph; all null nodes share one id.
+func (s *Snapshot) internValues() {
+	g := s.g
+	s.valueID = make([]int32, s.n)
+	s.nullID = -1
+	ids := make(map[string]int32, s.n)
+	next := int32(1)
+	for i := 0; i < s.n; i++ {
+		v := g.nodes[i].Value
+		if v.IsNull() {
+			if s.nullID < 0 {
+				s.nullID = next
+				next++
+			}
+			s.valueID[i] = s.nullID
+			continue
+		}
+		id, ok := ids[v.s]
+		if !ok {
+			id = next
+			next++
+			ids[v.s] = id
+		}
+		s.valueID[i] = id
+	}
+	s.numValues = int(next - 1)
+}

@@ -1,0 +1,219 @@
+package datagraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSnapshotAgreesWithIndexes is the CSR property test: on random graphs
+// built through the public mutation API, the snapshot's interned adjacency
+// must agree with the string-keyed index accessors everywhere.
+func TestSnapshotAgreesWithIndexes(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	labels := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 40; trial++ {
+		nodes := 1 + rng.Intn(25)
+		edges := rng.Intn(80)
+		g := randomIndexedGraph(t, rng, nodes, edges, labels)
+		snap := g.Freeze()
+
+		if snap.NumNodes() != g.NumNodes() {
+			t.Fatalf("trial %d: snapshot has %d nodes, graph %d", trial, snap.NumNodes(), g.NumNodes())
+		}
+		for _, lab := range labels {
+			l, ok := snap.LabelID(lab)
+			if !ok {
+				if len(g.LabelPairs(lab)) != 0 {
+					t.Fatalf("trial %d: label %q missing from interner but has edges", trial, lab)
+				}
+				continue
+			}
+			if snap.LabelName(l) != lab {
+				t.Fatalf("trial %d: LabelName round-trip broke for %q", trial, lab)
+			}
+			from, to := snap.LabelEdges(l)
+			pairs := g.LabelPairs(lab)
+			if len(from) != len(pairs) {
+				t.Fatalf("trial %d: LabelEdges(%q) has %d edges, index %d", trial, lab, len(from), len(pairs))
+			}
+			for i, p := range pairs {
+				if int(from[i]) != p.From || int(to[i]) != p.To {
+					t.Fatalf("trial %d: LabelEdges(%q)[%d] = (%d,%d), want %v",
+						trial, lab, i, from[i], to[i], p)
+				}
+			}
+			for u := 0; u < nodes; u++ {
+				wantOut := g.OutEdges(u, lab)
+				gotOut := snap.OutLabeled(u, l)
+				if len(wantOut) != len(gotOut) {
+					t.Fatalf("trial %d: OutLabeled(%d,%q) = %v, want %v", trial, u, lab, gotOut, wantOut)
+				}
+				for i := range wantOut {
+					if int(gotOut[i]) != wantOut[i] {
+						t.Fatalf("trial %d: OutLabeled(%d,%q) = %v, want %v", trial, u, lab, gotOut, wantOut)
+					}
+				}
+				wantIn := g.InEdges(u, lab)
+				gotIn := snap.InLabeled(u, l)
+				if len(wantIn) != len(gotIn) {
+					t.Fatalf("trial %d: InLabeled(%d,%q) = %v, want %v", trial, u, lab, gotIn, wantIn)
+				}
+				for i := range wantIn {
+					if int(gotIn[i]) != wantIn[i] {
+						t.Fatalf("trial %d: InLabeled(%d,%q) = %v, want %v", trial, u, lab, gotIn, wantIn)
+					}
+				}
+				if snap.HasOutLabeled(u, l) != (len(wantOut) > 0) {
+					t.Fatalf("trial %d: HasOutLabeled(%d,%q) wrong", trial, u, lab)
+				}
+				for v := 0; v < nodes; v++ {
+					if snap.HasEdge(u, l, v) != g.HasEdgeIndex(u, lab, v) {
+						t.Fatalf("trial %d: HasEdge(%d,%q,%d) disagrees with index", trial, u, lab, v)
+					}
+				}
+			}
+		}
+		// OutAll/InAll must match the flat adjacency (as target multisets in
+		// any order).
+		for u := 0; u < nodes; u++ {
+			if len(snap.OutAll(u)) != len(g.Out(u)) {
+				t.Fatalf("trial %d: OutAll(%d) has %d targets, Out %d", trial, u, len(snap.OutAll(u)), len(g.Out(u)))
+			}
+			if len(snap.InAll(u)) != len(g.In(u)) {
+				t.Fatalf("trial %d: InAll(%d) has %d targets, In %d", trial, u, len(snap.InAll(u)), len(g.In(u)))
+			}
+			if snap.OutDegree(u) != len(g.Out(u)) {
+				t.Fatalf("trial %d: OutDegree(%d) wrong", trial, u)
+			}
+		}
+	}
+}
+
+// TestSnapshotValueInterning checks that interned value ids agree with
+// value equality and that all nulls share one id.
+func TestSnapshotValueInterning(t *testing.T) {
+	g := New()
+	g.MustAddNode("a", V("x"))
+	g.MustAddNode("b", V("y"))
+	g.MustAddNode("c", V("x"))
+	g.MustAddNode("d", Null())
+	g.MustAddNode("e", Null())
+	snap := g.Freeze()
+	if snap.ValueID(0) != snap.ValueID(2) {
+		t.Fatal("equal values must intern to the same id")
+	}
+	if snap.ValueID(0) == snap.ValueID(1) {
+		t.Fatal("distinct values must intern to distinct ids")
+	}
+	if snap.ValueID(3) != snap.NullValueID() || snap.ValueID(4) != snap.NullValueID() {
+		t.Fatal("all nulls must share the null id")
+	}
+	if snap.NumValues() != 3 {
+		t.Fatalf("NumValues = %d, want 3 (x, y, null)", snap.NumValues())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if snap.ValueID(i) == 0 {
+			t.Fatal("value ids must start at 1 (0 is the register-unset sentinel)")
+		}
+	}
+
+	g2 := New()
+	g2.MustAddNode("a", V("x"))
+	if g2.Freeze().NullValueID() != -1 {
+		t.Fatal("graph without nulls must report NullValueID −1")
+	}
+}
+
+// TestFreezeCaching checks the snapshot cache lifecycle: stable pointer
+// while unchanged, invalidation on mutation, CSR reuse across a
+// SetValue-only change.
+func TestFreezeCaching(t *testing.T) {
+	g := New()
+	g.MustAddNode("a", V("1"))
+	g.MustAddNode("b", V("2"))
+	g.MustAddEdge("a", "e", "b")
+
+	s1 := g.Freeze()
+	if g.Freeze() != s1 {
+		t.Fatal("Freeze must return the cached snapshot while the graph is unchanged")
+	}
+	if g.Snapshot() != s1 {
+		t.Fatal("Snapshot must return the cached snapshot while valid")
+	}
+
+	// Value-only mutation: cache invalid, rebuild shares the CSR arrays.
+	g.SetValue(0, V("9"))
+	if g.Snapshot() != nil {
+		t.Fatal("Snapshot must be nil after SetValue")
+	}
+	s2 := g.Freeze()
+	if s2 == s1 {
+		t.Fatal("Freeze must rebuild after SetValue")
+	}
+	if &s2.pairFrom[0] != &s1.pairFrom[0] {
+		t.Fatal("a SetValue-only rebuild must reuse the CSR topology")
+	}
+	if s2.Value(0) != V("9") {
+		t.Fatal("rebuilt snapshot must see the new value")
+	}
+
+	// Topology mutation: full rebuild.
+	g.MustAddEdge("b", "e", "a")
+	if g.Snapshot() != nil {
+		t.Fatal("Snapshot must be nil after AddEdge")
+	}
+	s3 := g.Freeze()
+	if len(s3.pairFrom) != 2 {
+		t.Fatalf("rebuilt snapshot has %d edges, want 2", len(s3.pairFrom))
+	}
+}
+
+// TestFreezeZeroGraph checks that the zero Graph freezes.
+func TestFreezeZeroGraph(t *testing.T) {
+	var g Graph
+	snap := g.Freeze()
+	if snap.NumNodes() != 0 || snap.NumLabels() != 0 {
+		t.Fatal("zero graph must freeze to an empty snapshot")
+	}
+	g.MustAddNode("x", V("1"))
+	if g.Snapshot() != nil {
+		t.Fatal("mutation after freeze must invalidate")
+	}
+}
+
+// TestSnapshotLargeDegree exercises the sort.SliceStable fallback in the
+// CSR builder (node with more than 128 out-edges).
+func TestSnapshotLargeDegree(t *testing.T) {
+	g := New()
+	g.MustAddNode("hub", V("h"))
+	labels := []string{"z", "y", "x", "w"}
+	for i := 0; i < 200; i++ {
+		id := NodeID(fmt.Sprintf("n%d", i))
+		g.MustAddNode(id, V("v"))
+		g.MustAddEdge("hub", labels[i%len(labels)], id)
+	}
+	snap := g.Freeze()
+	hub, _ := g.IndexOf("hub")
+	total := 0
+	for _, lab := range labels {
+		l, ok := snap.LabelID(lab)
+		if !ok {
+			t.Fatalf("label %q missing", lab)
+		}
+		got := snap.OutLabeled(hub, l)
+		want := g.OutEdges(hub, lab)
+		if len(got) != len(want) {
+			t.Fatalf("OutLabeled(hub, %q): %d targets, want %d", lab, len(got), len(want))
+		}
+		for i := range want {
+			if int(got[i]) != want[i] {
+				t.Fatalf("OutLabeled(hub, %q) order diverged at %d", lab, i)
+			}
+		}
+		total += len(got)
+	}
+	if total != 200 {
+		t.Fatalf("slots cover %d edges, want 200", total)
+	}
+}

@@ -182,12 +182,23 @@ type job struct {
 
 // evalAll runs the shared worker pool over every (query, frontier-chunk)
 // work item and returns one PairSet per query.
+//
+// The graph is frozen exactly once, up front, so every worker evaluates
+// against one shared immutable snapshot. Result sets are dense bitmap
+// PairSets (when the graph fits the dense budget); frontier work items for
+// the same query touch disjoint start nodes and therefore disjoint bitmap
+// rows, so workers write answers straight into the shared result set
+// without locks — only whole-query work items and sparse fallbacks merge
+// under a mutex.
 func evalAll(ctx context.Context, g *datagraph.Graph, queries []core.Query, mode datagraph.CompareMode, opts Options) ([]*datagraph.PairSet, error) {
 	n := g.NumNodes()
+	g.Freeze()
 	chunk := opts.chunk()
 	var jobs []job
 	for qi, q := range queries {
-		if _, ok := q.(core.FromEvaluator); ok {
+		_, ranged := q.(core.RangeEvaluator)
+		_, fromable := q.(core.FromEvaluator)
+		if ranged || fromable {
 			for lo := 0; lo < n; lo += chunk {
 				hi := lo + chunk
 				if hi > n {
@@ -203,7 +214,7 @@ func evalAll(ctx context.Context, g *datagraph.Graph, queries []core.Query, mode
 	results := make([]*datagraph.PairSet, len(queries))
 	locks := make([]sync.Mutex, len(queries))
 	for i := range results {
-		results[i] = datagraph.NewPairSet()
+		results[i] = datagraph.NewPairSetSized(n)
 	}
 
 	workers := opts.workers()
@@ -245,6 +256,11 @@ func evalAll(ctx context.Context, g *datagraph.Graph, queries []core.Query, mode
 					break
 				}
 				j := jobs[idx]
+				if !j.whole && results[j.qi].Dense() {
+					// Disjoint bitmap rows: write directly, lock-free.
+					runJob(g, queries, mode, j, results[j.qi])
+					continue
+				}
 				if j.qi != lastQ {
 					flush()
 					lastQ = j.qi
@@ -266,6 +282,12 @@ func runJob(g *datagraph.Graph, queries []core.Query, mode datagraph.CompareMode
 	q := queries[j.qi]
 	if j.whole {
 		q.Eval(g, mode).Each(func(p datagraph.Pair) { sink.AddPair(p) })
+		return
+	}
+	if re, ok := q.(core.RangeEvaluator); ok {
+		// Snapshot kernel: interned labels, scratch shared across the
+		// chunk, start pruning done internally on interned start labels.
+		re.EvalRange(g, j.lo, j.hi, mode, sink.Add)
 		return
 	}
 	fe := q.(core.FromEvaluator)

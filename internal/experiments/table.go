@@ -11,14 +11,16 @@ import (
 	"strings"
 )
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. The JSON form is what
+// `gsmbench -json` emits and CI archives as BENCH_*.json artifacts, so the
+// field names are part of the perf-trajectory format.
 type Table struct {
-	ID     string
-	Title  string
-	Claim  string // the paper result being reproduced
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim"` // the paper result being reproduced
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // Fprint renders the table with aligned columns.

@@ -2,16 +2,35 @@ package gxpath
 
 import "repro/internal/datagraph"
 
-// This file implements Figure 1 of the paper verbatim: the semantics of
+// This file implements Figure 1 of the paper: the semantics of
 // GXPath_core^~ path expressions ([[α]]_G ⊆ V×V) and node expressions
-// ([[φ]]_G ⊆ V), computed bottom-up with explicit relations.
+// ([[φ]]_G ⊆ V), computed bottom-up with explicit relations. The public
+// entry points freeze the graph once and evaluate over the interned
+// snapshot with dense bitmap relations (word-wise composition, closure and
+// boolean algebra); the map-based path remains as the fallback for graphs
+// too large for dense bitmaps (and as the cross-validation reference).
 
 // EvalPath computes [[α]]_G under the given data-comparison mode.
 func EvalPath(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) *datagraph.PairSet {
+	return evalPath(g, g.Freeze(), p, mode)
+}
+
+// newRel returns an empty relation sized to the graph when a snapshot is
+// available (dense bitmap rows), and a sparse set otherwise.
+func newRel(g *datagraph.Graph, snap *datagraph.Snapshot) *datagraph.PairSet {
+	if snap != nil {
+		return datagraph.NewPairSetSized(snap.NumNodes())
+	}
+	return datagraph.NewPairSet()
+}
+
+// evalPath is EvalPath against an optional snapshot (nil forces the
+// map-based reference semantics).
+func evalPath(g *datagraph.Graph, snap *datagraph.Snapshot, p PathExpr, mode datagraph.CompareMode) *datagraph.PairSet {
 	switch t := p.(type) {
 	case PEps:
 		// [[ε]] = {(v, v) | v ∈ V}
-		out := datagraph.NewPairSet()
+		out := newRel(g, snap)
 		for v := 0; v < g.NumNodes(); v++ {
 			out.Add(v, v)
 		}
@@ -19,7 +38,20 @@ func EvalPath(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) *datag
 	case PLabel:
 		// [[a]] = {(v, v′) | (v, a, v′) ∈ E}; [[a⁻]] swaps the pair. The
 		// per-label edge index yields exactly the matching edges.
-		out := datagraph.NewPairSet()
+		out := newRel(g, snap)
+		if snap != nil {
+			if l, ok := snap.LabelID(t.Label); ok {
+				from, to := snap.LabelEdges(l)
+				for i := range from {
+					if t.Inverse {
+						out.Add(int(to[i]), int(from[i]))
+					} else {
+						out.Add(int(from[i]), int(to[i]))
+					}
+				}
+			}
+			return out
+		}
 		for _, p := range g.LabelPairs(t.Label) {
 			if t.Inverse {
 				out.Add(p.To, p.From)
@@ -30,23 +62,24 @@ func EvalPath(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) *datag
 		return out
 	case PStar:
 		// [[a*]] = reflexive-transitive closure of [[a]].
-		return starClosure(g, t.Label, t.Inverse)
+		return starClosure(g, snap, t.Label, t.Inverse)
 	case PConcat:
-		// [[α·β]] = [[α]] ∘ [[β]]
-		return compose(EvalPath(g, t.L, mode), EvalPath(g, t.R, mode))
+		// [[α·β]] = [[α]] ∘ [[β]] (word-wise row union when dense)
+		return datagraph.ComposePairs(
+			evalPath(g, snap, t.L, mode), evalPath(g, snap, t.R, mode))
 	case PUnion:
 		// [[α∪β]] = [[α]] ∪ [[β]]
-		return EvalPath(g, t.L, mode).Union(EvalPath(g, t.R, mode))
+		return evalPath(g, snap, t.L, mode).Union(evalPath(g, snap, t.R, mode))
 	case PEq:
 		// [[α=]] = {(v, v′) ∈ [[α]] | δ(v) = δ(v′)}
-		return filterData(g, EvalPath(g, t.Inner, mode), mode, false)
+		return filterData(g, snap, evalPath(g, snap, t.Inner, mode), mode, false)
 	case PNeq:
 		// [[α≠]] = {(v, v′) ∈ [[α]] | δ(v) ≠ δ(v′)}
-		return filterData(g, EvalPath(g, t.Inner, mode), mode, true)
+		return filterData(g, snap, evalPath(g, snap, t.Inner, mode), mode, true)
 	case PTest:
 		// [[[φ]]] = {(v, v) | v ∈ [[φ]]}
-		sat := EvalNode(g, t.Cond, mode)
-		out := datagraph.NewPairSet()
+		sat := evalNode(g, snap, t.Cond, mode)
+		out := newRel(g, snap)
 		for v, ok := range sat {
 			if ok {
 				out.Add(v, v)
@@ -54,7 +87,7 @@ func EvalPath(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) *datag
 		}
 		return out
 	default:
-		if rel, ok := evalRegular(g, p, mode); ok {
+		if rel, ok := evalRegular(g, snap, p, mode); ok {
 			return rel
 		}
 		panic("gxpath: unknown path expression")
@@ -63,24 +96,28 @@ func EvalPath(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) *datag
 
 // EvalNode computes [[φ]]_G as a membership vector indexed by node index.
 func EvalNode(g *datagraph.Graph, n NodeExpr, mode datagraph.CompareMode) []bool {
+	return evalNode(g, g.Freeze(), n, mode)
+}
+
+func evalNode(g *datagraph.Graph, snap *datagraph.Snapshot, n NodeExpr, mode datagraph.CompareMode) []bool {
 	switch t := n.(type) {
 	case NNot:
 		// [[¬φ]] = V − [[φ]]
-		inner := EvalNode(g, t.Inner, mode)
+		inner := evalNode(g, snap, t.Inner, mode)
 		out := make([]bool, len(inner))
 		for i, b := range inner {
 			out[i] = !b
 		}
 		return out
 	case NAnd:
-		l, r := EvalNode(g, t.L, mode), EvalNode(g, t.R, mode)
+		l, r := evalNode(g, snap, t.L, mode), evalNode(g, snap, t.R, mode)
 		out := make([]bool, len(l))
 		for i := range l {
 			out[i] = l[i] && r[i]
 		}
 		return out
 	case NOr:
-		l, r := EvalNode(g, t.L, mode), EvalNode(g, t.R, mode)
+		l, r := evalNode(g, snap, t.L, mode), evalNode(g, snap, t.R, mode)
 		out := make([]bool, len(l))
 		for i := range l {
 			out[i] = l[i] || r[i]
@@ -88,8 +125,14 @@ func EvalNode(g *datagraph.Graph, n NodeExpr, mode datagraph.CompareMode) []bool
 		return out
 	case NExists:
 		// [[⟨α⟩]] = {v | ∃v′ (v, v′) ∈ [[α]]}
-		rel := EvalPath(g, t.Path, mode)
+		rel := evalPath(g, snap, t.Path, mode)
 		out := make([]bool, g.NumNodes())
+		if rel.Dense() {
+			for u := range out {
+				out[u] = rel.RowNonEmpty(u)
+			}
+			return out
+		}
 		rel.Each(func(p datagraph.Pair) { out[p.From] = true })
 		return out
 	default:
@@ -118,49 +161,86 @@ func Satisfies(g *datagraph.Graph, id datagraph.NodeID, n NodeExpr, mode datagra
 	return EvalNode(g, n, mode)[i]
 }
 
-func starClosure(g *datagraph.Graph, label string, inverse bool) *datagraph.PairSet {
-	out := datagraph.NewPairSet()
-	n := g.NumNodes()
+// closureRows computes the reflexive-transitive closure of the adjacency
+// relation presented by adj: one bitset BFS per source, each reachable set
+// published as a (word-wise, when dense) row union into out. All four
+// closure variants — label star and generalized star, snapshot and
+// fallback — share it and differ only in their adjacency callback.
+func closureRows(n int, out *datagraph.PairSet, adj func(v int, visit func(int))) *datagraph.PairSet {
+	seen := datagraph.NewNodeSet(n)
+	var stack []int
 	for u := 0; u < n; u++ {
-		seen := make([]bool, n)
-		seen[u] = true
-		stack := []int{u}
+		seen.Clear()
+		seen.Add(u)
+		stack = append(stack[:0], u)
 		for len(stack) > 0 {
 			v := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
-			out.Add(u, v)
-			var adj []int
-			if inverse {
-				adj = g.InEdges(v, label)
-			} else {
-				adj = g.OutEdges(v, label)
-			}
-			for _, to := range adj {
-				if !seen[to] {
-					seen[to] = true
+			adj(v, func(to int) {
+				if seen.Add(to) {
 					stack = append(stack, to)
 				}
-			}
+			})
 		}
+		out.AddRowSet(u, seen)
 	}
 	return out
 }
 
-func compose(a, b *datagraph.PairSet) *datagraph.PairSet {
-	// Index b by source.
-	byFrom := make(map[int][]int)
-	b.Each(func(p datagraph.Pair) { byFrom[p.From] = append(byFrom[p.From], p.To) })
-	out := datagraph.NewPairSet()
-	a.Each(func(p datagraph.Pair) {
-		for _, t := range byFrom[p.To] {
-			out.Add(p.From, t)
+func starClosure(g *datagraph.Graph, snap *datagraph.Snapshot, label string, inverse bool) *datagraph.PairSet {
+	out := newRel(g, snap)
+	n := g.NumNodes()
+	if snap != nil {
+		l, ok := snap.LabelID(label)
+		if !ok {
+			// No such edges: the closure is the identity.
+			for u := 0; u < n; u++ {
+				out.Add(u, u)
+			}
+			return out
+		}
+		return closureRows(n, out, func(v int, visit func(int)) {
+			var adj []int32
+			if inverse {
+				adj = snap.InLabeled(v, l)
+			} else {
+				adj = snap.OutLabeled(v, l)
+			}
+			for _, to := range adj {
+				visit(int(to))
+			}
+		})
+	}
+	return closureRows(n, out, func(v int, visit func(int)) {
+		var adj []int
+		if inverse {
+			adj = g.InEdges(v, label)
+		} else {
+			adj = g.OutEdges(v, label)
+		}
+		for _, to := range adj {
+			visit(to)
 		}
 	})
-	return out
 }
 
-func filterData(g *datagraph.Graph, rel *datagraph.PairSet, mode datagraph.CompareMode, neq bool) *datagraph.PairSet {
-	out := datagraph.NewPairSet()
+func filterData(g *datagraph.Graph, snap *datagraph.Snapshot, rel *datagraph.PairSet, mode datagraph.CompareMode, neq bool) *datagraph.PairSet {
+	out := newRel(g, snap)
+	if snap != nil {
+		// Compare interned value ids: equal ids ⇔ equal values, with the
+		// null id excluded under SQL-null semantics.
+		nullID := snap.NullValueID()
+		rel.Each(func(p datagraph.Pair) {
+			dv, dw := snap.ValueID(p.From), snap.ValueID(p.To)
+			if mode == datagraph.SQLNulls && (dv == nullID || dw == nullID) {
+				return
+			}
+			if (dv != dw) == neq {
+				out.AddPair(p)
+			}
+		})
+		return out
+	}
 	rel.Each(func(p datagraph.Pair) {
 		dv, dw := g.Value(p.From), g.Value(p.To)
 		if neq {

@@ -32,51 +32,36 @@ func (p PNeg) String() string     { return "~" + pathGroup(p.Inner) }
 func (p PAnd) String() string     { return pathGroup(p.L) + " & " + pathGroup(p.R) }
 func (p PStarAny) String() string { return "(" + p.Inner.String() + ")*" }
 
-// evalRegular handles the non-core operators; called from EvalPath.
-func evalRegular(g *datagraph.Graph, p PathExpr, mode datagraph.CompareMode) (*datagraph.PairSet, bool) {
+// evalRegular handles the non-core operators; called from evalPath.
+func evalRegular(g *datagraph.Graph, snap *datagraph.Snapshot, p PathExpr, mode datagraph.CompareMode) (*datagraph.PairSet, bool) {
 	switch t := p.(type) {
 	case PNeg:
-		inner := EvalPath(g, t.Inner, mode)
-		out := datagraph.NewPairSet()
-		n := g.NumNodes()
-		for u := 0; u < n; u++ {
-			for v := 0; v < n; v++ {
-				if !inner.Has(u, v) {
-					out.Add(u, v)
-				}
-			}
-		}
-		return out, true
+		inner := evalPath(g, snap, t.Inner, mode)
+		return datagraph.ComplementPairs(inner, g.NumNodes()), true
 	case PAnd:
-		return EvalPath(g, t.L, mode).Intersect(EvalPath(g, t.R, mode)), true
+		return evalPath(g, snap, t.L, mode).Intersect(evalPath(g, snap, t.R, mode)), true
 	case PStarAny:
-		rel := EvalPath(g, t.Inner, mode)
-		return reflexiveTransitiveClosure(g, rel), true
+		rel := evalPath(g, snap, t.Inner, mode)
+		return reflexiveTransitiveClosure(g, snap, rel), true
 	default:
 		return nil, false
 	}
 }
 
-func reflexiveTransitiveClosure(g *datagraph.Graph, rel *datagraph.PairSet) *datagraph.PairSet {
+func reflexiveTransitiveClosure(g *datagraph.Graph, snap *datagraph.Snapshot, rel *datagraph.PairSet) *datagraph.PairSet {
 	n := g.NumNodes()
+	out := newRel(g, snap)
+	if rel.Dense() {
+		// The relation's bitmap rows double as adjacency.
+		return closureRows(n, out, func(v int, visit func(int)) {
+			rel.EachInRow(v, visit)
+		})
+	}
 	adj := make(map[int][]int)
 	rel.Each(func(p datagraph.Pair) { adj[p.From] = append(adj[p.From], p.To) })
-	out := datagraph.NewPairSet()
-	for u := 0; u < n; u++ {
-		seen := make([]bool, n)
-		seen[u] = true
-		stack := []int{u}
-		for len(stack) > 0 {
-			v := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			out.Add(u, v)
-			for _, w := range adj[v] {
-				if !seen[w] {
-					seen[w] = true
-					stack = append(stack, w)
-				}
-			}
+	return closureRows(n, out, func(v int, visit func(int)) {
+		for _, w := range adj[v] {
+			visit(w)
 		}
-	}
-	return out
+	})
 }

@@ -1,0 +1,83 @@
+package gxpath
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+// Cross-validation of the dense bitmap relation algebra (snapshot path)
+// against the sparse map-based reference: evalPath with a nil snapshot runs
+// exactly the pre-snapshot semantics.
+
+func randomDataGraph(seed int64, n, e int) *datagraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := datagraph.New()
+	for i := 0; i < n; i++ {
+		v := datagraph.V(fmt.Sprintf("v%d", rng.Intn(3)))
+		if rng.Intn(5) == 0 {
+			v = datagraph.Null()
+		}
+		g.MustAddNode(datagraph.NodeID(fmt.Sprintf("n%d", i)), v)
+	}
+	for k := 0; k < e; k++ {
+		from := rng.Intn(n)
+		to := rng.Intn(n)
+		label := []string{"a", "b"}[rng.Intn(2)]
+		g.MustAddEdge(datagraph.NodeID(fmt.Sprintf("n%d", from)), label,
+			datagraph.NodeID(fmt.Sprintf("n%d", to)))
+	}
+	return g
+}
+
+func TestDensePathEvalMatchesSparse(t *testing.T) {
+	paths := []string{
+		"a",
+		"a-",
+		"a*",
+		"a- b",
+		"(a b)=",
+		"(a- b)!=",
+		"a | b a",
+		"e",
+		"[<a b>] a",
+		"~a",
+		"a & (a b | a)",
+		"(a b)*",
+		"~(a*) & b-",
+	}
+	nodes := []string{
+		"<a>",
+		"<a (a- b)=>",
+		"!<b b>",
+		"<a> & !<b->",
+		"<~(a b)>",
+	}
+	for seed := int64(0); seed < 10; seed++ {
+		g := randomDataGraph(seed, 3+int(seed), 5+int(seed*4)%28)
+		for _, mode := range []datagraph.CompareMode{datagraph.MarkedNulls, datagraph.SQLNulls} {
+			for _, ps := range paths {
+				p := MustParsePath(ps)
+				dense := EvalPath(g, p, mode)       // freezes: dense bitmap algebra
+				sparse := evalPath(g, nil, p, mode) // reference semantics
+				if !dense.Equal(sparse) || !sparse.Equal(dense) {
+					t.Fatalf("seed %d path %q mode %v: dense %v, sparse %v",
+						seed, ps, mode, dense.Sorted(), sparse.Sorted())
+				}
+			}
+			for _, ns := range nodes {
+				nx := MustParseNode(ns)
+				dense := EvalNode(g, nx, mode)
+				sparse := evalNode(g, nil, nx, mode)
+				for i := range dense {
+					if dense[i] != sparse[i] {
+						t.Fatalf("seed %d node expr %q mode %v: disagree at node %d",
+							seed, ns, mode, i)
+					}
+				}
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/datagraph"
 )
@@ -121,6 +122,11 @@ type Automaton struct {
 	startLabels []string
 	startAny    bool
 	emptyOK     bool
+
+	// progCache holds the automaton lowered onto the most recent graph
+	// snapshot (transition labels interned, dead transitions dropped); see
+	// snapshot.go.
+	progCache atomic.Pointer[prog]
 }
 
 func (a *Automaton) fastOK() bool {
@@ -364,6 +370,16 @@ func (a *Automaton) MatchDataPath(w datagraph.DataPath, mode datagraph.CompareMo
 // contents drawn from the graph's values.
 func (a *Automaton) EvalFrom(g *datagraph.Graph, u int, mode datagraph.CompareMode) []int {
 	if a.fastOK() {
+		// Use the interned snapshot kernel when the graph is frozen; never
+		// trigger a freeze here, since EvalFrom is called inside mutation
+		// loops (the SetValue specialization search).
+		if snap := g.Snapshot(); snap != nil {
+			p := a.program(snap)
+			sc := newSnapScratch(snap.NumNodes())
+			var out []int
+			a.evalFromProg(p, u, mode, sc, func(v int) { out = append(out, v) })
+			return out
+		}
 		return a.evalFromFast(g, u, mode)
 	}
 	start := config{
@@ -426,9 +442,16 @@ func (a *Automaton) EvalFrom(g *datagraph.Graph, u int, mode datagraph.CompareMo
 }
 
 // Eval returns all pairs (u, v) such that some path from u to v matches.
+// The graph is frozen once and every start node is evaluated through the
+// interned snapshot kernel with shared scratch.
 func (a *Automaton) Eval(g *datagraph.Graph, mode datagraph.CompareMode) *datagraph.PairSet {
-	out := datagraph.NewPairSet()
-	for u := 0; u < g.NumNodes(); u++ {
+	n := g.NumNodes()
+	out := datagraph.NewPairSetSized(n)
+	if a.fastOK() {
+		a.EvalRange(g, 0, n, mode, out.Add)
+		return out
+	}
+	for u := 0; u < n; u++ {
 		for _, v := range a.EvalFrom(g, u, mode) {
 			out.Add(u, v)
 		}

@@ -1,0 +1,94 @@
+package ree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+// Cross-validation of the snapshot register-automaton kernel (interned
+// labels and values, shared scratch) against the per-call fast path it
+// replaced, on randomized graphs with null nodes, under both comparison
+// modes.
+
+// randomNullGraph is randomGraph with a fraction of null-valued nodes, so
+// the SQL-null special cases of the interned condition evaluator are
+// exercised.
+func randomNullGraph(seed int64, n, e int) *datagraph.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := datagraph.New()
+	for i := 0; i < n; i++ {
+		v := datagraph.V(fmt.Sprintf("v%d", rng.Intn(3)))
+		if rng.Intn(4) == 0 {
+			v = datagraph.Null()
+		}
+		g.MustAddNode(datagraph.NodeID(fmt.Sprintf("n%d", i)), v)
+	}
+	for k := 0; k < e; k++ {
+		from := rng.Intn(n)
+		to := rng.Intn(n)
+		label := []string{"a", "b"}[rng.Intn(2)]
+		g.MustAddEdge(datagraph.NodeID(fmt.Sprintf("n%d", from)), label,
+			datagraph.NodeID(fmt.Sprintf("n%d", to)))
+	}
+	return g
+}
+
+// legacyEval routes every start node through the pre-snapshot per-call
+// path: EvalFrom on an unfrozen clone never sees a snapshot.
+func legacyEval(t *testing.T, q *Query, g *datagraph.Graph, mode datagraph.CompareMode) *datagraph.PairSet {
+	t.Helper()
+	c := g.Clone()
+	if c.Snapshot() != nil {
+		t.Fatal("clone unexpectedly frozen")
+	}
+	out := datagraph.NewPairSet()
+	for u := 0; u < c.NumNodes(); u++ {
+		for _, v := range q.EvalFrom(c, u, mode) {
+			out.Add(u, v)
+		}
+	}
+	return out
+}
+
+func TestSnapshotGraphEvalMatchesLegacy(t *testing.T) {
+	queries := []string{
+		"a",
+		"(a)=",
+		"(a b)!=",
+		"(a+)= b*",
+		"((a | b)=)+",
+		"(a (b)!=)= | b",
+		".* (.+)= .*",
+		"(c)=", // label absent: dead transitions
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		g := randomNullGraph(seed, 3+int(seed%9), 4+int(seed*3)%30)
+		for _, qs := range queries {
+			q := MustParseQuery(qs)
+			for _, mode := range []datagraph.CompareMode{datagraph.MarkedNulls, datagraph.SQLNulls} {
+				got := q.Eval(g, mode) // freezes g, snapshot kernel
+				want := legacyEval(t, q, g, mode)
+				if !got.Equal(want) {
+					t.Fatalf("seed %d query %q mode %v: snapshot %v, legacy %v",
+						seed, qs, mode, got.Sorted(), want.Sorted())
+				}
+				// EvalRange over a sub-range must agree with the full result
+				// restricted to that range (the engine's frontier-shard path).
+				lo, hi := g.NumNodes()/3, 2*g.NumNodes()/3+1
+				ranged := datagraph.NewPairSet()
+				q.EvalRange(g, lo, hi, mode, ranged.Add)
+				want.Each(func(p datagraph.Pair) {
+					if p.From >= lo && p.From < hi && !ranged.Has(p.From, p.To) {
+						t.Fatalf("seed %d query %q mode %v: EvalRange missed %v", seed, qs, mode, p)
+					}
+				})
+				if !ranged.SubsetOf(want) {
+					t.Fatalf("seed %d query %q mode %v: EvalRange produced extra pairs", seed, qs, mode)
+				}
+			}
+		}
+	}
+}

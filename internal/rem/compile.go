@@ -88,6 +88,13 @@ func (q *Query) EvalFrom(g *datagraph.Graph, u int, mode datagraph.CompareMode) 
 	return q.auto.EvalFrom(g, u, mode)
 }
 
+// EvalRange evaluates from every start node in [lo, hi) over the graph's
+// interned snapshot, sharing scratch across the range; see
+// ra.Automaton.EvalRange.
+func (q *Query) EvalRange(g *datagraph.Graph, lo, hi int, mode datagraph.CompareMode, emit func(u, v int)) {
+	q.auto.EvalRange(g, lo, hi, mode, emit)
+}
+
 // StartLabels returns a superset of the labels able to begin a nonempty
 // match and whether it is exhaustive; see ra.Automaton.StartLabels.
 func (q *Query) StartLabels() ([]string, bool) { return q.auto.StartLabels() }

@@ -14,6 +14,7 @@ package rpq
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/datagraph"
 	"repro/internal/rex"
@@ -30,6 +31,10 @@ type Query struct {
 	startLabels []string
 	startAny    bool
 	emptyOK     bool
+
+	// progCache holds the NFA lowered onto the most recent graph snapshot
+	// (step labels interned, dead steps dropped); see snapshot.go.
+	progCache atomic.Pointer[snapProg]
 }
 
 // Kind classifies RPQs the way the paper's mapping definitions do.
@@ -149,21 +154,26 @@ func (q *Query) AsWord() ([]string, bool) {
 func (q *Query) String() string { return q.expr.String() }
 
 // Eval returns e(G): all pairs of node indices connected by a path whose
-// label is in L(e).
+// label is in L(e). The graph is frozen once and every start node runs
+// through the interned snapshot kernel with shared scratch.
 func (q *Query) Eval(g *datagraph.Graph) *datagraph.PairSet {
-	out := datagraph.NewPairSet()
 	n := g.NumNodes()
-	for u := 0; u < n; u++ {
-		for _, v := range q.EvalFrom(g, u) {
-			out.Add(u, v)
-		}
-	}
+	out := datagraph.NewPairSetSized(n)
+	q.EvalRange(g, 0, n, out.Add)
 	return out
 }
 
 // EvalFrom returns the nodes v such that (u, v) ∈ e(G), by BFS over the
-// product of G with the query NFA.
+// product of G with the query NFA. When the graph is frozen it uses the
+// interned snapshot kernel; it never triggers a freeze itself.
 func (q *Query) EvalFrom(g *datagraph.Graph, u int) []int {
+	if snap := g.Snapshot(); snap != nil {
+		p := q.program(snap)
+		sc := newRangeScratch(snap.NumNodes(), q.nfa.NumStates)
+		var out []int
+		q.evalFromSnap(p, u, sc, func(v int) { out = append(out, v) })
+		return out
+	}
 	if q.kind == KindReachability {
 		return reachableFrom(g, u)
 	}

@@ -1,0 +1,81 @@
+package rpq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/datagraph"
+)
+
+// legacyEval computes e(G) through the pre-snapshot per-start paths
+// (productFrom/wordTargets/reachableFrom), which EvalFrom dispatches to on
+// an unfrozen graph.
+func legacyEval(t *testing.T, q *Query, g *datagraph.Graph) *datagraph.PairSet {
+	t.Helper()
+	c := g.Clone() // unfrozen: Snapshot() is nil, so EvalFrom takes the legacy path
+	if c.Snapshot() != nil {
+		t.Fatal("clone unexpectedly frozen")
+	}
+	out := datagraph.NewPairSet()
+	for u := 0; u < c.NumNodes(); u++ {
+		for _, v := range q.EvalFrom(c, u) {
+			out.Add(u, v)
+		}
+	}
+	return out
+}
+
+// TestSnapshotEvalMatchesLegacy cross-validates the interned snapshot
+// kernel against the map-based evaluation paths on randomized graphs, for
+// every structural query kind (atomic, word, general regex, wildcard,
+// reachability) including labels absent from the graph (dead-step pruning).
+func TestSnapshotEvalMatchesLegacy(t *testing.T) {
+	queries := []string{
+		"a",
+		"a b",
+		"a b a",
+		"(a | b)*",
+		"a* b",
+		"(a b)+",
+		"a?",
+		". .",
+		".*",
+		"(a | b b)* a",
+		"c",
+		"a c b",
+	}
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		g := randomGraph(int64(trial), 1+rng.Intn(14), rng.Intn(40))
+		n := g.NumNodes()
+		for _, qs := range queries {
+			q := MustParse(qs)
+			got := q.Eval(g) // freezes g, snapshot kernel
+			want := legacyEval(t, q, g)
+			if !got.Equal(want) {
+				t.Fatalf("trial %d: query %q: snapshot eval %v, legacy %v",
+					trial, qs, got.Sorted(), want.Sorted())
+			}
+			// Per-start agreement on the frozen graph, too.
+			u := rng.Intn(n)
+			snapFrom := append([]int(nil), q.EvalFrom(g, u)...)
+			sort.Ints(snapFrom)
+			var wantFrom []int
+			want.Each(func(p datagraph.Pair) {
+				if p.From == u {
+					wantFrom = append(wantFrom, p.To)
+				}
+			})
+			sort.Ints(wantFrom)
+			if len(snapFrom) != len(wantFrom) {
+				t.Fatalf("trial %d: query %q: EvalFrom(%d) = %v, want %v", trial, qs, u, snapFrom, wantFrom)
+			}
+			for i := range snapFrom {
+				if snapFrom[i] != wantFrom[i] {
+					t.Fatalf("trial %d: query %q: EvalFrom(%d) = %v, want %v", trial, qs, u, snapFrom, wantFrom)
+				}
+			}
+		}
+	}
+}
