@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-json lint fmt vet ci
+.PHONY: build test test-race bench bench-smoke bench-json bench-diff lint fmt vet ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,11 @@ bench-smoke:
 # artifact so the perf trajectory accumulates run over run).
 bench-json:
 	$(GO) run ./cmd/gsmbench -quick -timeout 30s -json > BENCH_smoke.json
+
+# Per-experiment wall-clock delta between two bench-json reports (CI feeds
+# it the previous run's artifact): make bench-diff OLD=a.json NEW=b.json
+bench-diff:
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 fmt:
 	@out="$$(gofmt -l .)"; \

@@ -1,0 +1,96 @@
+// Command benchdiff compares two `gsmbench -json` reports and prints the
+// per-experiment wall-clock delta. CI runs it against the previous
+// successful run's BENCH_*.json artifact, so every pipeline run prints the
+// perf trajectory since the last one:
+//
+//	benchdiff old.json new.json
+//
+// The comparison is informational: benchdiff always exits 0 on readable
+// input (timing noise on shared CI runners must not fail the build) and
+// reports experiments present on only one side as added/removed.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// report mirrors the subset of the gsmbench -json document benchdiff
+// consumes; unknown fields are ignored so the tools can evolve
+// independently.
+type report struct {
+	Quick        bool         `json:"quick"`
+	GoVersion    string       `json:"go_version"`
+	TotalSeconds float64      `json:"total_seconds"`
+	Experiments  []experiment `json:"experiments"`
+}
+
+type experiment struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	old, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	cur, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(Diff(old, cur))
+}
+
+// Diff renders the comparison of two reports.
+func Diff(old, cur report) string {
+	out := fmt.Sprintf("benchmark delta (old: go %s quick=%v, new: go %s quick=%v)\n",
+		old.GoVersion, old.Quick, cur.GoVersion, cur.Quick)
+	prev := make(map[string]experiment, len(old.Experiments))
+	for _, e := range old.Experiments {
+		prev[e.ID] = e
+	}
+	seen := make(map[string]bool, len(cur.Experiments))
+	for _, e := range cur.Experiments {
+		seen[e.ID] = true
+		p, ok := prev[e.ID]
+		if !ok {
+			out += fmt.Sprintf("  %-4s %10.3fs   (new experiment)\n", e.ID, e.Seconds)
+			continue
+		}
+		delta := e.Seconds - p.Seconds
+		pct := 0.0
+		if p.Seconds > 0 {
+			pct = 100 * delta / p.Seconds
+		}
+		out += fmt.Sprintf("  %-4s %10.3fs  -> %8.3fs  %+8.3fs (%+.1f%%)\n",
+			e.ID, p.Seconds, e.Seconds, delta, pct)
+	}
+	for _, e := range old.Experiments {
+		if !seen[e.ID] {
+			out += fmt.Sprintf("  %-4s %10.3fs   (removed)\n", e.ID, e.Seconds)
+		}
+	}
+	out += fmt.Sprintf("  total %8.3fs  -> %8.3fs\n", old.TotalSeconds, cur.TotalSeconds)
+	return out
+}

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiff(t *testing.T) {
+	old := report{
+		GoVersion: "go1.22", Quick: true, TotalSeconds: 3,
+		Experiments: []experiment{
+			{ID: "E1", Seconds: 1},
+			{ID: "E2", Seconds: 2},
+		},
+	}
+	cur := report{
+		GoVersion: "go1.23", Quick: true, TotalSeconds: 2.5,
+		Experiments: []experiment{
+			{ID: "E1", Seconds: 0.5},
+			{ID: "E14", Seconds: 2},
+		},
+	}
+	got := Diff(old, cur)
+	for _, want := range []string{
+		"E1", "-0.500s", "(-50.0%)",
+		"E14", "(new experiment)",
+		"E2", "(removed)",
+		"total",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("diff output missing %q:\n%s", want, got)
+		}
+	}
+}

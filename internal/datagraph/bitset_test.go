@@ -240,3 +240,62 @@ func TestPairSetAddRowSet(t *testing.T) {
 		t.Fatal("sparse AddRowSet disagrees with dense")
 	}
 }
+
+// complementNaive is the reference double loop ComplementPairs replaced for
+// sparse operands: n² membership probes.
+func complementNaive(s *PairSet, n int) *PairSet {
+	out := NewPairSet()
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if !s.Has(u, v) {
+				out.Add(u, v)
+			}
+		}
+	}
+	return out
+}
+
+// TestComplementPairsSparseOperand cross-validates the materialize-then-
+// negate sparse-operand path of ComplementPairs against the naive double
+// loop: word-boundary universe sizes (tail masking), operands holding pairs
+// outside the universe, dense operands over a different universe, and empty
+// operands.
+func TestComplementPairsSparseOperand(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range []int{1, 7, 63, 64, 65, 128, 130} {
+		for trial := 0; trial < 4; trial++ {
+			sparse := NewPairSet()
+			members := rng.Intn(3 * n)
+			for k := 0; k < members; k++ {
+				sparse.Add(rng.Intn(n), rng.Intn(n))
+			}
+			// Pairs outside the universe must not affect the complement.
+			sparse.Add(n+rng.Intn(5), rng.Intn(n))
+			sparse.Add(rng.Intn(n), n+rng.Intn(5))
+			// A dense operand over a *different* universe takes the same
+			// materialize path.
+			other := NewPairSetSized(n + 8)
+			sparse.Each(func(p Pair) {
+				if p.From < n+8 && p.To < n+8 {
+					other.AddPair(p)
+				}
+			})
+			for _, s := range []*PairSet{sparse, other, NewPairSet()} {
+				got := ComplementPairs(s, n)
+				want := complementNaive(s, n)
+				if !got.Dense() {
+					t.Fatalf("n=%d: complement must be dense within the budget", n)
+				}
+				if got.Len() != want.Len() || !want.SubsetOf(got) {
+					t.Fatalf("n=%d: complement diverged from the naive loop: %d pairs, want %d",
+						n, got.Len(), want.Len())
+				}
+				got.Each(func(p Pair) {
+					if p.From >= n || p.To >= n {
+						t.Fatalf("n=%d: complement contains out-of-universe pair %v", n, p)
+					}
+				})
+			}
+		}
+	}
+}

@@ -43,7 +43,10 @@ type HalfEdge struct {
 
 // seqEdge is an edge in the global insertion-order log, with endpoints as
 // dense indices. The log is what derived structures (label indexes,
-// snapshots) are rebuilt from, deterministically.
+// snapshots) are rebuilt from, deterministically. It is strictly
+// append-only — as is the node list — which is what lets a cached Snapshot
+// treat its (frozenNodes, frozenEdges) watermark as a prefix of the current
+// state and freeze incrementally (see buildDelta).
 type seqEdge struct {
 	from, to int32
 	label    string
@@ -343,16 +346,37 @@ func (g *Graph) HasEdgeIndex(from int, label string, to int) bool {
 
 // Freeze compiles (or returns the cached) immutable Snapshot of the graph:
 // interned labels and values with CSR adjacency. The snapshot is cached on
-// the graph and invalidated by mutation; a SetValue-only change re-interns
-// values but reuses the CSR topology. Freeze follows the graph's
-// concurrency contract: any number of concurrent readers may call it (a
-// race only builds the snapshot twice), but it must not run concurrently
-// with mutation.
+// the graph and invalidated by mutation, and rebuilding is incremental:
+//
+//   - a SetValue-only change re-interns values but reuses the CSR topology;
+//   - an append burst (AddNode/AddEdge — the only topology mutation the API
+//     allows) is merged into the previous snapshot as a delta, rebuilding
+//     only the adjacency rows of nodes touched by new half-edges and
+//     sharing everything else copy-on-write (O(Δ + Σ deg(touched)) plus two
+//     O(V) table copies, instead of O(V+E));
+//   - a full rebuild still happens when there is no usable cached snapshot,
+//     when the delta rivals the live graph, or when accumulated delta
+//     segments/garbage exceed the compaction thresholds.
+//
+// Freeze follows the graph's concurrency contract: any number of concurrent
+// readers may call it (a race only builds the snapshot twice), but it must
+// not run concurrently with mutation.
 func (g *Graph) Freeze() *Snapshot {
 	if s := g.snap.Load(); s != nil && s.topoVersion == g.topoVersion && s.valVersion == g.valVersion {
 		return s
 	}
 	s := buildSnapshot(g, g.snap.Load())
+	g.snap.Store(s)
+	return s
+}
+
+// FreezeFull builds a from-scratch snapshot, bypassing both the cache and
+// the delta-merge path, and caches the result. Delta-built and full-built
+// snapshots are behaviourally identical; FreezeFull exists for
+// cross-validation tests and for benchmarks that measure the rebuild cliff
+// the delta path avoids.
+func (g *Graph) FreezeFull() *Snapshot {
+	s := buildFull(g)
 	g.snap.Store(s)
 	return s
 }

@@ -333,21 +333,43 @@ func ComposePairs(a, b *PairSet) *PairSet {
 	return out
 }
 
-// ComplementPairs returns (V × V) \ s over the universe {0, …, n−1}. When s
-// is dense over that universe the complement is a word-wise negation with
-// the tail bits of each row masked off.
+// ComplementPairs returns (V × V) \ s over the universe {0, …, n−1}.
+// Whenever the output is dense the complement is word-wise: a dense operand
+// over the same universe is negated row by row, and any other operand
+// (sparse, or dense over a different universe) is first materialized into
+// the dense output with one pass over its members, then negated in place —
+// O(n²/64 + |s|) instead of the n² hash probes of the naive loop. The tail
+// bits of each row beyond the universe are masked off. Only when the
+// universe exceeds the dense budget does the naive membership loop remain.
 func ComplementPairs(s *PairSet, n int) *PairSet {
 	out := NewPairSetSized(n)
-	if s.m == nil && s.n == n && out.m == nil {
+	if out.m == nil {
 		var tail uint64 = ^uint64(0)
 		if n&63 != 0 {
 			tail = (uint64(1) << (n & 63)) - 1
 		}
+		if s.m == nil && s.n == n {
+			for f := 0; f < n; f++ {
+				row := out.rows[f*out.w : (f+1)*out.w]
+				src := s.rows[f*s.w : (f+1)*s.w]
+				for i := range row {
+					row[i] = ^src[i]
+				}
+				row[len(row)-1] &= tail
+			}
+			return out
+		}
+		// Mark the operand's members (ignoring pairs outside the
+		// universe, which cannot affect the complement), then negate.
+		s.Each(func(p Pair) {
+			if p.From >= 0 && p.From < n && p.To >= 0 && p.To < n {
+				out.Add(p.From, p.To)
+			}
+		})
 		for f := 0; f < n; f++ {
 			row := out.rows[f*out.w : (f+1)*out.w]
-			src := s.rows[f*s.w : (f+1)*s.w]
 			for i := range row {
-				row[i] = ^src[i]
+				row[i] = ^row[i]
 			}
 			row[len(row)-1] &= tail
 		}

@@ -1,6 +1,9 @@
 package datagraph
 
-import "sort"
+import (
+	"maps"
+	"sort"
+)
 
 // Label is an interned edge label: a small dense integer assigned per
 // snapshot in edge-insertion order. Interning happens once at Freeze time;
@@ -17,15 +20,23 @@ const NoLabel Label = -1
 // to share across goroutines; the engine freezes a graph once per batch and
 // every worker evaluates against the same snapshot.
 //
-// Layout: for each direction, the half-edges of node u are grouped into
-// label slots. nodeOff[u:u+2] brackets u's slots; labels[slot] is the slot's
-// interned label (ascending within a node, so lookup is a binary search);
-// slotOff[slot:slot+2] brackets the slot's targets. All targets of u are
-// contiguous, so the any-label adjacency is the single slice spanning u's
-// slots — no separate wildcard index is needed.
+// Snapshots are maintained incrementally. The graph's topology mutations
+// are pure appends (AddNode extends the node list, AddEdge extends the edge
+// log), so a snapshot records a watermark — the prefix of the node list and
+// edge log it was built from — and the next Freeze after a small append
+// burst merges just the delta into the previous snapshot instead of
+// rebuilding from scratch (see buildDelta). Storage is copy-on-write:
+// untouched adjacency rows, per-label edge spans, the label interner and
+// the value interner are shared with the previous snapshot.
 type Snapshot struct {
 	g *Graph
 	n int
+
+	// frozenNodes/frozenEdges is the watermark into the graph's append-only
+	// node list and edge log: this snapshot reflects exactly
+	// g.nodes[:frozenNodes] and g.seq[:frozenEdges].
+	frozenNodes int
+	frozenEdges int
 
 	labels   []string
 	labelIDs map[string]Label
@@ -33,11 +44,11 @@ type Snapshot struct {
 	out csrDir
 	in  csrDir
 
-	// Per-label edge lists in insertion order (pairFrom/pairTo share the
-	// offsets): the interned counterpart of Graph.LabelPairs.
-	pairOff  []int32
-	pairFrom []int32
-	pairTo   []int32
+	// Per-label edge lists in insertion order, as chains of append-only
+	// segments (the interned counterpart of Graph.LabelPairs). A delta
+	// freeze extends a label's chain with one new span; existing spans are
+	// shared with the previous snapshot.
+	pairs []labelPairList
 
 	// Interned node values: valueID[u] ≥ 1 for every node; all null nodes
 	// share nullID (−1 when the graph has no nulls). Id 0 is reserved so
@@ -46,15 +57,61 @@ type Snapshot struct {
 	nullID    int32
 	numValues int
 
+	// valBase is the string→id interner built by the last full value pass;
+	// valExtra overlays ids assigned by delta freezes since (checked first).
+	// Both are immutable once the snapshot is published; a delta freeze that
+	// meets a genuinely new value clones the overlay before extending it.
+	valBase  map[string]int32
+	valExtra map[string]int32
+	valNext  int32
+
 	topoVersion uint64
 	valVersion  uint64
 }
 
-type csrDir struct {
-	nodeOff []int32 // len n+1: slot range per node
-	labels  []Label // per slot, ascending within each node
-	slotOff []int32 // len numSlots+1: target range per slot
+// csrSeg is one immutable storage segment of a CSR direction. A node's
+// adjacency row lives entirely inside one segment: its label slots are
+// consecutive in labels/slotOff and its targets consecutive in targets.
+type csrSeg struct {
+	labels  []Label // per slot, ascending within each row
+	slotOff []int32 // len(labels)+1: target range per slot
 	targets []int32
+}
+
+// csrRow locates one node's adjacency row: slot range [lo, hi) inside
+// segment seg.
+type csrRow struct {
+	seg    int32
+	lo, hi int32
+}
+
+// csrDir is one direction (out or in) of the label-grouped adjacency. A
+// full build produces a single segment holding every row; each delta freeze
+// appends one segment with the rebuilt rows of nodes touched by new
+// half-edges (plus the rows of new nodes) and redirects only those rows —
+// every other row keeps pointing into the older segments, which are shared
+// between the snapshots.
+type csrDir struct {
+	rows []csrRow
+	segs []*csrSeg
+
+	// dead counts targets stored in older segments but no longer referenced
+	// by any row (superseded by rewritten rows). It drives the compaction
+	// heuristic: once garbage would exceed live edges, Freeze falls back to
+	// a full rebuild.
+	dead int
+}
+
+// pairSeg is one insertion-order span of a label's edge list.
+type pairSeg struct {
+	from, to []int32
+}
+
+// labelPairList is a label's edge list as a chain of spans in insertion
+// order.
+type labelPairList struct {
+	segs  []pairSeg
+	total int32
 }
 
 // NumNodes returns the number of nodes.
@@ -92,24 +149,30 @@ func (s *Snapshot) NullValueID() int32 { return s.nullID }
 func (s *Snapshot) Value(u int) Value { return s.g.Value(u) }
 
 func (d *csrDir) labeled(u int, l Label) []int32 {
-	lo, hi := d.nodeOff[u], d.nodeOff[u+1]
-	// Binary search for l among u's slots.
+	r := d.rows[u]
+	sg := d.segs[r.seg]
+	lo, hi := r.lo, r.hi
+	// Binary search for l among u's slots. The overflow-safe midpoint
+	// matters: slot offsets are int32 and lo+hi can exceed MaxInt32 on
+	// snapshots whose segments hold more than 2³⁰ slots.
 	for lo < hi {
-		mid := (lo + hi) / 2
-		if d.labels[mid] < l {
+		mid := lo + (hi-lo)/2
+		if sg.labels[mid] < l {
 			lo = mid + 1
 		} else {
 			hi = mid
 		}
 	}
-	if lo < d.nodeOff[u+1] && d.labels[lo] == l {
-		return d.targets[d.slotOff[lo]:d.slotOff[lo+1]]
+	if lo < r.hi && sg.labels[lo] == l {
+		return sg.targets[sg.slotOff[lo]:sg.slotOff[lo+1]]
 	}
 	return nil
 }
 
 func (d *csrDir) all(u int) []int32 {
-	return d.targets[d.slotOff[d.nodeOff[u]]:d.slotOff[d.nodeOff[u+1]]]
+	r := d.rows[u]
+	sg := d.segs[r.seg]
+	return sg.targets[sg.slotOff[r.lo]:sg.slotOff[r.hi]]
 }
 
 // OutLabeled returns the successors of u along edges labeled l.
@@ -130,11 +193,19 @@ func (s *Snapshot) OutDegree(u int) int { return len(s.out.all(u)) }
 // HasOutLabeled reports whether u has at least one outgoing edge labeled l.
 func (s *Snapshot) HasOutLabeled(u int, l Label) bool { return len(s.out.labeled(u, l)) > 0 }
 
-// LabelEdges returns every edge labeled l as parallel from/to slices of
-// dense indices, in edge-insertion order. The slices must not be modified.
-func (s *Snapshot) LabelEdges(l Label) (from, to []int32) {
-	lo, hi := s.pairOff[l], s.pairOff[l+1]
-	return s.pairFrom[lo:hi], s.pairTo[lo:hi]
+// NumLabelEdges returns the number of edges labeled l.
+func (s *Snapshot) NumLabelEdges(l Label) int { return int(s.pairs[l].total) }
+
+// EachLabelEdge calls f for every edge labeled l as a (from, to) pair of
+// dense indices, in edge-insertion order. The edge list of a label is a
+// chain of append-only spans (delta freezes extend it without copying), so
+// iteration replaces the contiguous-slice accessor of earlier revisions.
+func (s *Snapshot) EachLabelEdge(l Label, f func(from, to int32)) {
+	for _, sp := range s.pairs[l].segs {
+		for i := range sp.from {
+			f(sp.from[i], sp.to[i])
+		}
+	}
 }
 
 // HasEdge reports whether (u, l, v) is an edge, scanning the shorter of the
@@ -158,26 +229,76 @@ func (s *Snapshot) HasEdge(u int, l Label, v int) bool {
 	return false
 }
 
-// buildSnapshot compiles the graph into a snapshot. When prev still matches
-// the graph's topology version, its CSR arrays are reused and only the value
-// interning is rebuilt (the SetValue-only invalidation path).
+// Delta-freeze heuristics. A delta freeze is strictly better for small
+// appends but loses to a full rebuild once the delta rivals the graph, the
+// segment chain grows long (pointer-chasing and garbage) or rewritten rows
+// have piled up too much garbage in old segments.
+const (
+	// maxCSRSegs caps the segment chain per direction.
+	maxCSRSegs = 64
+)
+
+// canDeltaFreeze reports whether the cached snapshot prev can be extended
+// to the current state of g by merging the appended suffix of the node list
+// and edge log (the only topology mutation the Graph API allows).
+func canDeltaFreeze(g *Graph, prev *Snapshot) bool {
+	if prev == nil || prev.g != g {
+		return false
+	}
+	// Defensive: the API keeps both logs append-only, so a cached snapshot
+	// is always a prefix; never delta-merge if that invariant is broken.
+	if prev.frozenNodes > len(g.nodes) || prev.frozenEdges > len(g.seq) {
+		return false
+	}
+	if len(prev.out.segs) >= maxCSRSegs || len(prev.in.segs) >= maxCSRSegs {
+		return false
+	}
+	if prev.out.dead+prev.in.dead > 2*len(g.seq) {
+		return false
+	}
+	// A delta rivaling the live graph merges more than a rebuild costs.
+	deltaN := len(g.nodes) - prev.frozenNodes
+	deltaE := len(g.seq) - prev.frozenEdges
+	return 4*(deltaN+deltaE) <= len(g.nodes)+len(g.seq)
+}
+
+// buildSnapshot compiles the graph into a snapshot. Three paths, cheapest
+// first:
+//
+//   - prev matches the topology version exactly: only values changed
+//     (SetValue), so every topology structure is reused and values are
+//     re-interned;
+//   - prev is a prefix of the current node list and edge log and the delta
+//     is small: buildDelta merges the appended suffix into prev;
+//   - otherwise: full rebuild.
 func buildSnapshot(g *Graph, prev *Snapshot) *Snapshot {
 	if prev != nil && prev.topoVersion == g.topoVersion && prev.g == g {
 		s := &Snapshot{
 			g: g, n: prev.n,
+			frozenNodes: prev.frozenNodes, frozenEdges: prev.frozenEdges,
 			labels: prev.labels, labelIDs: prev.labelIDs,
 			out: prev.out, in: prev.in,
-			pairOff: prev.pairOff, pairFrom: prev.pairFrom, pairTo: prev.pairTo,
+			pairs:       prev.pairs,
 			topoVersion: g.topoVersion,
 			valVersion:  g.valVersion,
 		}
-		s.internValues()
+		s.internValuesFull()
 		return s
 	}
+	if canDeltaFreeze(g, prev) {
+		return buildDelta(g, prev)
+	}
+	return buildFull(g)
+}
 
+// buildFull compiles the graph from scratch: one CSR segment per direction,
+// one span per label, fresh interners.
+func buildFull(g *Graph) *Snapshot {
 	n := len(g.nodes)
 	s := &Snapshot{
 		g: g, n: n,
+		frozenNodes: n,
+		frozenEdges: len(g.seq),
 		labelIDs:    make(map[string]Label),
 		topoVersion: g.topoVersion,
 		valVersion:  g.valVersion,
@@ -192,65 +313,258 @@ func buildSnapshot(g *Graph, prev *Snapshot) *Snapshot {
 	}
 	nl := len(s.labels)
 
-	// Per-label edge lists: counting pass, then fill in insertion order.
-	s.pairOff = make([]int32, nl+1)
+	// Per-label edge lists: counting pass, then fill in insertion order,
+	// then carve one span per label out of the two backing arrays.
+	pairOff := make([]int32, nl+1)
 	for i := range g.seq {
-		s.pairOff[s.labelIDs[g.seq[i].label]+1]++
+		pairOff[s.labelIDs[g.seq[i].label]+1]++
 	}
 	for l := 0; l < nl; l++ {
-		s.pairOff[l+1] += s.pairOff[l]
+		pairOff[l+1] += pairOff[l]
 	}
-	s.pairFrom = make([]int32, len(g.seq))
-	s.pairTo = make([]int32, len(g.seq))
+	pairFrom := make([]int32, len(g.seq))
+	pairTo := make([]int32, len(g.seq))
 	fill := make([]int32, nl)
 	for i := range g.seq {
 		e := &g.seq[i]
 		l := s.labelIDs[e.label]
-		at := s.pairOff[l] + fill[l]
+		at := pairOff[l] + fill[l]
 		fill[l]++
-		s.pairFrom[at] = e.from
-		s.pairTo[at] = e.to
+		pairFrom[at] = e.from
+		pairTo[at] = e.to
+	}
+	s.pairs = make([]labelPairList, nl)
+	for l := 0; l < nl; l++ {
+		lo, hi := pairOff[l], pairOff[l+1]
+		s.pairs[l] = labelPairList{
+			segs:  []pairSeg{{from: pairFrom[lo:hi:hi], to: pairTo[lo:hi:hi]}},
+			total: hi - lo,
+		}
 	}
 
 	adj := g.adj()
 	s.out = buildCSR(n, adj.out, s.labelIDs)
 	s.in = buildCSR(n, adj.in, s.labelIDs)
-	s.internValues()
+	s.internValuesFull()
 	return s
 }
 
-// buildCSR compiles one direction of per-node half-edge lists into label-
-// grouped CSR form. Within a (node, label) slot, targets keep their
-// insertion order, matching Graph.OutEdges/InEdges.
+// buildDelta extends prev to cover the appended suffix of the graph's node
+// list and edge log: the label interner and per-label edge lists grow
+// monotonically, only the CSR rows of nodes incident to new half-edges are
+// rebuilt (into one fresh segment per direction), and everything untouched
+// is shared with prev. Cost is O(V_rows + Δ + Σ deg(touched)) — the per-node
+// row table and value-id array are copied, but none of the label slots,
+// targets or pair spans of untouched nodes are.
+func buildDelta(g *Graph, prev *Snapshot) *Snapshot {
+	n0, e0 := prev.frozenNodes, prev.frozenEdges
+	n1, e1 := len(g.nodes), len(g.seq)
+	delta := g.seq[e0:e1]
+
+	s := &Snapshot{
+		g: g, n: n1,
+		frozenNodes: n1,
+		frozenEdges: e1,
+		labels:      prev.labels,
+		labelIDs:    prev.labelIDs,
+		topoVersion: g.topoVersion,
+		valVersion:  g.valVersion,
+	}
+
+	// Extend the label interner monotonically: ids of existing labels are
+	// stable, new labels take the next ids in first-appearance order —
+	// exactly the ids a full rebuild over the whole log would assign. The
+	// shared map and slice are cloned copy-on-write only if a new label
+	// actually appears.
+	internerCloned := false
+	for i := range delta {
+		name := delta[i].label
+		if _, ok := s.labelIDs[name]; !ok {
+			if !internerCloned {
+				s.labelIDs = maps.Clone(s.labelIDs)
+				s.labels = s.labels[:len(s.labels):len(s.labels)]
+				internerCloned = true
+			}
+			s.labelIDs[name] = Label(len(s.labels))
+			s.labels = append(s.labels, name)
+		}
+	}
+	nl := len(s.labels)
+
+	// Per-label edge lists: one new span per label that gained edges,
+	// appended to the (shared) chain.
+	cnt := make([]int32, nl)
+	for i := range delta {
+		cnt[s.labelIDs[delta[i].label]]++
+	}
+	off := make([]int32, nl+1)
+	for l := 0; l < nl; l++ {
+		off[l+1] = off[l] + cnt[l]
+	}
+	dFrom := make([]int32, len(delta))
+	dTo := make([]int32, len(delta))
+	fill := make([]int32, nl)
+	for i := range delta {
+		e := &delta[i]
+		l := s.labelIDs[e.label]
+		at := off[l] + fill[l]
+		fill[l]++
+		dFrom[at] = e.from
+		dTo[at] = e.to
+	}
+	s.pairs = make([]labelPairList, nl)
+	copy(s.pairs, prev.pairs)
+	for l := 0; l < nl; l++ {
+		if cnt[l] == 0 {
+			continue
+		}
+		lo, hi := off[l], off[l+1]
+		lp := s.pairs[l]
+		lp.segs = append(lp.segs[:len(lp.segs):len(lp.segs)],
+			pairSeg{from: dFrom[lo:hi:hi], to: dTo[lo:hi:hi]})
+		lp.total += cnt[l]
+		s.pairs[l] = lp
+	}
+
+	// Per-direction delta half-edges, grouped by the endpoint whose row they
+	// extend, in log order.
+	dOut := make(map[int32][]slotEdge)
+	dIn := make(map[int32][]slotEdge)
+	for i := range delta {
+		e := &delta[i]
+		l := s.labelIDs[e.label]
+		dOut[e.from] = append(dOut[e.from], slotEdge{label: l, to: e.to})
+		dIn[e.to] = append(dIn[e.to], slotEdge{label: l, to: e.from})
+	}
+	s.out = deltaCSR(&prev.out, n0, n1, dOut)
+	s.in = deltaCSR(&prev.in, n0, n1, dIn)
+
+	if prev.valVersion == g.valVersion {
+		s.internValuesDelta(prev)
+	} else {
+		// Values were overwritten since prev; re-intern from scratch (the
+		// same cost the SetValue-only reuse path already pays).
+		s.internValuesFull()
+	}
+	return s
+}
+
+// deltaCSR extends one CSR direction: rows of old nodes with new half-edges
+// are merged (old slots + delta, label order preserved) into one fresh
+// segment, rows of new nodes are built there too, and every other row keeps
+// pointing into the shared older segments.
+func deltaCSR(prev *csrDir, n0, n1 int, deltaHE map[int32][]slotEdge) csrDir {
+	seg := &csrSeg{}
+	segIdx := int32(len(prev.segs))
+	d := csrDir{
+		rows: make([]csrRow, n1),
+		segs: append(prev.segs[:len(prev.segs):len(prev.segs)], seg),
+		dead: prev.dead,
+	}
+	copy(d.rows, prev.rows)
+
+	// Touched old nodes, ascending for determinism.
+	touched := make([]int32, 0, len(deltaHE))
+	for u := range deltaHE {
+		if int(u) < n0 {
+			touched = append(touched, u)
+		}
+	}
+	sort.Slice(touched, func(i, j int) bool { return touched[i] < touched[j] })
+
+	for _, u := range touched {
+		r := prev.rows[u]
+		src := prev.segs[r.seg]
+		d.dead += int(src.slotOff[r.hi] - src.slotOff[r.lo])
+		des := deltaHE[u]
+		sortSlotEdges(des)
+		lo := int32(len(seg.labels))
+		mergeRow(seg, src, r, des)
+		d.rows[u] = csrRow{seg: segIdx, lo: lo, hi: int32(len(seg.labels))}
+	}
+	for u := n0; u < n1; u++ {
+		des := deltaHE[int32(u)]
+		sortSlotEdges(des)
+		lo := int32(len(seg.labels))
+		appendRow(seg, des)
+		d.rows[u] = csrRow{seg: segIdx, lo: lo, hi: int32(len(seg.labels))}
+	}
+	seg.slotOff = append(seg.slotOff, int32(len(seg.targets)))
+	return d
+}
+
+// mergeRow appends to dst the merge of one old row (slots already ascending
+// by label) with its label-sorted delta half-edges. Within a label, old
+// targets precede delta targets — exactly the order a full rebuild over the
+// whole log produces, since old edges precede delta edges in the log and
+// the slot sort is stable.
+func mergeRow(dst, src *csrSeg, r csrRow, des []slotEdge) {
+	si := r.lo
+	di := 0
+	for si < r.hi || di < len(des) {
+		var l Label
+		switch {
+		case di >= len(des):
+			l = src.labels[si]
+		case si >= r.hi:
+			l = des[di].label
+		case src.labels[si] < des[di].label:
+			l = src.labels[si]
+		default:
+			l = des[di].label
+		}
+		dst.labels = append(dst.labels, l)
+		dst.slotOff = append(dst.slotOff, int32(len(dst.targets)))
+		if si < r.hi && src.labels[si] == l {
+			dst.targets = append(dst.targets, src.targets[src.slotOff[si]:src.slotOff[si+1]]...)
+			si++
+		}
+		for di < len(des) && des[di].label == l {
+			dst.targets = append(dst.targets, des[di].to)
+			di++
+		}
+	}
+}
+
+// appendRow appends one row built from label-sorted half-edges to the
+// segment.
+func appendRow(seg *csrSeg, des []slotEdge) {
+	for i := 0; i < len(des); {
+		l := des[i].label
+		seg.labels = append(seg.labels, l)
+		seg.slotOff = append(seg.slotOff, int32(len(seg.targets)))
+		for i < len(des) && des[i].label == l {
+			seg.targets = append(seg.targets, des[i].to)
+			i++
+		}
+	}
+}
+
+// buildCSR compiles one direction of per-node half-edge lists into a
+// single-segment label-grouped CSR. Within a (node, label) slot, targets
+// keep their insertion order, matching Graph.OutEdges/InEdges.
 func buildCSR(n int, adj [][]HalfEdge, labelIDs map[string]Label) csrDir {
 	totalEdges := 0
 	for _, hes := range adj {
 		totalEdges += len(hes)
 	}
+	seg := &csrSeg{targets: make([]int32, 0, totalEdges)}
 	d := csrDir{
-		nodeOff: make([]int32, n+1),
-		targets: make([]int32, 0, totalEdges),
+		rows: make([]csrRow, n),
+		segs: []*csrSeg{seg},
 	}
 	var scratch []slotEdge
 	for u := 0; u < n; u++ {
-		hes := adj[u]
 		scratch = scratch[:0]
-		for _, he := range hes {
+		for _, he := range adj[u] {
 			scratch = append(scratch, slotEdge{label: labelIDs[he.Label], to: int32(he.To)})
 		}
 		sortSlotEdges(scratch)
-		for i := 0; i < len(scratch); {
-			l := scratch[i].label
-			d.labels = append(d.labels, l)
-			d.slotOff = append(d.slotOff, int32(len(d.targets)))
-			for i < len(scratch) && scratch[i].label == l {
-				d.targets = append(d.targets, scratch[i].to)
-				i++
-			}
-		}
-		d.nodeOff[u+1] = int32(len(d.labels))
+		lo := int32(len(seg.labels))
+		appendRow(seg, scratch)
+		d.rows[u] = csrRow{seg: 0, lo: lo, hi: int32(len(seg.labels))}
 	}
-	d.slotOff = append(d.slotOff, int32(len(d.targets)))
+	seg.slotOff = append(seg.slotOff, int32(len(seg.targets)))
 	return d
 }
 
@@ -279,9 +593,9 @@ func sortSlotEdges(s []slotEdge) {
 	}
 }
 
-// internValues assigns dense ids (starting at 1) to the distinct data
+// internValuesFull assigns dense ids (starting at 1) to the distinct data
 // values of the graph; all null nodes share one id.
-func (s *Snapshot) internValues() {
+func (s *Snapshot) internValuesFull() {
 	g := s.g
 	s.valueID = make([]int32, s.n)
 	s.nullID = -1
@@ -305,5 +619,55 @@ func (s *Snapshot) internValues() {
 		}
 		s.valueID[i] = id
 	}
+	s.valBase = ids
+	s.valExtra = nil
+	s.valNext = next
+	s.numValues = int(next - 1)
+}
+
+// internValuesDelta extends prev's value interning to the appended nodes.
+// Valid only when no SetValue happened since prev: existing ids are then
+// stable, and new values take the next ids in node order — the same ids a
+// full pass assigns. New values extend a copy-on-write overlay so prev's
+// interner is never mutated.
+func (s *Snapshot) internValuesDelta(prev *Snapshot) {
+	g := s.g
+	s.valueID = make([]int32, s.n)
+	copy(s.valueID, prev.valueID)
+	s.nullID = prev.nullID
+	s.valBase = prev.valBase
+	s.valExtra = prev.valExtra
+	next := prev.valNext
+	extraCloned := false
+	for i := prev.frozenNodes; i < s.n; i++ {
+		v := g.nodes[i].Value
+		if v.IsNull() {
+			if s.nullID < 0 {
+				s.nullID = next
+				next++
+			}
+			s.valueID[i] = s.nullID
+			continue
+		}
+		id, ok := s.valExtra[v.s]
+		if !ok {
+			id, ok = s.valBase[v.s]
+		}
+		if !ok {
+			if !extraCloned {
+				if s.valExtra == nil {
+					s.valExtra = make(map[string]int32)
+				} else {
+					s.valExtra = maps.Clone(s.valExtra)
+				}
+				extraCloned = true
+			}
+			id = next
+			next++
+			s.valExtra[v.s] = id
+		}
+		s.valueID[i] = id
+	}
+	s.valNext = next
 	s.numValues = int(next - 1)
 }

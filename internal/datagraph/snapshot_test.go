@@ -32,16 +32,20 @@ func TestSnapshotAgreesWithIndexes(t *testing.T) {
 			if snap.LabelName(l) != lab {
 				t.Fatalf("trial %d: LabelName round-trip broke for %q", trial, lab)
 			}
-			from, to := snap.LabelEdges(l)
 			pairs := g.LabelPairs(lab)
-			if len(from) != len(pairs) {
-				t.Fatalf("trial %d: LabelEdges(%q) has %d edges, index %d", trial, lab, len(from), len(pairs))
+			if snap.NumLabelEdges(l) != len(pairs) {
+				t.Fatalf("trial %d: NumLabelEdges(%q) = %d, index %d", trial, lab, snap.NumLabelEdges(l), len(pairs))
 			}
-			for i, p := range pairs {
-				if int(from[i]) != p.From || int(to[i]) != p.To {
-					t.Fatalf("trial %d: LabelEdges(%q)[%d] = (%d,%d), want %v",
-						trial, lab, i, from[i], to[i], p)
+			i := 0
+			snap.EachLabelEdge(l, func(from, to int32) {
+				if i < len(pairs) && (int(from) != pairs[i].From || int(to) != pairs[i].To) {
+					t.Fatalf("trial %d: EachLabelEdge(%q)[%d] = (%d,%d), want %v",
+						trial, lab, i, from, to, pairs[i])
 				}
+				i++
+			})
+			if i != len(pairs) {
+				t.Fatalf("trial %d: EachLabelEdge(%q) visited %d edges, index %d", trial, lab, i, len(pairs))
 			}
 			for u := 0; u < nodes; u++ {
 				wantOut := g.OutEdges(u, lab)
@@ -151,21 +155,21 @@ func TestFreezeCaching(t *testing.T) {
 	if s2 == s1 {
 		t.Fatal("Freeze must rebuild after SetValue")
 	}
-	if &s2.pairFrom[0] != &s1.pairFrom[0] {
+	if s2.out.segs[0] != s1.out.segs[0] || &s2.pairs[0].segs[0].from[0] != &s1.pairs[0].segs[0].from[0] {
 		t.Fatal("a SetValue-only rebuild must reuse the CSR topology")
 	}
 	if s2.Value(0) != V("9") {
 		t.Fatal("rebuilt snapshot must see the new value")
 	}
 
-	// Topology mutation: full rebuild.
+	// Topology mutation: rebuild (incremental or full) must see the edge.
 	g.MustAddEdge("b", "e", "a")
 	if g.Snapshot() != nil {
 		t.Fatal("Snapshot must be nil after AddEdge")
 	}
 	s3 := g.Freeze()
-	if len(s3.pairFrom) != 2 {
-		t.Fatalf("rebuilt snapshot has %d edges, want 2", len(s3.pairFrom))
+	if l, ok := s3.LabelID("e"); !ok || s3.NumLabelEdges(l) != 2 {
+		t.Fatalf("rebuilt snapshot does not have 2 e-edges")
 	}
 }
 

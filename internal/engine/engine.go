@@ -158,10 +158,17 @@ func EvalGraph(ctx context.Context, g *datagraph.Graph, q core.Query, mode datag
 // signature has no error return, so evaluation errors (context
 // cancellation) are parked in the returned error slot; callers must check
 // it after the core algorithm returns and discard the (truncated) answers
-// when it is set.
+// when it is set. Once an error is parked the hook short-circuits: later
+// calls return an empty set immediately instead of re-entering EvalGraph,
+// so a cancelled core algorithm winds down without doing further
+// evaluation work, and the first error is preserved rather than
+// overwritten by the cascade that follows it.
 func captureEvalFunc(ctx context.Context, opts Options) (core.EvalFunc, *error) {
 	evalErr := new(error)
 	return func(g *datagraph.Graph, q core.Query, mode datagraph.CompareMode) *datagraph.PairSet {
+		if *evalErr != nil {
+			return datagraph.NewPairSet()
+		}
 		res, err := EvalGraph(ctx, g, q, mode, opts)
 		if err != nil {
 			*evalErr = err
@@ -184,7 +191,10 @@ type job struct {
 // work item and returns one PairSet per query.
 //
 // The graph is frozen exactly once, up front, so every worker evaluates
-// against one shared immutable snapshot. Result sets are dense bitmap
+// against one shared immutable snapshot. Freezing is incremental
+// (datagraph delta snapshots), so in update-heavy workloads — query
+// batches separated by AddEdge/SetValue bursts — each batch pays only for
+// the delta since the previous batch, not an O(V+E) rebuild. Result sets are dense bitmap
 // PairSets (when the graph fits the dense budget); frontier work items for
 // the same query touch disjoint start nodes and therefore disjoint bitmap
 // rows, so workers write answers straight into the shared result set

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -219,5 +220,63 @@ func TestFrontierPruning(t *testing.T) {
 	}
 	if !got.Equal(want) {
 		t.Fatalf("pruned evaluation differs: got %d pairs, want %d", got.Len(), want.Len())
+	}
+}
+
+// cancellingQuery is a frontier-sharded fake query that counts evaluation
+// calls and cancels its context on the first one — the scenario where an
+// engine-backed certain-answer computation is torn down mid-flight.
+type cancellingQuery struct {
+	evals  *atomic.Int32
+	cancel context.CancelFunc
+}
+
+func (q *cancellingQuery) Eval(g *datagraph.Graph, mode datagraph.CompareMode) *datagraph.PairSet {
+	q.evals.Add(1)
+	q.cancel()
+	return datagraph.NewPairSet()
+}
+
+func (q *cancellingQuery) EvalFrom(g *datagraph.Graph, u int, mode datagraph.CompareMode) []int {
+	q.evals.Add(1)
+	q.cancel()
+	return nil
+}
+
+// TestCaptureEvalFuncShortCircuits checks the error-parking contract of the
+// core.EvalFunc adapter: after the first evaluation error the hook must
+// stop doing evaluation work entirely — every later call returns an empty
+// set without re-entering EvalGraph — and the first parked error survives.
+func TestCaptureEvalFuncShortCircuits(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	g := testGraph(7)
+	var evals atomic.Int32
+	q := &cancellingQuery{evals: &evals, cancel: cancel}
+	eval, evalErr := captureEvalFunc(ctx, Options{Workers: 2, ChunkSize: 4})
+
+	if res := eval(g, q, datagraph.SQLNulls); res.Len() != 0 {
+		t.Fatal("a failed evaluation must contribute no answers")
+	}
+	if *evalErr == nil {
+		t.Fatal("cancellation during evaluation must park an error")
+	}
+	first := *evalErr
+	baseline := evals.Load()
+	if baseline == 0 {
+		t.Fatal("the fake query was never evaluated")
+	}
+	// The core algorithms keep calling the hook for every remaining
+	// specialization; none of those calls may do evaluation work.
+	for i := 0; i < 5; i++ {
+		if res := eval(g, q, datagraph.SQLNulls); res.Len() != 0 {
+			t.Fatal("short-circuited hook must return an empty set")
+		}
+	}
+	if got := evals.Load(); got != baseline {
+		t.Fatalf("hook re-entered evaluation after an error was parked (%d calls, want %d)", got, baseline)
+	}
+	if *evalErr != first {
+		t.Fatal("the first parked error must be preserved")
 	}
 }

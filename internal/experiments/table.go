@@ -91,5 +91,6 @@ func All() []Experiment {
 		{"E11", "static analysis constructions (Thm 7)", E11StaticAnalysis},
 		{"E12", "combined complexity REE vs REM (Thm 3)", E12Combined},
 		{"E13", "static analysis of data RPQs (§3 citations)", E13StaticDataRPQ},
+		{"E14", "incremental snapshot maintenance under updates", E14Streaming},
 	}
 }

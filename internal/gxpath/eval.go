@@ -41,13 +41,10 @@ func evalPath(g *datagraph.Graph, snap *datagraph.Snapshot, p PathExpr, mode dat
 		out := newRel(g, snap)
 		if snap != nil {
 			if l, ok := snap.LabelID(t.Label); ok {
-				from, to := snap.LabelEdges(l)
-				for i := range from {
-					if t.Inverse {
-						out.Add(int(to[i]), int(from[i]))
-					} else {
-						out.Add(int(from[i]), int(to[i]))
-					}
+				if t.Inverse {
+					snap.EachLabelEdge(l, func(from, to int32) { out.Add(int(to), int(from)) })
+				} else {
+					snap.EachLabelEdge(l, func(from, to int32) { out.Add(int(from), int(to)) })
 				}
 			}
 			return out

@@ -1,0 +1,117 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/datagraph"
+)
+
+// StreamSpec parameterises Streaming: a base random graph followed by
+// rounds of mutation bursts, mimicking continuous data exchange from a
+// relational source — edge appends dominate, node appends and value
+// overwrites ride along. Between rounds the caller runs its query batch
+// (the experiments and benchmarks use the engine's certain-answer
+// evaluation), which is exactly the interleaved update/query regime the
+// incremental snapshot maintenance targets.
+type StreamSpec struct {
+	// Base is the graph at round zero.
+	Base GraphSpec
+	// Rounds is the number of mutation bursts the scenario runs (used by
+	// the driver; the Stream itself keeps producing bursts on demand).
+	Rounds int
+	// EdgesPerRound is the number of edge appends per burst.
+	EdgesPerRound int
+	// NodesPerRound is the number of fresh nodes appended per burst.
+	NodesPerRound int
+	// SetValuesPerRound is the number of value overwrites per burst.
+	SetValuesPerRound int
+	// Seed drives the burst stream (the base graph uses Base.Seed).
+	Seed int64
+}
+
+// withDefaults fills unset knobs with a read-heavy default mix.
+func (s StreamSpec) withDefaults() StreamSpec {
+	if s.Base.Nodes == 0 {
+		s.Base = GraphSpec{Nodes: 500, Edges: 1500, Labels: []string{"a", "b"}, Values: 50, Seed: s.Seed}
+	}
+	if len(s.Base.Labels) == 0 {
+		s.Base.Labels = []string{"a", "b"}
+	}
+	if s.Base.Values <= 0 {
+		s.Base.Values = s.Base.Nodes
+	}
+	if s.Rounds <= 0 {
+		s.Rounds = 10
+	}
+	if s.EdgesPerRound <= 0 {
+		s.EdgesPerRound = 50
+	}
+	return s
+}
+
+// Stream is a deterministic update-heavy workload generator: the graph
+// plus a pseudo-random burst source. All mutation goes through the public
+// append-only Graph API, so a frozen snapshot always remains a prefix of
+// the stream and every re-freeze can be incremental.
+type Stream struct {
+	// G is the evolving data graph. Callers query it between bursts.
+	G *datagraph.Graph
+
+	spec  StreamSpec
+	rng   *rand.Rand
+	nodes int // nodes created so far (dense id source)
+}
+
+// Streaming builds the round-zero graph and the burst source for the spec.
+// Everything is a pure function of the spec (including its seeds).
+func Streaming(spec StreamSpec) *Stream {
+	spec = spec.withDefaults()
+	return &Stream{
+		G:     RandomGraph(spec.Base),
+		spec:  spec,
+		rng:   rand.New(rand.NewSource(spec.Seed)),
+		nodes: spec.Base.Nodes,
+	}
+}
+
+// Spec returns the (default-filled) spec the stream runs.
+func (s *Stream) Spec() StreamSpec { return s.spec }
+
+// Tick applies one mutation burst: NodesPerRound fresh nodes, then
+// EdgesPerRound edge appends over the grown node set, then
+// SetValuesPerRound value overwrites. Endpoints, labels and values are
+// drawn with the same distributions as RandomGraph.
+func (s *Stream) Tick() {
+	spec := s.spec
+	for i := 0; i < spec.NodesPerRound; i++ {
+		v := skewed(s.rng, spec.Base.Values)
+		s.G.MustAddNode(nodeID(s.nodes), datagraph.V(fmt.Sprintf("d%d", v)))
+		s.nodes++
+	}
+	for i := 0; i < spec.EdgesPerRound; i++ {
+		from := s.rng.Intn(s.nodes)
+		to := s.rng.Intn(s.nodes)
+		label := spec.Base.Labels[s.rng.Intn(len(spec.Base.Labels))]
+		s.G.MustAddEdge(nodeID(from), label, nodeID(to))
+	}
+	for i := 0; i < spec.SetValuesPerRound; i++ {
+		u := s.rng.Intn(s.nodes)
+		s.G.SetValue(u, datagraph.V(fmt.Sprintf("d%d", skewed(s.rng, spec.Base.Values))))
+	}
+}
+
+// Run drives the full scenario: Rounds bursts, calling query after every
+// burst with the round number and the current graph. It is the shared
+// driver for the streaming experiment and benchmarks.
+func (s *Stream) Run(query func(round int, g *datagraph.Graph) error) error {
+	for round := 0; round < s.spec.Rounds; round++ {
+		s.Tick()
+		if query != nil {
+			if err := query(round, s.G); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
