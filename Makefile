@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-json bench-diff lint fmt vet ci
+.PHONY: build test test-race bench bench-smoke bench-json bench-diff lint fmt vet api-check api-update ci
 
 build:
 	$(GO) build ./...
@@ -36,6 +36,15 @@ bench-json:
 bench-diff:
 	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
+# Public-API surface guard: the exported facade (repro package) must match
+# the committed api.txt golden, so PRs can't silently break downstream
+# users. After an intentional API change: make api-update && commit api.txt.
+api-check:
+	$(GO) run ./cmd/apicheck
+
+api-update:
+	$(GO) run ./cmd/apicheck -write
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -47,4 +56,4 @@ vet:
 
 lint: fmt vet
 
-ci: build lint test-race bench-smoke bench-json
+ci: build lint api-check test-race bench-smoke bench-json

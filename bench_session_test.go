@@ -1,0 +1,105 @@
+package repro
+
+// Session-API benchmarks (the serving scenario of the session redesign): a
+// stream of 50 distinct queries against one fixed (M, Gs) pair, as a
+// certain-answer service would run it. The legacy path rebuilds the
+// universal solution per call; the session memoizes it for the whole
+// stream. Run with -bench QueryStream to reproduce the speedup reported in
+// CHANGES.md (acceptance bar: ≥5×).
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+const sessionBenchQueries = 50
+
+// sessionBenchWorkload is the serving scenario: a source graph whose bulk
+// lives in two high-volume relations (a, b) plus one small hot relation
+// (c), a mapping exchanging all three, and a stream of 50 selective
+// path-with-tests queries against the hot relation's target labels. Per
+// call, the legacy path pays solution materialization (proportional to the
+// bulk); the queries themselves are cheap — the regime session memoization
+// targets.
+func sessionBenchWorkload() (*Graph, *Mapping, []Query) {
+	gs := workload.RandomGraph(workload.GraphSpec{
+		Nodes: 1000, Edges: 3000, Labels: []string{"a", "b", "c"},
+		LabelWeights: []int{30, 30, 1}, Values: 200, Seed: 51,
+	})
+	m := NewMapping(R("a", "p q"), R("b", "r q"), R("c", "s t"))
+	queries := workload.QueryStream(workload.QueryStreamSpec{
+		Labels: []string{"s", "t"}, N: sessionBenchQueries,
+		Shape: workload.ShapePaths, Depth: 2, AllowNeq: true, Seed: 51,
+	})
+	out := make([]Query, len(queries))
+	for i, q := range queries {
+		out[i] = q
+	}
+	return gs, m, out
+}
+
+// BenchmarkLegacyQueryStream is the pre-session serving cost: one
+// CertainNull free-function call per query, each re-deriving the universal
+// solution and its snapshot.
+func BenchmarkLegacyQueryStream(b *testing.B) {
+	gs, m, queries := sessionBenchWorkload()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, q := range queries {
+			if _, err := CertainNull(m, gs, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSessionQueryStream runs the same stream through one Session:
+// compile once, materialize once, evaluate 50 queries against the shared
+// memoized solution.
+func BenchmarkSessionQueryStream(b *testing.B) {
+	gs, m, queries := sessionBenchWorkload()
+	cm := MustCompile(m)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := NewSession(cm, gs, WithChunkSize(256))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range queries {
+			if _, err := s.CertainNull(ctx, q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkSessionQueryStreamPrepared is the fully-prepared variant:
+// queries prepared and bound up front, mirroring a query cache in front of
+// a serving deployment.
+func BenchmarkSessionQueryStreamPrepared(b *testing.B) {
+	gs, m, queries := sessionBenchWorkload()
+	cm := MustCompile(m)
+	ctx := context.Background()
+	s, err := NewSession(cm, gs, WithChunkSize(256))
+	if err != nil {
+		b.Fatal(err)
+	}
+	prepared := make([]*PreparedQuery, len(queries))
+	for i, q := range queries {
+		prepared[i] = PrepareQuery(q)
+		if err := prepared[i].Bind(ctx, s); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range prepared {
+			if _, err := s.CertainNull(ctx, p); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+// Command apicheck guards the public facade: it renders the exported API
+// surface of the root repro package — functions, methods on exported types,
+// types, consts and vars — into a canonical sorted line format and compares
+// it against the committed api.txt golden. CI runs it via `make api-check`,
+// so a PR cannot silently change or drop a public symbol: an intentional
+// change regenerates the golden with `make api-update` (-write) and shows
+// up in review as an api.txt diff.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory of the package to check")
+	golden := flag.String("golden", "api.txt", "golden file (relative to -dir unless absolute)")
+	write := flag.Bool("write", false, "regenerate the golden instead of checking")
+	flag.Parse()
+
+	goldenPath := *golden
+	if !filepath.IsAbs(goldenPath) {
+		goldenPath = filepath.Join(*dir, *golden)
+	}
+	surface, err := Surface(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "apicheck:", err)
+		os.Exit(1)
+	}
+	if *write {
+		if err := os.WriteFile(goldenPath, []byte(surface), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "apicheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: wrote %s (%d lines)\n", goldenPath, strings.Count(surface, "\n"))
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v (run `make api-update` to create it)\n", err)
+		os.Exit(1)
+	}
+	diff := Diff(string(want), surface)
+	if diff != "" {
+		fmt.Fprintf(os.Stderr, "apicheck: public API surface drifted from %s:\n%s", goldenPath, diff)
+		fmt.Fprintln(os.Stderr, "apicheck: if intentional, run `make api-update` and commit the api.txt diff")
+		os.Exit(1)
+	}
+	fmt.Println("apicheck: API surface matches", goldenPath)
+}
+
+// Surface renders the exported API of the package in dir as sorted lines,
+// one declaration each.
+func Surface(dir string) (string, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	var lines []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			return "", err
+		}
+		lines = append(lines, fileSurface(fset, f)...)
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n", nil
+}
+
+func fileSurface(fset *token.FileSet, f *ast.File) []string {
+	var lines []string
+	for _, decl := range f.Decls {
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			if !d.Name.IsExported() {
+				continue
+			}
+			if d.Recv != nil {
+				recv, exported := recvString(fset, d.Recv)
+				if !exported {
+					continue
+				}
+				lines = append(lines,
+					fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, signature(fset, d.Type)))
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("func %s%s", d.Name.Name, signature(fset, d.Type)))
+		case *ast.GenDecl:
+			for _, spec := range d.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					if !sp.Name.IsExported() {
+						continue
+					}
+					kind := typeKind(sp)
+					lines = append(lines, fmt.Sprintf("type %s %s", sp.Name.Name, kind))
+				case *ast.ValueSpec:
+					for _, n := range sp.Names {
+						if !n.IsExported() {
+							continue
+						}
+						switch d.Tok {
+						case token.CONST:
+							lines = append(lines, "const "+n.Name)
+						case token.VAR:
+							lines = append(lines, "var "+n.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// signature renders a FuncType as "(params) results", with parameter names
+// dropped so renames don't churn the golden.
+func signature(fset *token.FileSet, ft *ast.FuncType) string {
+	stripped := &ast.FuncType{
+		Params:  stripNames(ft.Params),
+		Results: stripNames(ft.Results),
+	}
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, stripped); err != nil {
+		return "(?)"
+	}
+	return strings.TrimPrefix(buf.String(), "func")
+}
+
+func stripNames(fl *ast.FieldList) *ast.FieldList {
+	if fl == nil {
+		return nil
+	}
+	out := &ast.FieldList{}
+	for _, f := range fl.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out.List = append(out.List, &ast.Field{Type: f.Type})
+		}
+	}
+	return out
+}
+
+// recvString renders a receiver type and reports whether it is exported.
+func recvString(fset *token.FileSet, recv *ast.FieldList) (string, bool) {
+	if len(recv.List) == 0 {
+		return "", false
+	}
+	t := recv.List[0].Type
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, fset, t); err != nil {
+		return "", false
+	}
+	base := t
+	if star, ok := t.(*ast.StarExpr); ok {
+		base = star.X
+	}
+	if id, ok := base.(*ast.Ident); ok {
+		return buf.String(), id.IsExported()
+	}
+	// Generic receivers: Name[T] — take the index expression's base.
+	if idx, ok := base.(*ast.IndexExpr); ok {
+		if id, ok := idx.X.(*ast.Ident); ok {
+			return buf.String(), id.IsExported()
+		}
+	}
+	return buf.String(), false
+}
+
+func typeKind(sp *ast.TypeSpec) string {
+	if sp.Assign.IsValid() {
+		return "= alias"
+	}
+	switch sp.Type.(type) {
+	case *ast.StructType:
+		return "struct"
+	case *ast.InterfaceType:
+		return "interface"
+	case *ast.FuncType:
+		return "func"
+	default:
+		return "decl"
+	}
+}
+
+// Diff reports golden lines missing from got and got lines absent from the
+// golden, prefixed -/+; empty means identical surfaces.
+func Diff(want, got string) string {
+	wantSet := lineSet(want)
+	gotSet := lineSet(got)
+	var sb strings.Builder
+	for _, l := range sortedLines(want) {
+		if _, ok := gotSet[l]; !ok {
+			fmt.Fprintf(&sb, "  - %s\n", l)
+		}
+	}
+	for _, l := range sortedLines(got) {
+		if _, ok := wantSet[l]; !ok {
+			fmt.Fprintf(&sb, "  + %s\n", l)
+		}
+	}
+	return sb.String()
+}
+
+func lineSet(s string) map[string]struct{} {
+	out := map[string]struct{}{}
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			out[l] = struct{}{}
+		}
+	}
+	return out
+}
+
+func sortedLines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if l = strings.TrimSpace(l); l != "" {
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

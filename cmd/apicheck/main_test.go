@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestFacadeSurfaceMatchesGolden makes `go test ./...` guard the facade
+// too: any drift between the root package's exported API and api.txt fails
+// here as well as in `make api-check`.
+func TestFacadeSurfaceMatchesGolden(t *testing.T) {
+	surface, err := Surface("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("../../api.txt")
+	if err != nil {
+		t.Fatalf("%v (run `make api-update`)", err)
+	}
+	if d := Diff(string(golden), surface); d != "" {
+		t.Fatalf("public API surface drifted from api.txt (run `make api-update` if intentional):\n%s", d)
+	}
+}
+
+func TestSurfaceFormat(t *testing.T) {
+	surface, err := Surface("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"func NewSession(*CompiledMapping, *Graph, ...Option) (*Session, error)",
+		"method (*Session) CertainNull(context.Context, Query) (*Answers, error)",
+		"type Session struct",
+		"var ErrBudgetExceeded",
+	} {
+		if !strings.Contains(surface, want+"\n") {
+			t.Errorf("surface should contain %q", want)
+		}
+	}
+}
+
+func TestDiff(t *testing.T) {
+	if d := Diff("a\nb\n", "b\na\n"); d != "" {
+		t.Errorf("order-insensitive surfaces should match, got %q", d)
+	}
+	d := Diff("a\nb\n", "a\nc\n")
+	if !strings.Contains(d, "- b") || !strings.Contains(d, "+ c") {
+		t.Errorf("diff should flag b missing and c added, got %q", d)
+	}
+}

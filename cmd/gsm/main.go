@@ -1,18 +1,25 @@
 // Command gsm is the command-line front end to the graph-schema-mapping
 // library: it evaluates queries on data graphs, builds solutions, computes
-// certain answers, and classifies mappings.
+// certain answers, and classifies mappings. It is built entirely on the
+// public session API of the repro facade: the certain and solve paths open
+// one repro.Session per invocation and run every requested query/solution
+// against its memoized artifacts.
 //
 // Usage:
 //
 //	gsm eval     -graph g.txt -query "(a b)=" [-lang ree|rem|rpq|gxnode] [-mode marked|sql]
 //	gsm solve    -graph gs.txt -mapping m.txt [-style null|fresh]
-//	gsm certain  -graph gs.txt -mapping m.txt -query Q [-lang ree|rem|rpq]
-//	             [-algo null|exact|least|oneneq] [-from X -to Y]
-//	             [-parallel] [-workers N]   (worker-pool engine; null/least)
+//	gsm certain  -graph gs.txt -mapping m.txt -query Q [-query Q2 ...]
+//	             [-lang ree|rem|rpq] [-algo null|exact|least|oneneq]
+//	             [-from X -to Y] [-workers N] [-maxnulls N] [-timeout D]
 //	gsm classify -mapping m.txt
 //	gsm check    -source gs.txt -target gt.txt -mapping m.txt
 //	gsm conj     -graph g.txt -query "ans(x,y) :- x -[a]-> z, z -[b=]-> y"
 //	             [-mapping m.txt]   (certain-answer mode when given)
+//
+// Errors exit with distinct codes by kind, dispatched on the facade's typed
+// sentinels: 2 invalid options, 3 search budget exceeded, 4 no/infinite
+// solution, 5 canceled or timed out, 1 anything else.
 //
 // Graphs use the datagraph text format (node/edge lines); mappings use the
 // core text format (rule src -> tgt lines).
@@ -20,26 +27,38 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
+	"time"
 
-	"repro/internal/core"
-	"repro/internal/crpq"
-	"repro/internal/datagraph"
-	"repro/internal/engine"
-	"repro/internal/gxpath"
-	"repro/internal/ree"
-	"repro/internal/rem"
-	"repro/internal/rpq"
+	"repro"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "gsm:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode maps the facade's typed sentinel errors to distinct process exit
+// codes, so scripts dispatch on $? instead of parsing messages.
+func exitCode(err error) int {
+	switch {
+	case errors.Is(err, repro.ErrBadOptions):
+		return 2
+	case errors.Is(err, repro.ErrBudgetExceeded):
+		return 3
+	case errors.Is(err, repro.ErrInfinite), errors.Is(err, repro.ErrNoSolution):
+		return 4
+	case errors.Is(err, repro.ErrCanceled):
+		return 5
+	}
+	return 1
 }
 
 func run(args []string, out io.Writer) error {
@@ -66,6 +85,76 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
+
+func loadGraph(path string) (*repro.Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return repro.ParseGraph(string(data))
+}
+
+func loadMapping(path string) (*repro.Mapping, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return repro.ParseMapping(string(data))
+}
+
+// openSession loads the graph and mapping and opens the one session shared
+// by everything the invocation asks for.
+func openSession(graphPath, mappingPath string, opts ...repro.Option) (*repro.Session, error) {
+	gs, err := loadGraph(graphPath)
+	if err != nil {
+		return nil, err
+	}
+	m, err := loadMapping(mappingPath)
+	if err != nil {
+		return nil, err
+	}
+	cm, err := repro.Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return repro.NewSession(cm, gs, opts...)
+}
+
+func parseMode(s string) (repro.CompareMode, error) {
+	switch s {
+	case "marked", "":
+		return repro.MarkedNulls, nil
+	case "sql":
+		return repro.SQLNulls, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want marked or sql)", s)
+	}
+}
+
+// parseQuery compiles a query in the requested language to the repro.Query
+// interface.
+func parseQuery(lang, text string) (repro.Query, error) {
+	switch lang {
+	case "ree", "":
+		return repro.ParseREE(text)
+	case "rem":
+		return repro.ParseREM(text)
+	case "rpq":
+		return repro.ParseRPQ(text)
+	default:
+		return nil, fmt.Errorf("unknown query language %q", lang)
+	}
+}
+
 // cmdNonempty runs the static nonemptiness analysis of a data RPQ and
 // prints a witness data path if one exists.
 func cmdNonempty(args []string, out io.Writer) error {
@@ -78,17 +167,17 @@ func cmdNonempty(args []string, out io.Writer) error {
 	if *queryText == "" {
 		return fmt.Errorf("nonempty: -query is required")
 	}
-	var w datagraph.DataPath
+	var w repro.DataPath
 	var ok bool
 	switch *lang {
 	case "ree":
-		q, err := ree.ParseQuery(*queryText)
+		q, err := repro.ParseREE(*queryText)
 		if err != nil {
 			return err
 		}
 		w, ok = q.WitnessDataPath()
 	case "rem":
-		q, err := rem.ParseQuery(*queryText)
+		q, err := repro.ParseREM(*queryText)
 		if err != nil {
 			return err
 		}
@@ -122,17 +211,17 @@ func cmdConj(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	q, err := crpq.Parse(*queryText)
+	q, err := repro.ParseConjunctive(*queryText)
 	if err != nil {
 		return err
 	}
-	var res *crpq.TupleSet
+	var res *repro.TupleSet
 	if *mappingPath != "" {
 		m, err := loadMapping(*mappingPath)
 		if err != nil {
 			return err
 		}
-		res, err = crpq.Certain(m, g, q)
+		res, err = repro.CertainConjunctive(m, g, q)
 		if err != nil {
 			return err
 		}
@@ -159,54 +248,6 @@ func cmdConj(args []string, out io.Writer) error {
 	return nil
 }
 
-func loadGraph(path string) (*datagraph.Graph, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return datagraph.Parse(f)
-}
-
-func loadMapping(path string) (*core.Mapping, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return core.ParseMapping(f)
-}
-
-func parseMode(s string) (datagraph.CompareMode, error) {
-	switch s {
-	case "marked", "":
-		return datagraph.MarkedNulls, nil
-	case "sql":
-		return datagraph.SQLNulls, nil
-	default:
-		return 0, fmt.Errorf("unknown mode %q (want marked or sql)", s)
-	}
-}
-
-// parseQuery compiles a query in the requested language to the core.Query
-// interface.
-func parseQuery(lang, text string) (core.Query, error) {
-	switch lang {
-	case "ree", "":
-		return ree.ParseQuery(text)
-	case "rem":
-		return rem.ParseQuery(text)
-	case "rpq":
-		q, err := rpq.Parse(text)
-		if err != nil {
-			return nil, err
-		}
-		return core.NavQuery{Q: q}, nil
-	default:
-		return nil, fmt.Errorf("unknown query language %q", lang)
-	}
-}
-
 func cmdEval(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("eval", flag.ContinueOnError)
 	graphPath := fs.String("graph", "", "data graph file")
@@ -228,11 +269,11 @@ func cmdEval(args []string, out io.Writer) error {
 		return err
 	}
 	if *lang == "gxnode" {
-		n, err := gxpath.ParseNode(*queryText)
+		n, err := repro.ParseGXNode(*queryText)
 		if err != nil {
 			return err
 		}
-		for _, i := range gxpath.NodesSatisfying(g, n, mode) {
+		for _, i := range repro.EvalGXNode(g, n, mode) {
 			fmt.Fprintln(out, g.Node(i))
 		}
 		return nil
@@ -258,20 +299,17 @@ func cmdSolve(args []string, out io.Writer) error {
 	if *graphPath == "" || *mappingPath == "" {
 		return fmt.Errorf("solve: -graph and -mapping are required")
 	}
-	gs, err := loadGraph(*graphPath)
+	s, err := openSession(*graphPath, *mappingPath)
 	if err != nil {
 		return err
 	}
-	m, err := loadMapping(*mappingPath)
-	if err != nil {
-		return err
-	}
-	var sol *datagraph.Graph
+	ctx := context.Background()
+	var sol *repro.Graph
 	switch *style {
 	case "null":
-		sol, err = core.UniversalSolution(m, gs)
+		sol, err = s.UniversalSolution(ctx)
 	case "fresh":
-		sol, err = core.LeastInformativeSolution(m, gs)
+		sol, err = s.LeastInformativeSolution(ctx)
 	default:
 		return fmt.Errorf("solve: unknown style %q", *style)
 	}
@@ -286,81 +324,95 @@ func cmdCertain(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("certain", flag.ContinueOnError)
 	graphPath := fs.String("graph", "", "source data graph file")
 	mappingPath := fs.String("mapping", "", "mapping file")
-	queryText := fs.String("query", "", "query text")
+	var queryTexts multiFlag
+	fs.Var(&queryTexts, "query", "query text (repeatable; all queries share one session)")
 	lang := fs.String("lang", "ree", "query language: ree, rem, rpq")
 	algo := fs.String("algo", "null", "algorithm: null (Thm 4), exact (Prop 2), least (Thm 5), oneneq (Prop 4)")
 	fromID := fs.String("from", "", "pair source (oneneq only)")
 	toID := fs.String("to", "", "pair target (oneneq only)")
 	maxNulls := fs.Int("maxnulls", 10, "exact-search budget")
-	parallel := fs.Bool("parallel", false, "evaluate on the worker-pool engine (null and least only)")
-	workers := fs.Int("workers", 0, "worker count for -parallel (0 = GOMAXPROCS)")
+	timeout := fs.Duration("timeout", time.Duration(0), "per-call timeout (0 = none)")
+	parallel := fs.Bool("parallel", false, "deprecated: null and least always run on the worker-pool engine")
+	workers := fs.Int("workers", 0, "engine worker count (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *graphPath == "" || *mappingPath == "" || *queryText == "" {
+	if *graphPath == "" || *mappingPath == "" || len(queryTexts) == 0 {
 		return fmt.Errorf("certain: -graph, -mapping and -query are required")
 	}
-	gs, err := loadGraph(*graphPath)
+	if *parallel && (*algo == "exact" || *algo == "oneneq") {
+		return fmt.Errorf("certain: -parallel supports -algo null and least only")
+	}
+	var opts []repro.Option
+	if *workers > 0 {
+		opts = append(opts, repro.WithWorkers(*workers))
+	}
+	if *maxNulls != 0 {
+		// 0 keeps the session default, matching the pre-session CLI where
+		// ExactOptions{MaxNulls: 0} normalized to the default budget.
+		opts = append(opts, repro.WithMaxNulls(*maxNulls))
+	}
+	if *timeout > 0 {
+		opts = append(opts, repro.WithTimeout(*timeout))
+	}
+	s, err := openSession(*graphPath, *mappingPath, opts...)
 	if err != nil {
 		return err
 	}
-	m, err := loadMapping(*mappingPath)
-	if err != nil {
-		return err
-	}
+	ctx := context.Background()
+
 	if *algo == "oneneq" {
-		if *parallel {
-			return fmt.Errorf("certain: -parallel supports -algo null and least only")
+		if len(queryTexts) != 1 {
+			return fmt.Errorf("certain -algo oneneq takes exactly one -query")
 		}
-		q, err := ree.ParseQuery(*queryText)
+		q, err := repro.ParseREE(queryTexts[0])
 		if err != nil {
 			return err
 		}
 		if *fromID == "" || *toID == "" {
 			return fmt.Errorf("certain -algo oneneq needs -from and -to")
 		}
-		ok, err := core.CertainOneInequality(m, gs, q,
-			datagraph.NodeID(*fromID), datagraph.NodeID(*toID), core.OneNeqOptions{})
+		ok, err := s.CertainOneInequality(ctx, q, repro.NodeID(*fromID), repro.NodeID(*toID))
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "certain(%s, %s) = %v\n", *fromID, *toID, ok)
 		return nil
 	}
-	q, err := parseQuery(*lang, *queryText)
-	if err != nil {
-		return err
-	}
-	var ans *core.Answers
-	opts := engine.Options{Workers: *workers}
-	switch *algo {
-	case "null":
-		if *parallel {
-			ans, err = engine.CertainNull(context.Background(), m, gs, q, opts)
-		} else {
-			ans, err = core.CertainNull(m, gs, q)
+
+	queries := make([]repro.Query, len(queryTexts))
+	for i, text := range queryTexts {
+		q, err := parseQuery(*lang, text)
+		if err != nil {
+			return err
 		}
-	case "exact":
-		if *parallel {
-			return fmt.Errorf("certain: -parallel supports -algo null and least only")
+		queries[i] = q
+	}
+	certainOne := func(q repro.Query) (*repro.Answers, error) {
+		switch *algo {
+		case "null":
+			return s.CertainNull(ctx, q)
+		case "exact":
+			return s.CertainExact(ctx, q)
+		case "least":
+			return s.CertainLeastInformative(ctx, q)
+		default:
+			return nil, fmt.Errorf("certain: unknown algorithm %q", *algo)
 		}
-		ans, err = core.CertainExact(m, gs, q, core.ExactOptions{MaxNulls: *maxNulls})
-	case "least":
-		if *parallel {
-			ans, err = engine.CertainLeastInformative(context.Background(), m, gs, q, opts)
-		} else {
-			ans, err = core.CertainLeastInformative(m, gs, q)
+	}
+	for i, q := range queries {
+		ans, err := certainOne(q)
+		if err != nil {
+			return err
 		}
-	default:
-		return fmt.Errorf("certain: unknown algorithm %q", *algo)
+		if len(queries) > 1 {
+			fmt.Fprintf(out, "## query %d: %s\n", i+1, queryTexts[i])
+		}
+		for _, a := range ans.Sorted() {
+			fmt.Fprintln(out, a)
+		}
+		fmt.Fprintf(out, "# %d certain answers\n", ans.Len())
 	}
-	if err != nil {
-		return err
-	}
-	for _, a := range ans.Sorted() {
-		fmt.Fprintln(out, a)
-	}
-	fmt.Fprintf(out, "# %d certain answers\n", ans.Len())
 	return nil
 }
 
@@ -377,11 +429,15 @@ func cmdClassify(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	cm, err := repro.Compile(m)
+	if err != nil {
+		return err
+	}
 	fmt.Fprintf(out, "rules:                    %d\n", len(m.Rules))
-	fmt.Fprintf(out, "LAV:                      %v\n", m.IsLAV())
-	fmt.Fprintf(out, "GAV:                      %v\n", m.IsGAV())
-	fmt.Fprintf(out, "relational:               %v\n", m.IsRelational())
-	fmt.Fprintf(out, "relational/reachability:  %v\n", m.IsRelationalReachability())
+	fmt.Fprintf(out, "LAV:                      %v\n", cm.IsLAV())
+	fmt.Fprintf(out, "GAV:                      %v\n", cm.IsGAV())
+	fmt.Fprintf(out, "relational:               %v\n", cm.IsRelational())
+	fmt.Fprintf(out, "relational/reachability:  %v\n", cm.IsRelationalReachability())
 	return nil
 }
 

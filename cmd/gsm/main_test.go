@@ -173,6 +173,59 @@ func TestCLICertainParallel(t *testing.T) {
 	}
 }
 
+func TestCLICertainMultiQuery(t *testing.T) {
+	graph, mapping := fixtures(t)
+	out, err := runCLI(t, "certain", "-graph", graph, "-mapping", mapping,
+		"-query", "f f", "-query", "l")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "## query 1: f f") || !strings.Contains(out, "## query 2: l") {
+		t.Fatalf("multi-query output should be sectioned per query:\n%s", out)
+	}
+	if strings.Count(out, "certain answers") != 2 {
+		t.Fatalf("want two answer counts:\n%s", out)
+	}
+}
+
+func TestCLIExitCodes(t *testing.T) {
+	graph, mapping := fixtures(t)
+	dir := t.TempDir()
+	nonRel := writeFile(t, dir, "nonrel.txt", "rule knows -> f*\n")
+	bigGraph := writeFile(t, dir, "big.txt", `
+node a 1
+node b 2
+node c 3
+edge a knows b
+edge b knows c
+`)
+	cases := []struct {
+		args []string
+		want int
+	}{
+		// Bad option value: negative workers.
+		{[]string{"certain", "-graph", graph, "-mapping", mapping,
+			"-query", "f", "-maxnulls", "-1"}, 2},
+		// Exact-search budget exceeded (two knows-pairs, two nulls).
+		{[]string{"certain", "-graph", bigGraph, "-mapping", mapping,
+			"-query", "f", "-algo", "exact", "-maxnulls", "1"}, 3},
+		// Non-relational mapping: no finite solution.
+		{[]string{"solve", "-graph", graph, "-mapping", nonRel}, 4},
+		// Plain usage error.
+		{[]string{"bogus"}, 1},
+	}
+	for _, c := range cases {
+		_, err := runCLI(t, c.args...)
+		if err == nil {
+			t.Errorf("args %v should fail", c.args)
+			continue
+		}
+		if got := exitCode(err); got != c.want {
+			t.Errorf("args %v: exit code %d, want %d (err: %v)", c.args, got, c.want, err)
+		}
+	}
+}
+
 func TestCLIConj(t *testing.T) {
 	graph, mapping := fixtures(t)
 	// Direct evaluation.

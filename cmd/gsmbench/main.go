@@ -55,7 +55,7 @@ type jsonReport struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E14) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E15) or 'all'")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	list := flag.Bool("list", false, "list experiments and exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget; skip remaining experiments once exceeded (0 = none)")

@@ -1,0 +1,119 @@
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro"
+)
+
+// Example_session is the serving workflow: compile the mapping once, open a
+// session over the source graph, and run a stream of certain-answer calls
+// that share the memoized universal solution.
+func Example_session() {
+	gs := repro.NewGraph()
+	gs.MustAddNode("ann", repro.V("30"))
+	gs.MustAddNode("bob", repro.V("25"))
+	gs.MustAddEdge("ann", "knows", "bob")
+
+	cm, err := repro.Compile(repro.NewMapping(repro.R("knows", "follows follows")))
+	if err != nil {
+		panic(err)
+	}
+	s, err := repro.NewSession(cm, gs, repro.WithWorkers(2))
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	// The first call materializes the universal solution; every later call
+	// (any goroutine) reuses it.
+	ans, err := s.CertainNull(ctx, repro.MustREE("follows follows"))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ans)
+
+	// Streaming: answers arrive as evaluation proceeds; break early to stop.
+	for a, err := range s.CertainNullSeq(ctx, repro.MustREE("(follows follows)!=")) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println("stream:", a)
+	}
+
+	// Typed errors dispatch with errors.Is.
+	tiny, err := repro.NewSession(cm, gs, repro.WithMaxNulls(-1))
+	fmt.Println(tiny == nil, errors.Is(err, repro.ErrBadOptions))
+
+	// Output:
+	// {((ann,30), (bob,25))}
+	// stream: ((ann,30), (bob,25))
+	// true true
+}
+
+// ExampleCompiledMapping shows one mapping compiled once and shared by
+// sessions over different source graphs.
+func ExampleCompiledMapping() {
+	m := repro.NewMapping(
+		repro.R("knows", "follows follows"),
+		repro.R("likes", "likes"),
+	)
+	cm, err := repro.Compile(m)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("relational:", cm.IsRelational(), "LAV:", cm.IsLAV())
+	word, _ := cm.TargetWord(0)
+	fmt.Println("rule 0 target word:", word)
+
+	for _, id := range []string{"g1", "g2"} {
+		gs := repro.NewGraph()
+		gs.MustAddNode(repro.NodeID(id), repro.V("1"))
+		s, err := repro.NewSession(cm, gs)
+		if err != nil {
+			panic(err)
+		}
+		sol, err := s.UniversalSolution(context.Background())
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(id, "solution nodes:", sol.NumNodes())
+	}
+
+	// Output:
+	// relational: true LAV: true
+	// rule 0 target word: [follows follows]
+	// g1 solution nodes: 0
+	// g2 solution nodes: 0
+}
+
+// ExamplePrepareQuery prepares a query once and reuses the handle across
+// calls; Bind warms the per-snapshot lowered program eagerly.
+func ExamplePrepareQuery() {
+	gs := repro.NewGraph()
+	gs.MustAddNode("a1", repro.V("7"))
+	gs.MustAddNode("a2", repro.V("7"))
+	gs.MustAddEdge("a1", "e", "a2")
+
+	cm := repro.MustCompile(repro.NewMapping(repro.R("e", "p q")))
+	s, err := repro.NewSession(cm, gs)
+	if err != nil {
+		panic(err)
+	}
+	ctx := context.Background()
+
+	p := repro.PrepareQuery(repro.MustREE("(p q)="))
+	if err := p.Bind(ctx, s); err != nil {
+		panic(err)
+	}
+	ans, err := s.CertainNull(ctx, p)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ans)
+
+	// Output:
+	// {((a1,7), (a2,7))}
+}

@@ -1,0 +1,104 @@
+// Serving: the session-centric API for repeated-query workloads.
+//
+// A certain-answer service holds one (mapping, source graph) pair and
+// answers many queries against it. The session API makes the expensive
+// steps explicit, reusable handles:
+//
+//  1. repro.Compile — rule automata and metadata, once per mapping.
+//  2. repro.NewSession — freezes the source, memoizes the universal and
+//     least-informative solutions behind sync.Once gates.
+//  3. repro.PrepareQuery — a reusable query handle; Bind warms the
+//     per-snapshot lowered program.
+//  4. Session.CertainNullSeq — streaming answers via iter.Seq2, stopping
+//     evaluation when the consumer stops reading.
+//
+// Run with: go run ./examples/serving
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	// The source: a small social network exchanged into a follows-graph.
+	gs := repro.NewGraph()
+	for id, age := range map[string]string{
+		"ann": "30", "bob": "25", "carl": "30", "dana": "41",
+	} {
+		gs.MustAddNode(repro.NodeID(id), repro.V(age))
+	}
+	gs.MustAddEdge("ann", "knows", "bob")
+	gs.MustAddEdge("bob", "knows", "carl")
+	gs.MustAddEdge("carl", "knows", "dana")
+	gs.MustAddEdge("ann", "admires", "dana")
+
+	// Compile once; the CompiledMapping is immutable and shared.
+	cm, err := repro.Compile(repro.NewMapping(
+		repro.R("knows", "follows follows"),
+		repro.R("admires", "follows"),
+	))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One session per source graph; options validated here.
+	s, err := repro.NewSession(cm, gs,
+		repro.WithWorkers(4),
+		repro.WithMaxNulls(16),
+		repro.WithTimeout(5*time.Second),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	// A "query stream": every call after the first reuses the memoized
+	// universal solution.
+	queries := []string{
+		"follows follows",
+		"(follows follows)=",
+		"(follows follows)!=",
+		"(follows follows follows follows)=",
+	}
+	for _, text := range queries {
+		ans, err := s.CertainNull(ctx, repro.MustREE(text))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-40s -> %s\n", text, ans)
+	}
+
+	// Prepared queries and streaming: stop at the first answer without
+	// evaluating the rest of the frontier.
+	p := repro.PrepareQuery(repro.MustREE("follows follows"))
+	if err := p.Bind(ctx, s); err != nil {
+		log.Fatal(err)
+	}
+	for a, err := range s.CertainNullSeq(ctx, p) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("first streamed answer:", a)
+		break
+	}
+
+	// Typed errors: a mapping with a Kleene-star target is not relational,
+	// so no finite universal solution exists.
+	bad, err := repro.Compile(repro.NewMapping(repro.R("knows", "follows*")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	s2, err := repro.NewSession(bad, gs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := s2.CertainNull(ctx, repro.MustREE("follows")); errors.Is(err, repro.ErrInfinite) {
+		fmt.Println("non-relational mapping rejected:", err)
+	}
+}

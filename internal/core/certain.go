@@ -1,7 +1,7 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/datagraph"
 	"repro/internal/rpq"
@@ -80,7 +80,17 @@ func CertainNull(m *Mapping, gs *datagraph.Graph, q Query) (*Answers, error) {
 
 // CertainNullEval is CertainNull with a pluggable evaluator.
 func CertainNullEval(m *Mapping, gs *datagraph.Graph, q Query, eval EvalFunc) (*Answers, error) {
-	u, err := UniversalSolution(m, gs)
+	mat, err := throwaway(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return mat.CertainNull(q, eval)
+}
+
+// CertainNull computes 2ⁿ_M(Q, Gs) on the memoized universal solution; the
+// materialization variant of the package-level CertainNull.
+func (mat *Materialization) CertainNull(q Query, eval EvalFunc) (*Answers, error) {
+	u, err := mat.Universal()
 	if err != nil {
 		return nil, err
 	}
@@ -99,15 +109,32 @@ func CertainLeastInformative(m *Mapping, gs *datagraph.Graph, q Query) (*Answers
 // CertainLeastInformativeEval is CertainLeastInformative with a pluggable
 // evaluator.
 func CertainLeastInformativeEval(m *Mapping, gs *datagraph.Graph, q Query, eval EvalFunc) (*Answers, error) {
-	li, err := LeastInformativeSolution(m, gs)
+	mat, err := throwaway(m, gs)
 	if err != nil {
 		return nil, err
 	}
-	dom := DomIDs(m, gs)
+	return mat.CertainLeastInformative(q, eval)
+}
+
+// CertainLeastInformative computes 2_M(Q, Gs) for equality-only queries on
+// the memoized least informative solution; the materialization variant of
+// the package-level CertainLeastInformative.
+func (mat *Materialization) CertainLeastInformative(q Query, eval EvalFunc) (*Answers, error) {
+	li, err := mat.LeastInformative()
+	if err != nil {
+		return nil, err
+	}
 	res := runEval(eval, li, q, datagraph.MarkedNulls)
+	return FilterDomAnswers(li, mat.DomIDs(), res), nil
+}
+
+// FilterDomAnswers keeps the pairs of res whose endpoints lie in dom, as
+// Answers — the final filtering step of the Theorem 5 algorithm, shared
+// between the sequential path, the parallel engine and sessions.
+func FilterDomAnswers(g *datagraph.Graph, dom map[datagraph.NodeID]struct{}, res *datagraph.PairSet) *Answers {
 	out := NewAnswers()
 	res.Each(func(p datagraph.Pair) {
-		from, to := li.Node(p.From), li.Node(p.To)
+		from, to := g.Node(p.From), g.Node(p.To)
 		if _, ok := dom[from.ID]; !ok {
 			return
 		}
@@ -116,7 +143,7 @@ func CertainLeastInformativeEval(m *Mapping, gs *datagraph.Graph, q Query, eval 
 		}
 		out.Add(Answer{From: from, To: to})
 	})
-	return out, nil
+	return out
 }
 
 // ExactOptions bounds the exponential search of CertainExact.
@@ -130,6 +157,20 @@ type ExactOptions struct {
 // DefaultExactOptions returns the default bounds.
 func DefaultExactOptions() ExactOptions { return ExactOptions{MaxNulls: 10} }
 
+// Normalized validates the options once, up front: a negative MaxNulls is
+// ErrBadOptions, zero selects the default. Sessions call this at
+// construction; the legacy free functions call it at entry — either way the
+// search loops below never re-check.
+func (o ExactOptions) Normalized() (ExactOptions, error) {
+	if o.MaxNulls < 0 {
+		return o, badOptionf("MaxNulls %d is negative", o.MaxNulls)
+	}
+	if o.MaxNulls == 0 {
+		o.MaxNulls = DefaultExactOptions().MaxNulls
+	}
+	return o, nil
+}
+
 // CertainExact computes 2_M(Q, Gs) exactly for relational GSMs and queries
 // closed under value-preserving homomorphisms (all data RPQs): it
 // intersects Q over every canonical value specialization of the universal
@@ -141,20 +182,39 @@ func DefaultExactOptions() ExactOptions { return ExactOptions{MaxNulls: 10} }
 // exponential search and serves as the ground-truth oracle for the
 // tractable algorithms.
 func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (*Answers, error) {
-	if opts.MaxNulls == 0 {
-		opts.MaxNulls = DefaultExactOptions().MaxNulls
-	}
-	u, err := UniversalSolution(m, gs)
+	mat, err := throwaway(m, gs)
 	if err != nil {
 		return nil, err
 	}
-	nulls := NullNodes(u)
+	return mat.CertainExact(context.Background(), q, opts)
+}
+
+// CertainExact is the materialization variant of the package-level
+// CertainExact: the universal solution, dom and the source value pool come
+// from the memoized artifacts, so repeated exact queries against one (M, Gs)
+// pay for solution building once. The search clones the shared universal
+// solution, making concurrent calls safe, and honors ctx between
+// specializations (returning an ErrCanceled wrap).
+func (mat *Materialization) CertainExact(ctx context.Context, q Query, opts ExactOptions) (*Answers, error) {
+	opts, err := opts.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	u, err := mat.Universal()
+	if err != nil {
+		return nil, err
+	}
+	nulls, err := mat.UniversalNulls()
+	if err != nil {
+		return nil, err
+	}
 	if len(nulls) > opts.MaxNulls {
-		return nil, fmt.Errorf("core: %d null nodes exceed the exact-search budget of %d",
+		return nil, budgetErrf("core: %d null nodes exceed the exact-search budget of %d",
 			len(nulls), opts.MaxNulls)
 	}
-	dom := DomIDs(m, gs)
-	sourceValues := gs.Values()
+	gs := mat.gs
+	dom := mat.DomIDs()
+	sourceValues := mat.SourceValues()
 	fresh := newFreshValues(gs, "_adv")
 	// Pre-generate one fresh value per potential class.
 	freshPool := make([]datagraph.Value, len(nulls))
@@ -164,7 +224,8 @@ func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (
 
 	// One mutable copy of the universal solution, specialized in place per
 	// candidate (like CertainExactPair): cloning and re-indexing the graph
-	// once per enumerated specialization would dominate the search.
+	// once per enumerated specialization would dominate the search. The
+	// clone also isolates this call from the shared memoized solution.
 	spec := u.Clone()
 	nullIdx := make([]int, len(nulls))
 	for i, id := range nulls {
@@ -173,7 +234,12 @@ func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (
 	assign := make([]datagraph.Value, len(nulls))
 
 	var result *Answers
+	var ctxErr error
 	evalOne := func() bool { // returns false to stop early (result empty)
+		if err := ctx.Err(); err != nil {
+			ctxErr = Canceled(err)
+			return false
+		}
 		for i, idx := range nullIdx {
 			spec.SetValue(idx, assign[i])
 		}
@@ -224,6 +290,9 @@ func CertainExact(m *Mapping, gs *datagraph.Graph, q Query, opts ExactOptions) (
 		return true
 	}
 	rec(0, 0)
+	if ctxErr != nil {
+		return nil, ctxErr
+	}
 	if result == nil {
 		result = NewAnswers()
 	}
@@ -253,26 +322,43 @@ type RangeEvaluator interface {
 func CertainExactPair(m *Mapping, gs *datagraph.Graph, q Query,
 	from, to datagraph.NodeID, opts ExactOptions) (bool, error) {
 
-	if opts.MaxNulls == 0 {
-		opts.MaxNulls = DefaultExactOptions().MaxNulls
-	}
-	u, err := UniversalSolution(m, gs)
+	mat, err := throwaway(m, gs)
 	if err != nil {
 		return false, err
 	}
-	dom := DomIDs(m, gs)
+	return mat.CertainExactPair(context.Background(), q, from, to, opts)
+}
+
+// CertainExactPair is the materialization variant of the package-level
+// CertainExactPair, sharing the memoized universal solution and dom.
+func (mat *Materialization) CertainExactPair(ctx context.Context, q Query,
+	from, to datagraph.NodeID, opts ExactOptions) (bool, error) {
+
+	opts, err := opts.Normalized()
+	if err != nil {
+		return false, err
+	}
+	u, err := mat.Universal()
+	if err != nil {
+		return false, err
+	}
+	dom := mat.DomIDs()
 	if _, ok := dom[from]; !ok {
 		return false, nil
 	}
 	if _, ok := dom[to]; !ok {
 		return false, nil
 	}
-	nulls := NullNodes(u)
+	nulls, err := mat.UniversalNulls()
+	if err != nil {
+		return false, err
+	}
 	if len(nulls) > opts.MaxNulls {
-		return false, fmt.Errorf("core: %d null nodes exceed the exact-search budget of %d",
+		return false, budgetErrf("core: %d null nodes exceed the exact-search budget of %d",
 			len(nulls), opts.MaxNulls)
 	}
-	sourceValues := gs.Values()
+	gs := mat.gs
+	sourceValues := mat.SourceValues()
 	fresh := newFreshValues(gs, "_adv")
 	freshPool := make([]datagraph.Value, len(nulls))
 	for i := range freshPool {
@@ -290,7 +376,12 @@ func CertainExactPair(m *Mapping, gs *datagraph.Graph, q Query,
 	ti, _ := spec.IndexOf(to)
 	assign := make([]datagraph.Value, len(nulls))
 
+	var ctxErr error
 	holds := func() bool {
+		if err := ctx.Err(); err != nil {
+			ctxErr = Canceled(err)
+			return false // unwind the search; the parked error wins below
+		}
 		for i, idx := range nullIdx {
 			spec.SetValue(idx, assign[i])
 		}
@@ -334,6 +425,9 @@ func CertainExactPair(m *Mapping, gs *datagraph.Graph, q Query,
 		return true
 	}
 	rec(0, 0)
+	if ctxErr != nil {
+		return false, ctxErr
+	}
 	return certain, nil
 }
 

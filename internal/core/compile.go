@@ -1,0 +1,93 @@
+package core
+
+// CompiledMapping is a mapping whose per-rule artifacts — the finalized
+// source/target automata, the target words of relational rules, and the
+// classification predicates — have been computed once, up front. It is
+// immutable and safe for concurrent use by any number of sessions, which is
+// the point: rule compilation and classification happen at Compile time, not
+// per certain-answer call.
+type CompiledMapping struct {
+	m           *Mapping
+	relational  bool
+	relReach    bool
+	lav, gav    bool
+	targetWords [][]string // per rule; nil when the target is not a word RPQ
+	srcLabels   []string
+	tgtLabels   []string
+}
+
+// Compile validates and precompiles a mapping. The mapping must be non-nil;
+// its rule queries are already finalized at parse time, so no further
+// per-rule work is deferred. Non-relational mappings compile fine — only the
+// solution-based algorithms reject them later (ErrInfinite).
+func Compile(m *Mapping) (*CompiledMapping, error) {
+	if m == nil {
+		return nil, badOptionf("nil mapping")
+	}
+	for i, r := range m.Rules {
+		if r.Source == nil || r.Target == nil {
+			return nil, badOptionf("rule %d has a nil query", i)
+		}
+	}
+	cm := &CompiledMapping{
+		m:           m,
+		relational:  m.IsRelational(),
+		relReach:    m.IsRelationalReachability(),
+		lav:         m.IsLAV(),
+		gav:         m.IsGAV(),
+		targetWords: make([][]string, len(m.Rules)),
+		srcLabels:   m.SourceLabels(),
+		tgtLabels:   m.TargetLabels(),
+	}
+	for i, r := range m.Rules {
+		if w, ok := r.Target.AsWord(); ok {
+			cm.targetWords[i] = w
+			if w == nil {
+				// Normalise the ε word to a non-nil empty slice so a nil
+				// entry always means "not a word".
+				cm.targetWords[i] = []string{}
+			}
+		}
+	}
+	return cm, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(m *Mapping) *CompiledMapping {
+	cm, err := Compile(m)
+	if err != nil {
+		panic(err)
+	}
+	return cm
+}
+
+// Mapping returns the underlying mapping. Callers must not mutate it.
+func (cm *CompiledMapping) Mapping() *Mapping { return cm.m }
+
+// Rules returns the mapping's rules. Callers must not mutate the slice.
+func (cm *CompiledMapping) Rules() []Rule { return cm.m.Rules }
+
+// IsRelational reports whether every target query is a word RPQ.
+func (cm *CompiledMapping) IsRelational() bool { return cm.relational }
+
+// IsRelationalReachability reports whether every target is a word or Σ*.
+func (cm *CompiledMapping) IsRelationalReachability() bool { return cm.relReach }
+
+// IsLAV reports whether every source query is atomic.
+func (cm *CompiledMapping) IsLAV() bool { return cm.lav }
+
+// IsGAV reports whether every target query is atomic.
+func (cm *CompiledMapping) IsGAV() bool { return cm.gav }
+
+// TargetWord returns the precomputed word of rule i's target and whether the
+// target is a word RPQ at all.
+func (cm *CompiledMapping) TargetWord(i int) ([]string, bool) {
+	w := cm.targetWords[i]
+	return w, w != nil
+}
+
+// SourceLabels returns the labels used by source queries, sorted.
+func (cm *CompiledMapping) SourceLabels() []string { return cm.srcLabels }
+
+// TargetLabels returns the labels used by target queries, sorted.
+func (cm *CompiledMapping) TargetLabels() []string { return cm.tgtLabels }

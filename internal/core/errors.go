@@ -1,0 +1,64 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// The sentinel errors of the certain-answer API. Every error returned by the
+// solution builders, the certain-answer algorithms and the evaluation engine
+// wraps exactly one of these, so callers dispatch with errors.Is instead of
+// matching message strings:
+//
+//	ans, err := s.CertainExact(ctx, q)
+//	switch {
+//	case errors.Is(err, core.ErrBudgetExceeded): // raise WithMaxNulls and retry
+//	case errors.Is(err, core.ErrCanceled):       // deadline hit; ctx.Err() is wrapped too
+//	}
+var (
+	// ErrInfinite reports that no finite universal solution exists: the
+	// mapping is not relational (Section 6), so solution building and the
+	// solution-based algorithms are undefined.
+	ErrInfinite = errors.New("no finite universal solution: mapping is not relational")
+
+	// ErrNoSolution reports that the mapping admits no solution at all for
+	// this source graph (an ε-target rule demands two distinct nodes be one).
+	ErrNoSolution = errors.New("no solution exists")
+
+	// ErrBudgetExceeded reports that a bounded exponential search (exact
+	// specialization enumeration, path enumeration, Proposition 5 word
+	// choices) hit its configured budget before finishing.
+	ErrBudgetExceeded = errors.New("search budget exceeded")
+
+	// ErrCanceled reports that evaluation stopped because the context was
+	// canceled or its deadline expired; the context's own error is wrapped
+	// alongside, so errors.Is(err, context.Canceled) keeps working.
+	ErrCanceled = errors.New("evaluation canceled")
+
+	// ErrBadOptions reports an invalid option value (negative budget,
+	// negative worker count), detected at session/option construction.
+	ErrBadOptions = errors.New("invalid options")
+
+	// ErrSourceMutated reports that the source graph changed underneath a
+	// session whose artifacts were frozen at construction time.
+	ErrSourceMutated = errors.New("source graph mutated after session creation")
+)
+
+// Canceled wraps a context error so both ErrCanceled and the original
+// context sentinel match under errors.Is. A nil err returns nil.
+func Canceled(err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%w: %w", ErrCanceled, err)
+}
+
+// badOptionf builds an ErrBadOptions-wrapping error.
+func badOptionf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadOptions, fmt.Sprintf(format, args...))
+}
+
+// budgetErrf builds an ErrBudgetExceeded-wrapping error.
+func budgetErrf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBudgetExceeded, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/datagraph"
+)
+
+// memo is a concurrency-safe, lazily computed value: the first caller runs
+// the builder under a sync.Once gate, every later caller — from any
+// goroutine — gets the shared result.
+type memo[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+func (mo *memo[T]) get(build func() (T, error)) (T, error) {
+	mo.once.Do(func() { mo.val, mo.err = build() })
+	return mo.val, mo.err
+}
+
+// Materialization memoizes every expensive artifact derived from one
+// (mapping, source graph) pair: the per-rule source query results, dom(M,
+// Gs), the universal solution, the least informative solution, the null-node
+// list and the source value pool. Each is computed at most once behind a
+// sync.Once gate, so an arbitrary concurrent stream of certain-answer calls
+// shares them — the core of the session API's amortization.
+//
+// The source graph must not be mutated while the materialization is in use;
+// sessions enforce this with the graph's version counters.
+type Materialization struct {
+	cm *CompiledMapping
+	gs *datagraph.Graph
+
+	src   memo[[]*datagraph.PairSet]
+	domN  memo[[]datagraph.Node]
+	domID memo[map[datagraph.NodeID]struct{}]
+	uni   memo[*datagraph.Graph]
+	li    memo[*datagraph.Graph]
+	nulls memo[[]datagraph.NodeID]
+	vals  memo[[]datagraph.Value]
+}
+
+// NewMaterialization builds an empty materialization for a compiled mapping
+// and a source graph; nothing is computed until first use.
+func NewMaterialization(cm *CompiledMapping, gs *datagraph.Graph) *Materialization {
+	return &Materialization{cm: cm, gs: gs}
+}
+
+// Compiled returns the compiled mapping.
+func (mat *Materialization) Compiled() *CompiledMapping { return mat.cm }
+
+// Source returns the source graph.
+func (mat *Materialization) Source() *datagraph.Graph { return mat.gs }
+
+// SourcePairs returns q(Gs) for every rule, index-aligned with the rules.
+// Evaluated once; shared by dom computation, solution building and the
+// Proposition 5 search.
+func (mat *Materialization) SourcePairs() []*datagraph.PairSet {
+	out, _ := mat.src.get(func() ([]*datagraph.PairSet, error) {
+		pairs := make([]*datagraph.PairSet, len(mat.cm.Rules()))
+		for i, r := range mat.cm.Rules() {
+			pairs[i] = r.Source.Eval(mat.gs)
+		}
+		return pairs, nil
+	})
+	return out
+}
+
+// DomNodes returns dom(M, Gs) in dense-index order of Gs.
+func (mat *Materialization) DomNodes() []datagraph.Node {
+	out, _ := mat.domN.get(func() ([]datagraph.Node, error) {
+		seen := make([]bool, mat.gs.NumNodes())
+		for _, ps := range mat.SourcePairs() {
+			ps.Each(func(p datagraph.Pair) {
+				seen[p.From] = true
+				seen[p.To] = true
+			})
+		}
+		var nodes []datagraph.Node
+		for i, ok := range seen {
+			if ok {
+				nodes = append(nodes, mat.gs.Node(i))
+			}
+		}
+		return nodes, nil
+	})
+	return out
+}
+
+// DomIDs returns the ids of DomNodes as a set.
+func (mat *Materialization) DomIDs() map[datagraph.NodeID]struct{} {
+	out, _ := mat.domID.get(func() (map[datagraph.NodeID]struct{}, error) {
+		ids := make(map[datagraph.NodeID]struct{})
+		for _, n := range mat.DomNodes() {
+			ids[n.ID] = struct{}{}
+		}
+		return ids, nil
+	})
+	return out
+}
+
+// Universal returns the memoized SQL-null universal solution (Section 7).
+func (mat *Materialization) Universal() (*datagraph.Graph, error) {
+	return mat.uni.get(func() (*datagraph.Graph, error) {
+		return mat.buildSolution(solutionNulls)
+	})
+}
+
+// LeastInformative returns the memoized fresh-value least informative
+// solution (Section 8).
+func (mat *Materialization) LeastInformative() (*datagraph.Graph, error) {
+	return mat.li.get(func() (*datagraph.Graph, error) {
+		return mat.buildSolution(solutionFresh)
+	})
+}
+
+// UniversalNulls returns the null-node ids of the universal solution.
+func (mat *Materialization) UniversalNulls() ([]datagraph.NodeID, error) {
+	return mat.nulls.get(func() ([]datagraph.NodeID, error) {
+		u, err := mat.Universal()
+		if err != nil {
+			return nil, err
+		}
+		return NullNodes(u), nil
+	})
+}
+
+// SourceValues returns the distinct data values of the source graph.
+func (mat *Materialization) SourceValues() []datagraph.Value {
+	out, _ := mat.vals.get(func() ([]datagraph.Value, error) {
+		return mat.gs.Values(), nil
+	})
+	return out
+}
+
+// buildSolution materialises a solution in either style using the memoized
+// source pairs and the precompiled target words.
+func (mat *Materialization) buildSolution(style solutionStyle) (*datagraph.Graph, error) {
+	if !mat.cm.IsRelational() {
+		return nil, fmt.Errorf("core: %w", ErrInfinite)
+	}
+	gs := mat.gs
+	gt := datagraph.New()
+	// Step 1: copy dom(M, Gs).
+	for _, n := range mat.DomNodes() {
+		gt.MustAddNode(n.ID, n.Value)
+	}
+	ids := newFreshIDs(gs, "_n")
+	vals := newFreshValues(gs, "_fresh")
+	newNodeValue := func() datagraph.Value {
+		if style == solutionNulls {
+			return datagraph.Null()
+		}
+		return vals.next()
+	}
+	// Step 2: materialise a path for each rule and pair.
+	rules := mat.cm.Rules()
+	pairsByRule := mat.SourcePairs()
+	for ri, r := range rules {
+		word, _ := mat.cm.TargetWord(ri)
+		pairs := pairsByRule[ri].Sorted()
+		for _, p := range pairs {
+			from := gs.Node(p.From)
+			to := gs.Node(p.To)
+			if len(word) == 0 {
+				if from.ID != to.ID {
+					return nil, fmt.Errorf(
+						"core: rule %s requires %s = %s via ε: %w", r, from.ID, to.ID, ErrNoSolution)
+				}
+				continue
+			}
+			prev := from.ID
+			for i := 0; i < len(word)-1; i++ {
+				id := ids.next()
+				gt.MustAddNode(id, newNodeValue())
+				gt.MustAddEdge(prev, word[i], id)
+				prev = id
+			}
+			gt.MustAddEdge(prev, word[len(word)-1], to.ID)
+		}
+	}
+	// Freeze once so every downstream evaluation of this solution — the
+	// certain-answer batch, all engine workers — shares one interned
+	// snapshot.
+	gt.Freeze()
+	return gt, nil
+}

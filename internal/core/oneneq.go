@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/datagraph"
@@ -32,11 +33,41 @@ type OneNeqOptions struct {
 	MaxExpansions int
 }
 
+// Normalized validates the options once: a negative MaxExpansions is
+// ErrBadOptions, zero selects the default.
+func (o OneNeqOptions) Normalized() (OneNeqOptions, error) {
+	if o.MaxExpansions < 0 {
+		return o, badOptionf("MaxExpansions %d is negative", o.MaxExpansions)
+	}
+	if o.MaxExpansions == 0 {
+		o.MaxExpansions = 1 << 20
+	}
+	return o, nil
+}
+
 // CertainOneInequality decides whether (from, to) ∈ 2_M(Q, Gs) for a
 // relational GSM and a path-with-tests Q with at most one inequality.
 func CertainOneInequality(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 	from, to datagraph.NodeID, opts OneNeqOptions) (bool, error) {
 
+	mat, err := throwaway(m, gs)
+	if err != nil {
+		return false, err
+	}
+	return mat.CertainOneInequality(context.Background(), q, from, to, opts)
+}
+
+// CertainOneInequality is the materialization variant of the package-level
+// CertainOneInequality, sharing the memoized universal solution. ctx is
+// honored during path enumeration and the merge fixpoint (returning an
+// ErrCanceled wrap).
+func (mat *Materialization) CertainOneInequality(ctx context.Context, q *ree.Query,
+	from, to datagraph.NodeID, opts OneNeqOptions) (bool, error) {
+
+	opts, err := opts.Normalized()
+	if err != nil {
+		return false, err
+	}
 	labels, tests, ok := ree.FlattenPathWithTests(q.Expr())
 	if !ok {
 		return false, fmt.Errorf("core: query %s is not a path with tests", q)
@@ -44,7 +75,7 @@ func CertainOneInequality(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 	if n := ree.CountNeq(q.Expr()); n > 1 {
 		return false, fmt.Errorf("core: query %s has %d inequalities; at most one allowed", q, n)
 	}
-	u, err := UniversalSolution(m, gs)
+	u, err := mat.Universal()
 	if err != nil {
 		return false, err
 	}
@@ -55,10 +86,7 @@ func CertainOneInequality(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 		// certain.
 		return false, nil
 	}
-	if opts.MaxExpansions == 0 {
-		opts.MaxExpansions = 1 << 20
-	}
-	paths, err := matchingPaths(u, xi, yi, labels, opts.MaxExpansions)
+	paths, err := matchingPaths(ctx, u, xi, yi, labels, opts.MaxExpansions)
 	if err != nil {
 		return false, err
 	}
@@ -68,6 +96,9 @@ func CertainOneInequality(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 	}
 	uf := newValueUF(u)
 	for {
+		if err := ctx.Err(); err != nil {
+			return false, Canceled(err)
+		}
 		progress := false
 		for _, p := range paths {
 			live := true
@@ -133,7 +164,7 @@ func CertainOneInequalityAll(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 
 // matchingPaths enumerates node sequences of the universal solution
 // spelling the given label word from x to y.
-func matchingPaths(u *datagraph.Graph, x, y int, labels []string, budget int) ([][]int, error) {
+func matchingPaths(ctx context.Context, u *datagraph.Graph, x, y int, labels []string, budget int) ([][]int, error) {
 	var out [][]int
 	steps := 0
 	cur := make([]int, 0, len(labels)+1)
@@ -141,7 +172,12 @@ func matchingPaths(u *datagraph.Graph, x, y int, labels []string, budget int) ([
 	walk = func(node, pos int) error {
 		steps++
 		if steps > budget {
-			return fmt.Errorf("core: path enumeration exceeded %d expansions", budget)
+			return budgetErrf("core: path enumeration exceeded %d expansions", budget)
+		}
+		if steps&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Canceled(err)
+			}
 		}
 		cur = append(cur, node)
 		defer func() { cur = cur[:len(cur)-1] }()

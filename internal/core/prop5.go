@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -57,27 +58,59 @@ type Prop5Options struct {
 	Workers int
 }
 
+// Normalized validates the options once: negative budgets are ErrBadOptions,
+// zeros select the defaults.
+func (o Prop5Options) Normalized() (Prop5Options, error) {
+	if o.MaxChoices < 0 {
+		return o, badOptionf("MaxChoices %d is negative", o.MaxChoices)
+	}
+	if o.MaxNulls < 0 {
+		return o, badOptionf("MaxNulls %d is negative", o.MaxNulls)
+	}
+	if o.MaxChoices == 0 {
+		o.MaxChoices = 4096
+	}
+	if o.MaxNulls == 0 {
+		o.MaxNulls = 10
+	}
+	return o, nil
+}
+
 // CertainDataPathArbitrary decides (from, to) ∈ 2_M(Q, Gs) for an arbitrary
 // GSM and a path-with-tests query.
 func CertainDataPathArbitrary(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 	from, to datagraph.NodeID, opts Prop5Options) (bool, error) {
 
+	mat, err := throwaway(m, gs)
+	if err != nil {
+		return false, err
+	}
+	return mat.CertainDataPathArbitrary(context.Background(), q, from, to, opts)
+}
+
+// CertainDataPathArbitrary is the materialization variant of the
+// package-level CertainDataPathArbitrary: the memoized per-rule source
+// results and dom are shared, and ctx is honored between adversary
+// combinations (returning an ErrCanceled wrap).
+func (mat *Materialization) CertainDataPathArbitrary(ctx context.Context, q *ree.Query,
+	from, to datagraph.NodeID, opts Prop5Options) (bool, error) {
+
+	opts, err := opts.Normalized()
+	if err != nil {
+		return false, err
+	}
+	m, gs := mat.cm.Mapping(), mat.gs
 	labels, _, ok := ree.FlattenPathWithTests(q.Expr())
 	if !ok {
 		return false, fmt.Errorf("core: query %s is not a path with tests", q)
 	}
-	if opts.MaxChoices == 0 {
-		opts.MaxChoices = 4096
-	}
-	if opts.MaxNulls == 0 {
-		opts.MaxNulls = 10
-	}
 	L := len(labels)
 
 	// Per (rule, pair) choice sets.
+	sourcePairs := mat.SourcePairs()
 	var slots []prop5Slot
 	total := 1
-	for _, r := range m.Rules {
+	for ri, r := range m.Rules {
 		// The word alphabet: the query's labels, the labels the target
 		// expression mentions concretely, and ⋆ standing for every other
 		// label (reachable only through Any-transitions). Labels the target
@@ -97,12 +130,12 @@ func CertainDataPathArbitrary(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 			// grammar (no ∅), but guard against future extensions: a rule
 			// with empty target language over a nonempty requirement set
 			// admits no solution, making every pair certain.
-			if r.Source.Eval(gs).Len() > 0 {
+			if sourcePairs[ri].Len() > 0 {
 				return true, nil
 			}
 			continue
 		}
-		for _, p := range r.Source.Eval(gs).Sorted() {
+		for _, p := range sourcePairs[ri].Sorted() {
 			u, v := gs.Node(p.From), gs.Node(p.To)
 			// ε-words demand u = v; filter them per pair.
 			var usable [][]string
@@ -118,13 +151,13 @@ func CertainDataPathArbitrary(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 			slots = append(slots, prop5Slot{from: u, to: v, words: usable})
 			total *= len(usable)
 			if total > opts.MaxChoices {
-				return false, fmt.Errorf("core: %d word-choice combinations exceed budget %d",
+				return false, budgetErrf("core: %d word-choice combinations exceed budget %d",
 					total, opts.MaxChoices)
 			}
 		}
 	}
 
-	dom := DomIDs(m, gs)
+	dom := mat.DomIDs()
 	if _, okF := dom[from]; !okF {
 		return false, nil
 	}
@@ -136,12 +169,16 @@ func CertainDataPathArbitrary(m *Mapping, gs *datagraph.Graph, q *ree.Query,
 	// and run the CertainExactPair-style specialization check inline. Each
 	// combination is independent, so the enumeration shards across workers:
 	// combination indices are decoded mixed-radix into choice vectors.
+	domNodes := mat.DomNodes()
 	checkCombo := func(idx int, choice []int) (holds bool, err error) {
+		if err := ctx.Err(); err != nil {
+			return false, Canceled(err)
+		}
 		for i := range slots {
 			choice[i] = idx % len(slots[i].words)
 			idx /= len(slots[i].words)
 		}
-		gt, err := buildChoiceSolution(m, gs, slots, choice, L)
+		gt, err := buildChoiceSolution(gs, domNodes, slots, choice, L)
 		if err != nil {
 			return false, err
 		}
@@ -314,10 +351,10 @@ type prop5Slot struct {
 // buildChoiceSolution materialises the canonical target for one choice
 // combination: dom nodes plus one fresh path per slot spelling the chosen
 // word (LONG becomes a ⋆-path of length |Q|+1, unusable by any match).
-func buildChoiceSolution(m *Mapping, gs *datagraph.Graph, slots []prop5Slot,
+func buildChoiceSolution(gs *datagraph.Graph, domNodes []datagraph.Node, slots []prop5Slot,
 	choice []int, L int) (*datagraph.Graph, error) {
 	gt := datagraph.New()
-	for _, n := range Dom(m, gs) {
+	for _, n := range domNodes {
 		gt.MustAddNode(n.ID, n.Value)
 	}
 	ids := newFreshIDs(gs, "_n")

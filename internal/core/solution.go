@@ -10,32 +10,35 @@ import (
 // dom(M, Gs), universal solutions populated with SQL-null nodes, and least
 // informative solutions populated with fresh distinct data values.
 
+// throwaway builds a single-use materialization for the legacy free
+// functions, which recompute everything per call by design.
+func throwaway(m *Mapping, gs *datagraph.Graph) (*Materialization, error) {
+	cm, err := Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return NewMaterialization(cm, gs), nil
+}
+
 // Dom computes dom(M, Gs): all source nodes appearing in some query result
-// q(Gs) for (q, q′) ∈ M, in dense-index order of Gs.
+// q(Gs) for (q, q′) ∈ M, in dense-index order of Gs. An invalid mapping
+// (nil, or nil rule queries) panics, matching the pre-session behavior of
+// evaluating a nil query.
 func Dom(m *Mapping, gs *datagraph.Graph) []datagraph.Node {
-	seen := make([]bool, gs.NumNodes())
-	for _, r := range m.Rules {
-		r.Source.Eval(gs).Each(func(p datagraph.Pair) {
-			seen[p.From] = true
-			seen[p.To] = true
-		})
+	mat, err := throwaway(m, gs)
+	if err != nil {
+		panic(err)
 	}
-	var out []datagraph.Node
-	for i, ok := range seen {
-		if ok {
-			out = append(out, gs.Node(i))
-		}
-	}
-	return out
+	return mat.DomNodes()
 }
 
 // DomIDs returns the ids of Dom as a set.
 func DomIDs(m *Mapping, gs *datagraph.Graph) map[datagraph.NodeID]struct{} {
-	out := make(map[datagraph.NodeID]struct{})
-	for _, n := range Dom(m, gs) {
-		out[n.ID] = struct{}{}
+	mat, err := throwaway(m, gs)
+	if err != nil {
+		panic(err)
 	}
-	return out
+	return mat.DomIDs()
 }
 
 // freshIDs hands out node ids that cannot collide with ids already present
@@ -100,18 +103,27 @@ func (f *freshValues) next() datagraph.Value {
 // UniversalSolution builds the Section 7 universal solution for a relational
 // GSM: dom(M, Gs) is copied, and for each rule (q, a₁…aₖ) and each pair
 // (v, v′) ∈ q(Gs), a path v a₁ n₁ a₂ … aₖ v′ is added whose k−1 intermediate
-// nodes are fresh null nodes (value n). It errors if the mapping is not
-// relational, or if a rule with target ε demands v = v′ for a pair with
-// v ≠ v′ (in which case no solution exists at all).
+// nodes are fresh null nodes (value n). It errors with ErrInfinite if the
+// mapping is not relational, or with ErrNoSolution if a rule with target ε
+// demands v = v′ for a pair with v ≠ v′ (in which case no solution exists at
+// all).
 func UniversalSolution(m *Mapping, gs *datagraph.Graph) (*datagraph.Graph, error) {
-	return buildSolution(m, gs, solutionNulls)
+	mat, err := throwaway(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return mat.Universal()
 }
 
 // LeastInformativeSolution builds the Section 8 least informative solution:
 // identical to the universal solution except that the fresh intermediate
 // nodes carry fresh, pairwise distinct data values instead of nulls.
 func LeastInformativeSolution(m *Mapping, gs *datagraph.Graph) (*datagraph.Graph, error) {
-	return buildSolution(m, gs, solutionFresh)
+	mat, err := throwaway(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return mat.LeastInformative()
 }
 
 type solutionStyle int
@@ -120,54 +132,6 @@ const (
 	solutionNulls solutionStyle = iota
 	solutionFresh
 )
-
-func buildSolution(m *Mapping, gs *datagraph.Graph, style solutionStyle) (*datagraph.Graph, error) {
-	if !m.IsRelational() {
-		return nil, fmt.Errorf("core: solutions are defined for relational mappings only")
-	}
-	gt := datagraph.New()
-	// Step 1: copy dom(M, Gs).
-	for _, n := range Dom(m, gs) {
-		gt.MustAddNode(n.ID, n.Value)
-	}
-	ids := newFreshIDs(gs, "_n")
-	vals := newFreshValues(gs, "_fresh")
-	newNodeValue := func() datagraph.Value {
-		if style == solutionNulls {
-			return datagraph.Null()
-		}
-		return vals.next()
-	}
-	// Step 2: materialise a path for each rule and pair.
-	for _, r := range m.Rules {
-		word, _ := r.Target.AsWord()
-		pairs := r.Source.Eval(gs).Sorted()
-		for _, p := range pairs {
-			from := gs.Node(p.From)
-			to := gs.Node(p.To)
-			if len(word) == 0 {
-				if from.ID != to.ID {
-					return nil, fmt.Errorf(
-						"core: rule %s requires %s = %s via ε; no solution exists", r, from.ID, to.ID)
-				}
-				continue
-			}
-			prev := from.ID
-			for i := 0; i < len(word)-1; i++ {
-				id := ids.next()
-				gt.MustAddNode(id, newNodeValue())
-				gt.MustAddEdge(prev, word[i], id)
-				prev = id
-			}
-			gt.MustAddEdge(prev, word[len(word)-1], to.ID)
-		}
-	}
-	// Freeze once so every downstream evaluation of this solution — the
-	// certain-answer batch, all engine workers — shares one interned
-	// snapshot.
-	gt.Freeze()
-	return gt, nil
-}
 
 // NullNodes returns the ids of null nodes in a graph (universal-solution
 // intermediates).

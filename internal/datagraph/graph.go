@@ -392,6 +392,14 @@ func (g *Graph) Snapshot() *Snapshot {
 	return nil
 }
 
+// Versions returns the graph's monotonic mutation counters: topology counts
+// node/edge insertions, values counts SetValue overwrites. Long-lived
+// handles (sessions) record them at construction and compare on use to
+// detect a source graph mutated underneath memoized artifacts.
+func (g *Graph) Versions() (topology, values uint64) {
+	return g.topoVersion, g.valVersion
+}
+
 // Value returns δ(v) for the node at index i.
 func (g *Graph) Value(i int) Value { return g.nodes[i].Value }
 

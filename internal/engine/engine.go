@@ -95,6 +95,15 @@ func EvalOpts(ctx context.Context, m *core.Mapping, gs *datagraph.Graph, opts Op
 	if err != nil {
 		return nil, err
 	}
+	return EvalSolution(ctx, u, opts, queries...)
+}
+
+// EvalSolution runs the Theorem 4 batch over an already materialized
+// universal solution: evaluate every query concurrently under SQL-null
+// semantics and filter null-node endpoints. Sessions use it so a stream of
+// batches against one (M, Gs) shares one memoized solution instead of
+// rebuilding it per call.
+func EvalSolution(ctx context.Context, u *datagraph.Graph, opts Options, queries ...core.Query) ([]*core.Answers, error) {
 	sets, err := evalAll(ctx, u, queries, datagraph.SQLNulls, opts)
 	if err != nil {
 		return nil, err
@@ -235,7 +244,7 @@ func evalAll(ctx context.Context, g *datagraph.Graph, queries []core.Query, mode
 		// Sequential fast path: no goroutine or lock overhead.
 		for _, j := range jobs {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return nil, core.Canceled(err)
 			}
 			runJob(g, queries, mode, j, results[j.qi])
 		}
@@ -282,7 +291,7 @@ func evalAll(ctx context.Context, g *datagraph.Graph, queries []core.Query, mode
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, core.Canceled(err)
 	}
 	return results, nil
 }

@@ -92,5 +92,6 @@ func All() []Experiment {
 		{"E12", "combined complexity REE vs REM (Thm 3)", E12Combined},
 		{"E13", "static analysis of data RPQs (§3 citations)", E13StaticDataRPQ},
 		{"E14", "incremental snapshot maintenance under updates", E14Streaming},
+		{"E15", "session API amortization over query streams", E15SessionAmortization},
 	}
 }

@@ -22,6 +22,10 @@ type GraphSpec struct {
 	Nodes  int
 	Edges  int
 	Labels []string
+	// LabelWeights optionally weights the label distribution, parallel to
+	// Labels (nil means uniform). Rare labels model the small hot relations
+	// of serving workloads.
+	LabelWeights []int
 	// Values is the size of the data-value pool; values are drawn with a
 	// quadratic skew (low indices more likely), mimicking attribute skew in
 	// property graphs.
@@ -39,6 +43,23 @@ func RandomGraph(spec GraphSpec) *datagraph.Graph {
 	if len(spec.Labels) == 0 {
 		spec.Labels = []string{"a", "b"}
 	}
+	pickLabel := func() string {
+		if len(spec.LabelWeights) != len(spec.Labels) {
+			return spec.Labels[rng.Intn(len(spec.Labels))]
+		}
+		total := 0
+		for _, w := range spec.LabelWeights {
+			total += w
+		}
+		k := rng.Intn(total)
+		for i, w := range spec.LabelWeights {
+			if k < w {
+				return spec.Labels[i]
+			}
+			k -= w
+		}
+		return spec.Labels[len(spec.Labels)-1]
+	}
 	for i := 0; i < spec.Nodes; i++ {
 		v := skewed(rng, spec.Values)
 		g.MustAddNode(nodeID(i), datagraph.V(fmt.Sprintf("d%d", v)))
@@ -46,8 +67,7 @@ func RandomGraph(spec GraphSpec) *datagraph.Graph {
 	for e := 0; e < spec.Edges; e++ {
 		from := rng.Intn(spec.Nodes)
 		to := rng.Intn(spec.Nodes)
-		label := spec.Labels[rng.Intn(len(spec.Labels))]
-		g.MustAddEdge(nodeID(from), label, nodeID(to))
+		g.MustAddEdge(nodeID(from), pickLabel(), nodeID(to))
 	}
 	return g
 }
@@ -188,6 +208,69 @@ func RandomREEQuery(spec QuerySpec) ree.Expr {
 		}
 	}
 	return gen(spec.Depth)
+}
+
+// StreamShape selects the query family of a QueryStream.
+type StreamShape int
+
+const (
+	// ShapeMixed draws random REE expressions (RandomREEQuery): arbitrary
+	// nesting, stars, unions — the stress shape.
+	ShapeMixed StreamShape = iota
+	// ShapePaths draws paths with tests (RandomPathWithTests): the
+	// selective point-lookup shape of serving workloads, and the query
+	// class at the center of the paper's tractability results.
+	ShapePaths
+)
+
+// QueryStreamSpec parameterises QueryStream.
+type QueryStreamSpec struct {
+	// Labels the queries draw from (typically the mapping's target labels).
+	Labels []string
+	// N is the number of queries in the stream.
+	N int
+	// Shape selects the query family (default ShapeMixed).
+	Shape StreamShape
+	// Depth bounds each ShapeMixed query's expression tree depth (default
+	// 3); for ShapePaths it is the path length (default 4).
+	Depth int
+	// AllowNeq permits ≠ tests.
+	AllowNeq bool
+	Seed     int64
+}
+
+// QueryStream generates a deterministic stream of N REE queries — the
+// serving-workload shape: many distinct queries against one (M, Gs) pair,
+// where a session amortizes solution construction across the whole stream.
+func QueryStream(spec QueryStreamSpec) []core.Query {
+	out := make([]core.Query, spec.N)
+	for i := range out {
+		seed := spec.Seed + int64(i)*7919 // distinct deterministic seeds
+		switch spec.Shape {
+		case ShapePaths:
+			length := spec.Depth
+			if length <= 0 {
+				length = 4
+			}
+			maxNeq := 0
+			if spec.AllowNeq {
+				maxNeq = 1
+			}
+			out[i] = ree.New(RandomPathWithTests(spec.Labels, length, maxNeq, seed))
+		default:
+			depth := spec.Depth
+			if depth <= 0 {
+				depth = 3
+			}
+			out[i] = ree.New(RandomREEQuery(QuerySpec{
+				Labels:   spec.Labels,
+				Depth:    depth,
+				AllowNeq: spec.AllowNeq,
+				Seed:     seed,
+			}))
+		}
+	}
+	return out
 }
 
 // RandomPathWithTests generates a random path-with-tests expression with at

@@ -3,15 +3,23 @@
 // the data-graph model, the query languages (RPQ, REE, REM, GXPath-core~),
 // graph schema mappings, solution builders and every certain-answer
 // algorithm the paper proves correct, so downstream users can depend on a
-// single import:
+// single import.
 //
-//	import "repro"
+// The serving API is session-centric (see session.go): compile the mapping
+// once, open a Session per source graph, and stream queries against the
+// memoized solutions:
 //
 //	gs := repro.NewGraph()
 //	gs.MustAddNode("ann", repro.V("30"))
 //	...
-//	m := repro.NewMapping(repro.R("knows", "follows follows"))
-//	answers, err := repro.CertainNull(m, gs, repro.MustREE("(follows follows)!="))
+//	cm, err := repro.Compile(repro.NewMapping(repro.R("knows", "follows follows")))
+//	s, err := repro.NewSession(cm, gs)
+//	answers, err := s.CertainNull(ctx, repro.MustREE("(follows follows)!="))
+//
+// The free functions below (CertainNull, UniversalSolution, ...) predate
+// sessions; they remain as thin wrappers that build a throwaway session per
+// call, re-deriving every solution. Prefer sessions for anything that asks
+// more than one question of the same (mapping, source graph) pair.
 //
 // See DESIGN.md for the architecture and EXPERIMENTS.md for the
 // reproduction results; the subsystems live in internal/ packages.
@@ -19,6 +27,7 @@ package repro
 
 import (
 	"context"
+	"fmt"
 
 	"repro/internal/core"
 	"repro/internal/crpq"
@@ -83,52 +92,118 @@ type (
 // NewMapping builds a mapping from rules.
 func NewMapping(rules ...Rule) *Mapping { return core.NewMapping(rules...) }
 
+// NewAnswers returns an empty answer set.
+func NewAnswers() *Answers { return core.NewAnswers() }
+
 // R builds a rule from rex-syntax source and target RPQs.
 func R(source, target string) Rule { return core.R(source, target) }
 
 // ParseMapping reads the line-based mapping text format.
 func ParseMapping(s string) (*Mapping, error) { return core.ParseMappingString(s) }
 
+// throwawaySession builds the single-use session behind the deprecated free
+// functions.
+func throwawaySession(m *Mapping, gs *Graph, opts ...Option) (*Session, error) {
+	cm, err := Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	return NewSession(cm, gs, opts...)
+}
+
 // UniversalSolution builds the SQL-null universal solution (Section 7).
+//
+// Deprecated: use [NewSession] and [Session.UniversalSolution], which
+// memoize the solution for reuse; this wrapper rebuilds it per call.
 func UniversalSolution(m *Mapping, gs *Graph) (*Graph, error) {
-	return core.UniversalSolution(m, gs)
+	s, err := throwawaySession(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return s.UniversalSolution(context.Background())
 }
 
 // LeastInformativeSolution builds the fresh-value solution (Section 8).
+//
+// Deprecated: use [NewSession] and [Session.LeastInformativeSolution].
 func LeastInformativeSolution(m *Mapping, gs *Graph) (*Graph, error) {
-	return core.LeastInformativeSolution(m, gs)
+	s, err := throwawaySession(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return s.LeastInformativeSolution(context.Background())
 }
 
 // CertainNull computes 2ⁿ_M(Q, Gs) via the universal solution (Theorem 4):
 // tractable, exact for data RPQs over targets with SQL nulls, and an
 // underapproximation of the classical certain answers.
+//
+// Deprecated: use [NewSession] and [Session.CertainNull], which share the
+// universal solution across calls; this wrapper rebuilds it per call.
 func CertainNull(m *Mapping, gs *Graph, q Query) (*Answers, error) {
-	return core.CertainNull(m, gs, q)
+	s, err := throwawaySession(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return s.CertainNull(context.Background(), q)
 }
 
 // CertainLeastInformative computes 2_M(Q, Gs) for equality-only queries
 // (REM=/REE=, Theorem 5).
+//
+// Deprecated: use [NewSession] and [Session.CertainLeastInformative].
 func CertainLeastInformative(m *Mapping, gs *Graph, q Query) (*Answers, error) {
-	return core.CertainLeastInformative(m, gs, q)
+	s, err := throwawaySession(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return s.CertainLeastInformative(context.Background(), q)
 }
 
 // CertainExact computes 2_M(Q, Gs) exactly by exponential search
 // (Theorem 2's coNP bound made deterministic); see ExactOptions.
+//
+// Deprecated: use [NewSession] with [WithMaxNulls] and
+// [Session.CertainExact]; this wrapper rebuilds the universal solution per
+// call.
 func CertainExact(m *Mapping, gs *Graph, q Query, opts ExactOptions) (*Answers, error) {
-	return core.CertainExact(m, gs, q, opts)
+	var sopts []Option
+	if opts.MaxNulls != 0 {
+		if opts.MaxNulls < 0 {
+			return nil, fmt.Errorf("%w: MaxNulls %d is negative", ErrBadOptions, opts.MaxNulls)
+		}
+		sopts = append(sopts, WithMaxNulls(opts.MaxNulls))
+	}
+	s, err := throwawaySession(m, gs, sopts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.CertainExact(context.Background(), q)
 }
 
 // CertainOneInequality decides one pair for paths-with-tests with at most
 // one inequality in polynomial time (Proposition 4).
+//
+// Deprecated: use [NewSession] and [Session.CertainOneInequality].
 func CertainOneInequality(m *Mapping, gs *Graph, q *REEQuery, from, to NodeID) (bool, error) {
-	return core.CertainOneInequality(m, gs, q, from, to, core.OneNeqOptions{})
+	s, err := throwawaySession(m, gs)
+	if err != nil {
+		return false, err
+	}
+	return s.CertainOneInequality(context.Background(), q, from, to)
 }
 
 // CertainDataPathArbitrary decides one pair for a path-with-tests query
 // under an *arbitrary* (possibly non-relational) GSM — the Proposition 5
 // procedure, exponential in the mapping's word choices and fresh nodes.
+//
+// Deprecated: use [NewSession] and [Session.CertainDataPathArbitrary].
 func CertainDataPathArbitrary(m *Mapping, gs *Graph, q *REEQuery, from, to NodeID) (bool, error) {
-	return core.CertainDataPathArbitrary(m, gs, q, from, to, core.Prop5Options{})
+	s, err := throwawaySession(m, gs)
+	if err != nil {
+		return false, err
+	}
+	return s.CertainDataPathArbitrary(context.Background(), q, from, to)
 }
 
 // The concurrent evaluation engine (internal/engine): certain answers
@@ -144,24 +219,54 @@ type (
 // Eval computes the certain answers 2ⁿ_M(Q, Gs) (Theorem 4) for every
 // query concurrently, returning one answer set per query, index-aligned.
 // The universal solution is built once and shared by all workers.
+//
+// Deprecated: use [NewSession] and [Session.Eval], which share the
+// universal solution across batches; this wrapper rebuilds it per call.
 func Eval(ctx context.Context, m *Mapping, gs *Graph, queries ...Query) ([]*Answers, error) {
-	return engine.Eval(ctx, m, gs, queries...)
+	return EvalOpts(ctx, m, gs, EngineOptions{}, queries...)
 }
 
 // EvalOpts is Eval with explicit worker-pool options.
+//
+// Deprecated: use [NewSession] with [WithWorkers]/[WithChunkSize] and
+// [Session.Eval].
 func EvalOpts(ctx context.Context, m *Mapping, gs *Graph, opts EngineOptions, queries ...Query) ([]*Answers, error) {
-	return engine.EvalOpts(ctx, m, gs, opts, queries...)
+	var sopts []Option
+	if opts.Workers > 0 {
+		sopts = append(sopts, WithWorkers(opts.Workers))
+	}
+	if opts.ChunkSize > 0 {
+		sopts = append(sopts, WithChunkSize(opts.ChunkSize))
+	}
+	s, err := throwawaySession(m, gs, sopts...)
+	if err != nil {
+		return nil, err
+	}
+	return s.Eval(ctx, queries...)
 }
 
 // CertainNullParallel is CertainNull on the worker-pool engine.
+//
+// Deprecated: use [NewSession] and [Session.CertainNull], which is
+// engine-backed and shares the universal solution across calls.
 func CertainNullParallel(ctx context.Context, m *Mapping, gs *Graph, q Query) (*Answers, error) {
-	return engine.CertainNull(ctx, m, gs, q, EngineOptions{})
+	s, err := throwawaySession(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return s.CertainNull(ctx, q)
 }
 
 // CertainLeastInformativeParallel is CertainLeastInformative on the
 // worker-pool engine.
+//
+// Deprecated: use [NewSession] and [Session.CertainLeastInformative].
 func CertainLeastInformativeParallel(ctx context.Context, m *Mapping, gs *Graph, q Query) (*Answers, error) {
-	return engine.CertainLeastInformative(ctx, m, gs, q, EngineOptions{})
+	s, err := throwawaySession(m, gs)
+	if err != nil {
+		return nil, err
+	}
+	return s.CertainLeastInformative(ctx, q)
 }
 
 // EvalGraphParallel evaluates one query over one graph with the start-node
