@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-json bench-diff lint fmt vet api-check api-update ci
+.PHONY: build test test-race bench bench-smoke bench-json bench-diff lint fmt vet api-check api-update serve-smoke docs-check ci
 
 build:
 	$(GO) build ./...
@@ -45,6 +45,17 @@ api-check:
 api-update:
 	$(GO) run ./cmd/apicheck -write
 
+# End-to-end serving smoke: build gsmd+gsmload, boot the demo server on a
+# free port, replay requests (byte-for-byte verified against the embedded
+# session path), then drain gracefully. See scripts/server-smoke.sh.
+serve-smoke:
+	sh scripts/server-smoke.sh
+
+# Documentation link check: every local markdown link in README.md and
+# docs/*.md must resolve to an existing file.
+docs-check:
+	$(GO) test -run TestDocsLinks .
+
 fmt:
 	@out="$$(gofmt -l .)"; \
 	if [ -n "$$out" ]; then \
@@ -56,4 +67,4 @@ vet:
 
 lint: fmt vet
 
-ci: build lint api-check test-race bench-smoke bench-json
+ci: build lint api-check docs-check test-race serve-smoke bench-smoke bench-json

@@ -1,9 +1,13 @@
-package repro
+package repro_test
 
 // One benchmark per reproduction experiment (E1–E12, see EXPERIMENTS.md and
 // DESIGN.md §3). Each benchmark exercises the core operation whose
 // complexity the corresponding paper result describes; cmd/gsmbench prints
 // the full parameter sweeps as tables.
+//
+// This file is an external test package (repro_test) on purpose: it imports
+// internal/experiments, which (via internal/server) depends on the repro
+// facade — an import cycle if this file lived in package repro.
 
 import (
 	"context"

@@ -1,7 +1,9 @@
 // Command gsmbench runs the reproduction experiments E1–E13 (one per paper
 // result; see EXPERIMENTS.md and DESIGN.md §3) plus the systems scenarios
 // grown on top of them (E14: incremental snapshot maintenance under
-// update-heavy streaming workloads) and prints their tables.
+// update-heavy streaming workloads; E15: session API amortization over
+// query streams; E16: the HTTP serving layer with shared session backends)
+// and prints their tables.
 //
 // Usage:
 //
@@ -55,7 +57,7 @@ type jsonReport struct {
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (E1..E15) or 'all'")
+	exp := flag.String("exp", "all", "experiment id (E1..E16) or 'all'")
 	quick := flag.Bool("quick", false, "shrink workloads for a fast pass")
 	list := flag.Bool("list", false, "list experiments and exit")
 	timeout := flag.Duration("timeout", 0, "wall-clock budget; skip remaining experiments once exceeded (0 = none)")

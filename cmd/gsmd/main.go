@@ -1,0 +1,140 @@
+// Command gsmd is the graph-schema-mapping daemon: a long-running
+// multi-tenant HTTP/JSON server over the repro facade. It keeps a registry
+// of named compiled mappings and source graphs and serves certain-answer
+// queries through per-tenant sessions whose memoized solutions are shared
+// across requests (see internal/server and docs/SERVER.md).
+//
+// Usage:
+//
+//	gsmd -demo                                   # serve the canonical demo pair
+//	gsmd -mapping m=rules.txt -graph g=data.txt  # serve files
+//	gsmd -addr 127.0.0.1:0 -addr-file addr.txt   # pick a free port, publish it
+//
+// Mappings and graphs can also be registered at runtime via POST
+// /v1/mappings and /v1/graphs. On SIGINT/SIGTERM the server drains: new
+// requests are refused with 503 while in-flight requests run to completion
+// (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// nameFileList collects repeatable name=path flags.
+type nameFileList []struct{ name, path string }
+
+func (l *nameFileList) String() string { return fmt.Sprint(*l) }
+
+func (l *nameFileList) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*l = append(*l, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	var mappings, graphs nameFileList
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for a free port)")
+	addrFile := flag.String("addr-file", "", "write the bound address to this file once listening")
+	flag.Var(&mappings, "mapping", "register a mapping at startup as name=path (repeatable)")
+	flag.Var(&graphs, "graph", "register a source graph at startup as name=path (repeatable)")
+	demo := flag.Bool("demo", false, `register the canonical serving scenario as mapping "demo" and graph "demo"`)
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently served requests (0 = default 256)")
+	maxSessions := flag.Int("max-sessions", 0, "cap on open sessions per tenant (0 = default 64)")
+	timeout := flag.Duration("timeout", 0, "default per-request timeout (0 = default 30s)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("gsmd: ")
+
+	srv := server.New(server.Config{
+		MaxInFlight:          *maxInflight,
+		MaxSessionsPerTenant: *maxSessions,
+		DefaultTimeout:       *timeout,
+	})
+
+	if *demo {
+		sc := workload.Serving(workload.ServingSpec{})
+		if _, err := srv.RegisterMappingText("demo", sc.MappingText); err != nil {
+			log.Fatalf("registering demo mapping: %v", err)
+		}
+		if _, err := srv.RegisterGraphText("demo", sc.GraphText); err != nil {
+			log.Fatalf("registering demo graph: %v", err)
+		}
+		log.Printf("registered demo pair (%s)", sc)
+	}
+	for _, m := range mappings {
+		text, err := os.ReadFile(m.path)
+		if err != nil {
+			log.Fatalf("reading mapping %s: %v", m.name, err)
+		}
+		info, err := srv.RegisterMappingText(m.name, string(text))
+		if err != nil {
+			log.Fatalf("registering mapping %s: %v", m.name, err)
+		}
+		log.Printf("registered mapping %s (%d rules)", info.Name, info.Rules)
+	}
+	for _, g := range graphs {
+		text, err := os.ReadFile(g.path)
+		if err != nil {
+			log.Fatalf("reading graph %s: %v", g.name, err)
+		}
+		info, err := srv.RegisterGraphText(g.name, string(text))
+		if err != nil {
+			log.Fatalf("registering graph %s: %v", g.name, err)
+		}
+		log.Printf("registered graph %s (%d nodes, %d edges)", info.Name, info.Nodes, info.Edges)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen %s: %v", *addr, err)
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		// Written atomically-enough for the smoke script: the file appears
+		// only after the listener is live.
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			log.Fatalf("writing -addr-file: %v", err)
+		}
+	}
+	log.Printf("listening on %s", bound)
+
+	hs := &http.Server{Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("received %s, draining (grace %s)", sig, *drainTimeout)
+		// Flip admission first so /healthz and new requests report the
+		// drain immediately, then let http.Server.Shutdown wait for the
+		// in-flight requests.
+		srv.BeginDrain()
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil {
+			log.Fatalf("shutdown: %v", err)
+		}
+		log.Printf("drained, bye")
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	}
+}

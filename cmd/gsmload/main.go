@@ -1,0 +1,354 @@
+// Command gsmload is the load generator for gsmd: N concurrent clients
+// replay the canonical serving query stream (internal/workload.Serving)
+// against a running server and report p50/p99 latency and answers/sec.
+//
+// Usage:
+//
+//	gsmload -addr 127.0.0.1:8080 -clients 100 -n 5000          # session mode
+//	gsmload -addr $(cat addr.txt) -n 100 -mode oneshot         # baseline
+//	gsmload -addr ... -mode both -verify -json report.json     # the E16 run
+//
+// Modes:
+//
+//   - session: every client opens one server session and replays its share
+//     of the stream through it — solutions are materialized once per
+//     (mapping, graph) pair and shared by all clients;
+//   - oneshot: every request goes through POST /v1/query, which builds a
+//     throwaway session per call — the amortization baseline;
+//   - both: oneshot first, then session, reporting the speedup.
+//
+// With -verify every server response is compared byte-for-byte against the
+// embedded repro.Session path computing the same canonical wire encoding.
+// The scenario pair is registered as mapping "demo" / graph "demo"
+// (idempotent, so running against `gsmd -demo` is fine). Exits non-zero on
+// any request error, any verification mismatch, or zero answers.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// report is the -json document for one mode's run.
+type report struct {
+	Mode           string  `json:"mode"`
+	Clients        int     `json:"clients"`
+	Requests       int     `json:"requests"`
+	Errors         int     `json:"errors"`
+	Answers        int     `json:"answers"`
+	Seconds        float64 `json:"seconds"`
+	RequestsPerSec float64 `json:"requests_per_sec"`
+	AnswersPerSec  float64 `json:"answers_per_sec"`
+	P50MS          float64 `json:"p50_ms"`
+	P99MS          float64 `json:"p99_ms"`
+}
+
+// fullReport is the top-level -json document.
+type fullReport struct {
+	Scenario string   `json:"scenario"`
+	Verified int      `json:"verified"`
+	Runs     []report `json:"runs"`
+	// Speedup is session answers/sec over oneshot answers/sec, present in
+	// -mode both.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "gsmd address (host:port)")
+	clients := flag.Int("clients", 100, "concurrent clients")
+	n := flag.Int("n", 0, "total requests per mode (0 = one stream replay per client)")
+	mode := flag.String("mode", "session", "session, oneshot or both")
+	queries := flag.Int("queries", 50, "length of the replayed query stream")
+	nodes := flag.Int("nodes", 0, "scenario graph nodes (0 = default)")
+	seed := flag.Int64("seed", 0, "scenario seed (0 = default)")
+	tenants := flag.Int("tenants", 4, "spread clients across this many tenants")
+	verify := flag.Bool("verify", false, "check every response byte-for-byte against the embedded session path")
+	jsonPath := flag.String("json", "", "write a JSON report to this file ('-' = stdout)")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("gsmload: ")
+
+	sc := workload.Serving(workload.ServingSpec{Nodes: *nodes, Queries: *queries, Seed: *seed})
+	total := *n
+	if total <= 0 {
+		total = *clients * len(sc.QueryTexts)
+	}
+	if *clients <= 0 || *tenants <= 0 {
+		log.Fatalf("-clients and -tenants must be positive")
+	}
+	switch *mode {
+	case "session", "oneshot", "both":
+	default:
+		log.Fatalf("unknown -mode %q (want session, oneshot or both)", *mode)
+	}
+
+	lg := &loadgen{
+		base:    "http://" + *addr,
+		sc:      sc,
+		clients: *clients,
+		total:   total,
+		tenants: *tenants,
+		client: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        2 * *clients,
+			MaxIdleConnsPerHost: 2 * *clients,
+		}},
+	}
+	if *verify {
+		if err := lg.buildExpected(); err != nil {
+			log.Fatalf("building embedded verification answers: %v", err)
+		}
+	}
+	if err := lg.register(); err != nil {
+		log.Fatalf("registering scenario: %v", err)
+	}
+
+	full := fullReport{Scenario: sc.String()}
+	run := func(m string) report {
+		r := lg.run(m)
+		log.Printf("%-8s %d clients, %d requests, %d errors: %.0f answers/s, %.0f req/s, p50 %.2fms, p99 %.2fms (%.2fs)",
+			m, r.Clients, r.Requests, r.Errors, r.AnswersPerSec, r.RequestsPerSec, r.P50MS, r.P99MS, r.Seconds)
+		full.Runs = append(full.Runs, r)
+		return r
+	}
+	switch *mode {
+	case "session":
+		run("session")
+	case "oneshot":
+		run("oneshot")
+	case "both":
+		oneshot := run("oneshot")
+		session := run("session")
+		if oneshot.AnswersPerSec > 0 {
+			full.Speedup = session.AnswersPerSec / oneshot.AnswersPerSec
+			log.Printf("session/oneshot speedup: %.1fx", full.Speedup)
+		}
+	}
+	full.Verified = int(lg.verified.Load())
+	if *verify {
+		log.Printf("verified %d responses byte-for-byte against the embedded session", full.Verified)
+	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(full, "", "  ")
+		if err != nil {
+			log.Fatalf("encoding report: %v", err)
+		}
+		out = append(out, '\n')
+		if *jsonPath == "-" {
+			os.Stdout.Write(out)
+		} else if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			log.Fatalf("writing report: %v", err)
+		}
+	}
+
+	failed := false
+	for _, r := range full.Runs {
+		if r.Errors > 0 {
+			log.Printf("FAIL: %s mode had %d errors", r.Mode, r.Errors)
+			failed = true
+		}
+		if r.Answers == 0 {
+			log.Printf("FAIL: %s mode produced zero answers", r.Mode)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+type loadgen struct {
+	base    string
+	sc      workload.ServingScenario
+	clients int
+	total   int
+	tenants int
+	client  *http.Client
+
+	// expected[i] is the canonical wire encoding of query i's answers,
+	// computed by the embedded session path (set by -verify).
+	expected [][]byte
+	verified atomic.Int64
+}
+
+// buildExpected computes every query's canonical answer bytes with the
+// embedded facade — the same path docs/SERVER.md documents for library use.
+func (lg *loadgen) buildExpected() error {
+	cm, err := repro.Compile(lg.sc.Mapping)
+	if err != nil {
+		return err
+	}
+	sess, err := repro.NewSession(cm, lg.sc.Graph)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	lg.expected = make([][]byte, len(lg.sc.Queries))
+	for i, q := range lg.sc.Queries {
+		ans, err := sess.CertainNull(ctx, q)
+		if err != nil {
+			return fmt.Errorf("query %d: %w", i, err)
+		}
+		b, err := json.Marshal(server.AnswersWire(ans))
+		if err != nil {
+			return err
+		}
+		lg.expected[i] = b
+	}
+	return nil
+}
+
+// register installs the scenario pair (idempotently) on the server.
+func (lg *loadgen) register() error {
+	var mi server.MappingInfo
+	if err := lg.post("", "/v1/mappings",
+		server.RegisterMappingRequest{Name: "demo", Text: lg.sc.MappingText}, &mi); err != nil {
+		return fmt.Errorf("mapping: %w", err)
+	}
+	var gi server.GraphInfo
+	if err := lg.post("", "/v1/graphs",
+		server.RegisterGraphRequest{Name: "demo", Text: lg.sc.GraphText}, &gi); err != nil {
+		return fmt.Errorf("graph: %w", err)
+	}
+	return nil
+}
+
+// run replays the stream in the given mode and aggregates the results.
+func (lg *loadgen) run(mode string) report {
+	latencies := make([]time.Duration, lg.total)
+	answers := make([]int, lg.clients)
+	errs := make([]int, lg.clients)
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < lg.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			tenant := fmt.Sprintf("load-%d", c%lg.tenants)
+			sessionID := ""
+			if mode == "session" {
+				var si server.SessionInfo
+				if err := lg.post(tenant, "/v1/sessions",
+					server.CreateSessionRequest{Mapping: "demo", Graph: "demo"}, &si); err != nil {
+					errs[c]++
+					return
+				}
+				sessionID = si.ID
+				defer lg.client.Do(mustRequest(http.MethodDelete,
+					lg.base+"/v1/sessions/"+sessionID, tenant, nil))
+			}
+			// Client c serves requests c, c+clients, c+2*clients, ...; each
+			// request i replays query i modulo the stream length.
+			for i := c; i < lg.total; i += lg.clients {
+				qi := i % len(lg.sc.QueryTexts)
+				t0 := time.Now()
+				var resp server.QueryResponse
+				var err error
+				if mode == "session" {
+					err = lg.post(tenant, "/v1/sessions/"+sessionID+"/query",
+						server.QueryRequest{Query: lg.sc.QueryTexts[qi]}, &resp)
+				} else {
+					err = lg.post(tenant, "/v1/query", server.OneShotRequest{
+						Mapping: "demo", Graph: "demo", Query: lg.sc.QueryTexts[qi]}, &resp)
+				}
+				latencies[i] = time.Since(t0)
+				if err != nil {
+					errs[c]++
+					continue
+				}
+				answers[c] += resp.Count
+				if lg.expected != nil {
+					got, merr := json.Marshal(resp.Answers)
+					if merr != nil || !bytes.Equal(got, lg.expected[qi]) {
+						log.Printf("verify mismatch on query %d (%s mode)", qi, mode)
+						errs[c]++
+						continue
+					}
+					lg.verified.Add(1)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := report{Mode: mode, Clients: lg.clients, Requests: lg.total, Seconds: elapsed.Seconds()}
+	for c := 0; c < lg.clients; c++ {
+		r.Errors += errs[c]
+		r.Answers += answers[c]
+	}
+	if elapsed > 0 {
+		r.RequestsPerSec = float64(lg.total) / elapsed.Seconds()
+		r.AnswersPerSec = float64(r.Answers) / elapsed.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	r.P50MS = ms(percentile(latencies, 50))
+	r.P99MS = ms(percentile(latencies, 99))
+	return r
+}
+
+// post sends a JSON request and decodes a JSON response, surfacing non-2xx
+// bodies as errors.
+func (lg *loadgen) post(tenant, path string, body, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req := mustRequest(http.MethodPost, lg.base+path, tenant, bytes.NewReader(b))
+	resp, err := lg.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		var eb server.ErrorBody
+		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("%s %s: %s (%s, status %d)", req.Method, path, eb.Error, eb.Kind, resp.StatusCode)
+		}
+		return fmt.Errorf("%s %s: status %d", req.Method, path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func mustRequest(method, url, tenant string, body *bytes.Reader) *http.Request {
+	var req *http.Request
+	var err error
+	if body == nil {
+		req, err = http.NewRequest(method, url, nil)
+	} else {
+		req, err = http.NewRequest(method, url, body)
+	}
+	if err != nil {
+		panic(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	return req
+}
+
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted) - 1) * p / 100
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,64 @@
+package repro_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+
+	"repro/internal/server"
+)
+
+// Example_serverClient is the third quickstart path (after the embedded
+// library and the gsm CLI): talking to the multi-tenant HTTP server that
+// cmd/gsmd runs. The server keeps one shared session backend per (mapping,
+// graph) pair, so every client session after the first reuses the memoized
+// universal solution. docs/SERVER.md documents the full API.
+func Example_serverClient() {
+	// In production this is a running gsmd; here an in-process instance.
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	post := func(path string, body, out any) {
+		b, _ := json.Marshal(body)
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+path, bytes.NewReader(b))
+		req.Header.Set("X-Tenant", "acme")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			var eb server.ErrorBody
+			json.NewDecoder(resp.Body).Decode(&eb)
+			panic(fmt.Sprintf("%s: %d %s", path, resp.StatusCode, eb.Error))
+		}
+		json.NewDecoder(resp.Body).Decode(out)
+	}
+
+	// Register a mapping and a source graph under names, once.
+	var mi server.MappingInfo
+	post("/v1/mappings", server.RegisterMappingRequest{
+		Name: "social", Text: "rule knows -> follows follows\n"}, &mi)
+	var gi server.GraphInfo
+	post("/v1/graphs", server.RegisterGraphRequest{
+		Name: "people", Text: "node ann 30\nnode bob 25\nedge ann knows bob\n"}, &gi)
+	fmt.Printf("registered %s (%d rules) over %s (%d nodes)\n", mi.Name, mi.Rules, gi.Name, gi.Nodes)
+
+	// Open a session: certain-answer calls on it share the memoized
+	// universal solution with every other session on the same pair.
+	var si server.SessionInfo
+	post("/v1/sessions", server.CreateSessionRequest{Mapping: "social", Graph: "people"}, &si)
+
+	var qr server.QueryResponse
+	post("/v1/sessions/"+si.ID+"/query", server.QueryRequest{Query: "follows follows"}, &qr)
+	for _, a := range qr.Answers {
+		fmt.Printf("certain answer: %s(%s) -> %s(%s)\n", a.From.ID, a.From.Value, a.To.ID, a.To.Value)
+	}
+
+	// Output:
+	// registered social (1 rules) over people (2 nodes)
+	// certain answer: ann(30) -> bob(25)
+}

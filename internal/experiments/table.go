@@ -93,5 +93,6 @@ func All() []Experiment {
 		{"E13", "static analysis of data RPQs (§3 citations)", E13StaticDataRPQ},
 		{"E14", "incremental snapshot maintenance under updates", E14Streaming},
 		{"E15", "session API amortization over query streams", E15SessionAmortization},
+		{"E16", "HTTP serving layer: shared backends vs per-request sessions", E16Serving},
 	}
 }

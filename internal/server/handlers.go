@@ -1,0 +1,527 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro"
+)
+
+// Handler builds the HTTP API. Every endpoint except /healthz runs behind
+// the admission wrapper (draining → 503, in-flight cap → 429); tenants are
+// identified by the X-Tenant header (default "default") and never see each
+// other's sessions.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+
+	mux.HandleFunc("GET /v1/stats", s.wrap(s.handleStats))
+	mux.HandleFunc("POST /v1/mappings", s.wrap(s.handleRegisterMapping))
+	mux.HandleFunc("GET /v1/mappings", s.wrap(s.handleListMappings))
+	mux.HandleFunc("GET /v1/mappings/{name}", s.wrap(s.handleGetMapping))
+	mux.HandleFunc("POST /v1/graphs", s.wrap(s.handleRegisterGraph))
+	mux.HandleFunc("GET /v1/graphs", s.wrap(s.handleListGraphs))
+	mux.HandleFunc("GET /v1/graphs/{name}", s.wrap(s.handleGetGraph))
+	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleCreateSession))
+	mux.HandleFunc("GET /v1/sessions", s.wrap(s.handleListSessions))
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleCloseSession))
+	mux.HandleFunc("POST /v1/sessions/{id}/prepare", s.wrap(s.handlePrepare))
+	mux.HandleFunc("POST /v1/sessions/{id}/query", s.wrap(s.handleQuery))
+	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.wrap(s.handleStream))
+	mux.HandleFunc("POST /v1/query", s.wrap(s.handleOneShot))
+	return mux
+}
+
+// wrap is the admission middleware: counts the request, refuses new work
+// while draining (503) or at the in-flight cap (429, immediate — overload
+// sheds rather than queues), and tracks in-flight requests for WaitIdle.
+func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.stats.requests.Add(1)
+		if s.draining.Load() {
+			s.stats.rejectedDraining.Add(1)
+			writeJSON(w, http.StatusServiceUnavailable,
+				ErrorBody{Error: "server is draining", Kind: "draining"})
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+		default:
+			s.stats.rejectedBusy.Add(1)
+			writeJSON(w, http.StatusTooManyRequests,
+				ErrorBody{Error: "too many in-flight requests", Kind: "busy"})
+			return
+		}
+		s.reqWG.Add(1)
+		defer func() {
+			<-s.inflight
+			s.reqWG.Done()
+		}()
+		if hook := s.testHookStarted; hook != nil {
+			hook(r)
+		}
+		h(w, r)
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, HealthResponse{Status: "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsSnapshot())
+}
+
+// tenant extracts and validates the request's tenant.
+func tenant(r *http.Request) (string, error) {
+	t := r.Header.Get("X-Tenant")
+	if t == "" {
+		return "default", nil
+	}
+	if err := validName(t); err != nil {
+		return "", fmt.Errorf("%w: X-Tenant %q", repro.ErrBadOptions, t)
+	}
+	return t, nil
+}
+
+func (s *Server) handleRegisterMapping(w http.ResponseWriter, r *http.Request) {
+	var req RegisterMappingRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	info, err := s.RegisterMappingText(req.Name, req.Text)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListMappings(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.listMappings())
+}
+
+func (s *Server) handleGetMapping(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	e, ok := s.mappings[name]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeError(w, fmt.Errorf("mapping %q: %w", name, errNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info)
+}
+
+func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
+	var req RegisterGraphRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	info, err := s.RegisterGraphText(req.Name, req.Text)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.listGraphs())
+}
+
+func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.RLock()
+	e, ok := s.graphs[name]
+	s.mu.RUnlock()
+	if !ok {
+		s.writeError(w, fmt.Errorf("graph %q: %w", name, errNotFound))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.info)
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	ten, err := tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req CreateSessionRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	info, err := s.createSession(ten, req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	ten, err := tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.listSessions(ten))
+}
+
+func (s *Server) handleCloseSession(w http.ResponseWriter, r *http.Request) {
+	ten, err := tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	info, err := s.closeSession(ten, r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
+	ten, err := tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	as, err := s.session(ten, r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req PrepareRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := parseQuery(req.Lang, req.Query)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	p := repro.PrepareQuery(q)
+	// Bind eagerly: materializes the pair's universal solution (once per
+	// backend) and lowers the query onto its snapshot, so the first query
+	// against the prepared handle pays nothing.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+	defer cancel()
+	if err := p.Bind(ctx, as.sess); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	as.be.warmed.Store(true)
+	as.mu.Lock()
+	as.nextPrep++
+	id := fmt.Sprintf("p-%d", as.nextPrep)
+	as.prepared[id] = p
+	as.mu.Unlock()
+	writeJSON(w, http.StatusOK, PrepareResponse{Prepared: id})
+}
+
+// resolveQuery turns a QueryRequest into a runnable query: either a
+// prepared handle or freshly parsed text.
+func (as *apiSession) resolveQuery(req QueryRequest) (repro.Query, error) {
+	switch {
+	case req.Prepared != "" && req.Query != "":
+		return nil, fmt.Errorf("%w: set either query or prepared, not both", repro.ErrBadOptions)
+	case req.Prepared != "":
+		as.mu.Lock()
+		p, ok := as.prepared[req.Prepared]
+		as.mu.Unlock()
+		if !ok {
+			return nil, fmt.Errorf("prepared query %q: %w", req.Prepared, errNotFound)
+		}
+		return p, nil
+	case req.Query != "":
+		// Resolve through the backend's parsed-query cache: repeated
+		// replays of the same text (the serving hot path) reuse one query
+		// identity, so the engine's per-snapshot lowered programs hit too.
+		return as.be.parseQueryCached(req.Lang, req.Query)
+	default:
+		return nil, fmt.Errorf("%w: query text or prepared handle required", repro.ErrBadOptions)
+	}
+}
+
+// parseQuery compiles query text in the requested language.
+func parseQuery(lang, text string) (repro.Query, error) {
+	var q repro.Query
+	var err error
+	switch lang {
+	case "ree", "":
+		q, err = repro.ParseREE(text)
+	case "rem":
+		q, err = repro.ParseREM(text)
+	case "rpq":
+		q, err = repro.ParseRPQ(text)
+	default:
+		return nil, fmt.Errorf("%w: unknown query language %q (want ree, rem or rpq)", repro.ErrBadOptions, lang)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s query %q: %v", repro.ErrBadOptions, lang, text, err)
+	}
+	return q, nil
+}
+
+// requestSession returns the session a request should run on: the API
+// session's own derived session, or a further per-request derivation when
+// the request overrides budgets.
+func (as *apiSession) requestSession(req QueryRequest) (*repro.Session, error) {
+	if req.Options.isZero() {
+		return as.sess, nil
+	}
+	return as.sess.Derive(req.Options.options()...)
+}
+
+// requestContext wraps the HTTP request context with the per-request
+// timeout (or the server default). Cancellations — client disconnect,
+// deadline — surface from the facade as ErrCanceled → 499.
+func (s *Server) requestContext(r *http.Request, timeoutMS int) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = millis(timeoutMS)
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	ten, err := tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	as, err := s.session(ten, r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := as.resolveQuery(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sess, err := as.requestSession(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	start := time.Now()
+	var ans *repro.Answers
+	switch req.Algo {
+	case "null", "":
+		ans, err = sess.CertainNull(ctx, q)
+	case "least":
+		ans, err = sess.CertainLeastInformative(ctx, q)
+	case "exact":
+		ans, err = sess.CertainExact(ctx, q)
+	default:
+		err = fmt.Errorf("%w: unknown algo %q (want null, least or exact)", repro.ErrBadOptions, req.Algo)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	as.be.warmed.Store(true)
+	as.queries.Add(1)
+	as.answers.Add(uint64(ans.Len()))
+	s.stats.queries.Add(1)
+	s.stats.answers.Add(uint64(ans.Len()))
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Algo:      orDefault(req.Algo, "null"),
+		Count:     ans.Len(),
+		Answers:   AnswersWire(ans),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// streamFlushEvery is how many NDJSON answer lines are buffered between
+// flushes on the streaming endpoint.
+const streamFlushEvery = 64
+
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	ten, err := tenant(r)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	as, err := s.session(ten, r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req QueryRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	q, err := as.resolveQuery(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	sess, err := as.requestSession(req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	var seq func(func(repro.Answer, error) bool)
+	switch req.Algo {
+	case "null", "":
+		seq = sess.CertainNullSeq(ctx, q)
+	case "least":
+		seq = sess.CertainLeastInformativeSeq(ctx, q)
+	default:
+		s.writeError(w, fmt.Errorf("%w: streaming supports algo null or least, not %q",
+			repro.ErrBadOptions, req.Algo))
+		return
+	}
+
+	// From here on the 200 header is committed; evaluation errors travel
+	// in-band as a terminal NDJSON error chunk.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	count := 0
+	for a, err := range seq {
+		if err != nil {
+			_, kind := statusKind(err)
+			s.stats.errors.Add(1)
+			enc.Encode(StreamChunk{Error: err.Error(), Kind: kind})
+			flush()
+			return
+		}
+		wire := Answer{From: nodeWire(a.From), To: nodeWire(a.To)}
+		enc.Encode(StreamChunk{Answer: &wire})
+		count++
+		if count%streamFlushEvery == 0 {
+			flush()
+		}
+	}
+	as.be.warmed.Store(true)
+	as.queries.Add(1)
+	as.answers.Add(uint64(count))
+	s.stats.streams.Add(1)
+	s.stats.answers.Add(uint64(count))
+	enc.Encode(StreamChunk{Done: true, Count: count})
+	flush()
+}
+
+// handleOneShot is the amortization baseline: a throwaway session per
+// request, re-materializing the pair's solution every time. It reuses the
+// registered compiled mapping, so the measured gap against session queries
+// is exactly the solution/materialization reuse.
+func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
+	var req OneShotRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	s.mu.RLock()
+	me, okM := s.mappings[req.Mapping]
+	ge, okG := s.graphs[req.Graph]
+	s.mu.RUnlock()
+	if !okM {
+		s.writeError(w, fmt.Errorf("mapping %q: %w", req.Mapping, errNotFound))
+		return
+	}
+	if !okG {
+		s.writeError(w, fmt.Errorf("graph %q: %w", req.Graph, errNotFound))
+		return
+	}
+	q, err := parseQuery(req.Lang, req.Query)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// A fresh session: nothing memoized, the whole materialization is paid
+	// inside this request.
+	sess, err := repro.NewSession(me.cm, ge.g, req.Options.options()...)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	start := time.Now()
+	var ans *repro.Answers
+	switch req.Algo {
+	case "null", "":
+		ans, err = sess.CertainNull(ctx, q)
+	case "least":
+		ans, err = sess.CertainLeastInformative(ctx, q)
+	case "exact":
+		ans, err = sess.CertainExact(ctx, q)
+	default:
+		err = fmt.Errorf("%w: unknown algo %q (want null, least or exact)", repro.ErrBadOptions, req.Algo)
+	}
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	s.stats.oneShots.Add(1)
+	s.stats.answers.Add(uint64(ans.Len()))
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Algo:      orDefault(req.Algo, "null"),
+		Count:     ans.Len(),
+		Answers:   AnswersWire(ans),
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
+}
+
+// decode reads a JSON request body, reporting malformed input as 400
+// (bad_options). Returns false when it already wrote the error response.
+func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(v); err != nil {
+		s.writeError(w, fmt.Errorf("%w: request body: %v", repro.ErrBadOptions, err))
+		return false
+	}
+	return true
+}
+
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.stats.errors.Add(1)
+	status, kind := statusKind(err)
+	writeJSON(w, status, ErrorBody{Error: err.Error(), Kind: kind})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}

@@ -1,0 +1,434 @@
+// Package server is the multi-tenant HTTP/JSON serving layer over the
+// repro facade: a registry of named compiled mappings and source graphs,
+// per-tenant sessions whose memoized solutions are shared across requests
+// (and across tenants querying the same pair), prepared-query reuse,
+// chunked streaming responses, and admission control built on the facade's
+// typed sentinel errors.
+//
+// The architecture is three thin layers over repro.Session:
+//
+//   - a registry: named *repro.CompiledMapping and *repro.Graph entries,
+//     registered once, immutable afterwards;
+//   - shared backends: one base repro.Session per (mapping, graph) pair,
+//     owning the memoized universal/least-informative solutions. Every
+//     API-level session — whatever its tenant or budgets — is derived from
+//     the pair's backend with Session.Derive, so the expensive artifacts are
+//     materialized once per pair, not once per tenant;
+//   - API sessions: cheap per-tenant handles (id, derived session, prepared
+//     queries, counters) that requests address by id.
+//
+// Admission control reuses the typed-error vocabulary end to end:
+// ErrBadOptions → 400, ErrInfinite/ErrNoSolution → 422, ErrBudgetExceeded →
+// 429, ErrCanceled → 499, plus server-level 429 (too many in-flight
+// requests) and 503 (draining). See docs/SERVER.md for the full API
+// reference and cmd/gsmd for the binary.
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"regexp"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro"
+)
+
+// Config tunes the server; the zero value means the documented defaults.
+type Config struct {
+	// MaxInFlight caps concurrently served requests; excess requests are
+	// refused immediately with 429/busy rather than queued, so overload
+	// degrades crisply. Default 256.
+	MaxInFlight int
+	// MaxSessionsPerTenant caps open sessions per tenant (429/busy on
+	// excess). Default 64.
+	MaxSessionsPerTenant int
+	// DefaultTimeout bounds any query request that does not set its own
+	// timeout_ms. Default 30s.
+	DefaultTimeout time.Duration
+	// MaxBodyBytes caps request bodies (413 beyond it). Default 64 MiB —
+	// graph registrations carry whole graphs as text.
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 256
+	}
+	if c.MaxSessionsPerTenant <= 0 {
+		c.MaxSessionsPerTenant = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	return c
+}
+
+// Server is the serving state: registry, shared backends, API sessions and
+// counters. Safe for concurrent use; create with New and expose via
+// Handler.
+type Server struct {
+	cfg      Config
+	inflight chan struct{}
+	draining atomic.Bool
+	reqWG    sync.WaitGroup
+
+	mu       sync.RWMutex
+	mappings map[string]*mappingEntry
+	graphs   map[string]*graphEntry
+	backends map[backendKey]*backend
+	sessions map[string]*apiSession
+	nextID   uint64
+
+	stats struct {
+		requests         atomic.Uint64
+		rejectedBusy     atomic.Uint64
+		rejectedDraining atomic.Uint64
+		queries          atomic.Uint64
+		answers          atomic.Uint64
+		streams          atomic.Uint64
+		oneShots         atomic.Uint64
+		errors           atomic.Uint64
+		sessionsCreated  atomic.Uint64
+	}
+
+	// testHookStarted, when set by tests, runs after a request passes
+	// admission and before its handler — the coordination point for the
+	// graceful-shutdown tests.
+	testHookStarted func(r *http.Request)
+}
+
+type mappingEntry struct {
+	info MappingInfo
+	text string
+	cm   *repro.CompiledMapping
+}
+
+type graphEntry struct {
+	info GraphInfo
+	text string
+	g    *repro.Graph
+}
+
+// backendKey identifies a shared session backend: one per registered
+// (mapping, graph) pair.
+type backendKey struct{ mapping, graph string }
+
+// backend owns the base session of one (mapping, graph) pair — and
+// therefore the pair's memoized solutions. API sessions derive from it and
+// hold a reference; the backend is dropped when the last one closes.
+type backend struct {
+	key  backendKey
+	sess *repro.Session
+	refs int
+	// warmed flips once any derived session has run a query, so
+	// SessionInfo can report whether a new session joins an already-warm
+	// materialization.
+	warmed atomic.Bool
+	// queryCache memoizes parsed query texts ("lang\x00text" →
+	// repro.Query) across all sessions on the pair. Compiled queries are
+	// immutable and race-free, and reusing the same query identity lets
+	// the engine's per-snapshot lowered-program cache hit instead of
+	// re-lowering on every request.
+	queryCache sync.Map
+}
+
+// parseQueryCached resolves query text through the backend's cache.
+func (be *backend) parseQueryCached(lang, text string) (repro.Query, error) {
+	key := lang + "\x00" + text
+	if v, ok := be.queryCache.Load(key); ok {
+		return v.(repro.Query), nil
+	}
+	q, err := parseQuery(lang, text)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := be.queryCache.LoadOrStore(key, q)
+	return v.(repro.Query), nil
+}
+
+// apiSession is one tenant-visible session handle.
+type apiSession struct {
+	id      string
+	tenant  string
+	mapping string
+	graph   string
+	be      *backend
+	sess    *repro.Session // derived from be.sess with the session options
+	shared  bool           // backend was already warm at creation
+
+	mu       sync.Mutex
+	prepared map[string]*repro.PreparedQuery
+	nextPrep uint64
+
+	queries atomic.Uint64
+	answers atomic.Uint64
+}
+
+func (as *apiSession) info() SessionInfo {
+	as.mu.Lock()
+	nprep := len(as.prepared)
+	as.mu.Unlock()
+	return SessionInfo{
+		ID:             as.id,
+		Tenant:         as.tenant,
+		Mapping:        as.mapping,
+		Graph:          as.graph,
+		Queries:        as.queries.Load(),
+		Answers:        as.answers.Load(),
+		Prepared:       nprep,
+		SharedSolution: as.shared,
+	}
+}
+
+// New returns a server with the given configuration.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		mappings: make(map[string]*mappingEntry),
+		graphs:   make(map[string]*graphEntry),
+		backends: make(map[backendKey]*backend),
+		sessions: make(map[string]*apiSession),
+	}
+}
+
+// BeginDrain flips the server into draining mode: every subsequent request
+// (except /healthz, which reports the state) is refused with 503 while
+// requests already admitted run to completion. cmd/gsmd calls this before
+// http.Server.Shutdown so load balancers see the drain immediately.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// WaitIdle blocks until every admitted request has completed. Used by
+// tests; binaries get the same guarantee from http.Server.Shutdown.
+func (s *Server) WaitIdle() { s.reqWG.Wait() }
+
+// nameRE validates registry and tenant names: short, path- and log-safe.
+var nameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9_.-]{0,63}$`)
+
+func validName(n string) error {
+	if !nameRE.MatchString(n) {
+		return fmt.Errorf("%w: name %q (want [A-Za-z0-9][A-Za-z0-9_.-]{0,63})", repro.ErrBadOptions, n)
+	}
+	return nil
+}
+
+// RegisterMappingText parses, compiles and registers a mapping under name.
+// Re-registering the same name with identical text is idempotent;
+// different text is a conflict (the registry is immutable by design —
+// sessions hold compiled pointers).
+func (s *Server) RegisterMappingText(name, text string) (MappingInfo, error) {
+	if err := validName(name); err != nil {
+		return MappingInfo{}, err
+	}
+	m, err := repro.ParseMapping(text)
+	if err != nil {
+		return MappingInfo{}, fmt.Errorf("%w: mapping text: %v", repro.ErrBadOptions, err)
+	}
+	cm, err := repro.Compile(m)
+	if err != nil {
+		return MappingInfo{}, err
+	}
+	info := MappingInfo{
+		Name:       name,
+		Rules:      len(cm.Rules()),
+		LAV:        cm.IsLAV(),
+		GAV:        cm.IsGAV(),
+		Relational: cm.IsRelational(),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.mappings[name]; ok {
+		if prev.text == text {
+			return prev.info, nil
+		}
+		return MappingInfo{}, fmt.Errorf("mapping %q: %w", name, errExists)
+	}
+	s.mappings[name] = &mappingEntry{info: info, text: text, cm: cm}
+	return info, nil
+}
+
+// RegisterGraphText parses and registers a source graph under name, with
+// the same idempotence rule as RegisterMappingText. The graph is owned by
+// the registry and never mutated, so sessions can freeze it once and share
+// the snapshot indefinitely.
+func (s *Server) RegisterGraphText(name, text string) (GraphInfo, error) {
+	if err := validName(name); err != nil {
+		return GraphInfo{}, err
+	}
+	g, err := repro.ParseGraph(text)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("%w: graph text: %v", repro.ErrBadOptions, err)
+	}
+	info := GraphInfo{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.graphs[name]; ok {
+		if prev.text == text {
+			return prev.info, nil
+		}
+		return GraphInfo{}, fmt.Errorf("graph %q: %w", name, errExists)
+	}
+	s.graphs[name] = &graphEntry{info: info, text: text, g: g}
+	return info, nil
+}
+
+// listMappings returns the registered mappings sorted by name.
+func (s *Server) listMappings() []MappingInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]MappingInfo, 0, len(s.mappings))
+	for _, e := range s.mappings {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// listGraphs returns the registered graphs sorted by name.
+func (s *Server) listGraphs() []GraphInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]GraphInfo, 0, len(s.graphs))
+	for _, e := range s.graphs {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// createSession opens an API session for tenant over the named pair,
+// deriving it from the pair's shared backend (created on first use). The
+// per-tenant session cap refuses excess sessions with ErrBudgetExceeded
+// (→ 429), the admission-control analogue of a search budget.
+func (s *Server) createSession(tenant string, req CreateSessionRequest) (SessionInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	me, ok := s.mappings[req.Mapping]
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("mapping %q: %w", req.Mapping, errNotFound)
+	}
+	ge, ok := s.graphs[req.Graph]
+	if !ok {
+		return SessionInfo{}, fmt.Errorf("graph %q: %w", req.Graph, errNotFound)
+	}
+	open := 0
+	for _, as := range s.sessions {
+		if as.tenant == tenant {
+			open++
+		}
+	}
+	if open >= s.cfg.MaxSessionsPerTenant {
+		return SessionInfo{}, fmt.Errorf("%w: tenant %q already has %d open sessions",
+			repro.ErrBudgetExceeded, tenant, open)
+	}
+
+	key := backendKey{mapping: req.Mapping, graph: req.Graph}
+	be, ok := s.backends[key]
+	if !ok {
+		base, err := repro.NewSession(me.cm, ge.g)
+		if err != nil {
+			return SessionInfo{}, err
+		}
+		be = &backend{key: key, sess: base}
+		s.backends[key] = be
+	}
+	derived, err := be.sess.Derive(req.Options.options()...)
+	if err != nil {
+		return SessionInfo{}, err
+	}
+
+	s.nextID++
+	as := &apiSession{
+		id:       fmt.Sprintf("s-%d", s.nextID),
+		tenant:   tenant,
+		mapping:  req.Mapping,
+		graph:    req.Graph,
+		be:       be,
+		sess:     derived,
+		shared:   be.warmed.Load(),
+		prepared: make(map[string]*repro.PreparedQuery),
+	}
+	be.refs++
+	s.sessions[as.id] = as
+	s.stats.sessionsCreated.Add(1)
+	return as.info(), nil
+}
+
+// session resolves a tenant's session by id; sessions are tenant-scoped,
+// so another tenant's id is indistinguishable from a missing one.
+func (s *Server) session(tenant, id string) (*apiSession, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	as, ok := s.sessions[id]
+	if !ok || as.tenant != tenant {
+		return nil, fmt.Errorf("session %q: %w", id, errNotFound)
+	}
+	return as, nil
+}
+
+// closeSession removes a tenant's session and drops the shared backend
+// when its last session closes.
+func (s *Server) closeSession(tenant, id string) (SessionInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	as, ok := s.sessions[id]
+	if !ok || as.tenant != tenant {
+		return SessionInfo{}, fmt.Errorf("session %q: %w", id, errNotFound)
+	}
+	delete(s.sessions, id)
+	as.be.refs--
+	if as.be.refs == 0 {
+		delete(s.backends, as.be.key)
+	}
+	return as.info(), nil
+}
+
+// listSessions returns the tenant's open sessions sorted by id.
+func (s *Server) listSessions(tenant string) []SessionInfo {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := []SessionInfo{}
+	for _, as := range s.sessions {
+		if as.tenant == tenant {
+			out = append(out, as.info())
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// statsSnapshot assembles the /v1/stats body.
+func (s *Server) statsSnapshot() StatsResponse {
+	s.mu.RLock()
+	mappings, graphs := len(s.mappings), len(s.graphs)
+	sessions, backends := len(s.sessions), len(s.backends)
+	s.mu.RUnlock()
+	return StatsResponse{
+		Draining:         s.draining.Load(),
+		Mappings:         mappings,
+		Graphs:           graphs,
+		SessionsOpen:     sessions,
+		SessionsCreated:  s.stats.sessionsCreated.Load(),
+		SharedBackends:   backends,
+		Requests:         s.stats.requests.Load(),
+		RejectedBusy:     s.stats.rejectedBusy.Load(),
+		RejectedDraining: s.stats.rejectedDraining.Load(),
+		Queries:          s.stats.queries.Load(),
+		Answers:          s.stats.answers.Load(),
+		Streams:          s.stats.streams.Load(),
+		OneShots:         s.stats.oneShots.Load(),
+		Errors:           s.stats.errors.Load(),
+	}
+}
+
+func millis(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }

@@ -218,6 +218,27 @@ func NewSession(cm *CompiledMapping, gs *Graph, opts ...Option) (*Session, error
 // Mapping returns the session's compiled mapping.
 func (s *Session) Mapping() *CompiledMapping { return s.cm }
 
+// Derive returns a session over the same (compiled mapping, source graph)
+// pair that shares this session's memoized artifacts — the universal
+// solution, the least informative solution, dom(M, Gs) and the per-rule
+// source results — but applies the given options on top of this session's
+// configuration. Deriving is cheap (no materialization happens), so servers
+// can keep one base session per (mapping, graph) pair and hand every tenant
+// or request its own budgets, workers and timeout without paying for the
+// solutions again. Invalid options surface as ErrBadOptions; the derived
+// session is safe for concurrent use and independent of later Derive calls.
+func (s *Session) Derive(opts ...Option) (*Session, error) {
+	cfg := s.cfg
+	for _, opt := range opts {
+		if err := opt(&cfg); err != nil {
+			return nil, err
+		}
+	}
+	d := *s
+	d.cfg = cfg
+	return &d, nil
+}
+
 // Source returns the session's source graph. Callers must not mutate it
 // while the session is live.
 func (s *Session) Source() *Graph { return s.gs }
