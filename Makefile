@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-json bench-diff lint fmt vet api-check api-update serve-smoke docs-check ci
+.PHONY: build test test-race bench bench-smoke bench-json bench-diff lint fmt vet api-check api-update serve-smoke chaos-smoke docs-check ci
 
 build:
 	$(GO) build ./...
@@ -51,6 +51,13 @@ api-update:
 serve-smoke:
 	sh scripts/server-smoke.sh
 
+# Crash/fault drill: boot gsmd with a state directory and fault injection,
+# replay verified load under injected errors/panics/latency, tear a WAL
+# append, SIGKILL, and prove byte-for-byte registry recovery. See
+# scripts/chaos-smoke.sh.
+chaos-smoke:
+	sh scripts/chaos-smoke.sh
+
 # Documentation link check: every local markdown link in README.md and
 # docs/*.md must resolve to an existing file.
 docs-check:
@@ -67,4 +74,4 @@ vet:
 
 lint: fmt vet
 
-ci: build lint api-check docs-check test-race serve-smoke bench-smoke bench-json
+ci: build lint api-check docs-check test-race serve-smoke chaos-smoke bench-smoke bench-json

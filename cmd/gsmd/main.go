@@ -11,9 +11,17 @@
 //	gsmd -addr 127.0.0.1:0 -addr-file addr.txt   # pick a free port, publish it
 //
 // Mappings and graphs can also be registered at runtime via POST
-// /v1/mappings and /v1/graphs. On SIGINT/SIGTERM the server drains: new
-// requests are refused with 503 while in-flight requests run to completion
-// (bounded by -drain-timeout).
+// /v1/mappings and /v1/graphs. With -state-dir the registry is crash-safe:
+// every registration is appended to an fsync'd WAL before it is
+// acknowledged, and on boot the registry is rebuilt from the snapshot +
+// WAL, tolerating torn tails from a crash mid-append (POST
+// /v1/admin/checkpoint folds the WAL into a fresh snapshot). On
+// SIGINT/SIGTERM the server drains: new requests are refused with 503
+// while in-flight requests run to completion (bounded by -drain-timeout).
+//
+// -enable-faults opens the POST /v1/admin/faults endpoint (and -faults
+// arms a plan at boot) for deterministic fault-injection drills; see
+// docs/SERVER.md "Failure semantics".
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 	"repro/internal/workload"
 )
@@ -58,6 +67,10 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 0, "cap on open sessions per tenant (0 = default 64)")
 	timeout := flag.Duration("timeout", 0, "default per-request timeout (0 = default 30s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
+	stateDir := flag.String("state-dir", "", "persist the registry (WAL + snapshot) in this directory; recovered on boot")
+	enableFaults := flag.Bool("enable-faults", false, "allow arming fault injection via POST /v1/admin/faults")
+	faultSpec := flag.String("faults", "", "fault spec to arm at boot (implies -enable-faults); see internal/fault")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the boot-time fault plan")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("gsmd: ")
@@ -66,7 +79,32 @@ func main() {
 		MaxInFlight:          *maxInflight,
 		MaxSessionsPerTenant: *maxSessions,
 		DefaultTimeout:       *timeout,
+		EnableFaultInjection: *enableFaults || *faultSpec != "",
 	})
+
+	if *stateDir != "" {
+		rec, err := srv.OpenState(*stateDir)
+		if err != nil {
+			log.Fatalf("opening state dir %s: %v", *stateDir, err)
+		}
+		log.Printf("recovered registry from %s: %d mappings, %d graphs (snapshot seq %d + %d WAL records, seq %d)",
+			*stateDir, rec.Mappings, rec.Graphs, rec.SnapshotSeq, rec.WALReplayed, rec.Seq)
+		if rec.QuarantinedSnap {
+			log.Printf("WARNING: corrupt snapshot quarantined as registry.json.quarantine")
+		}
+		if rec.QuarantinedWAL {
+			log.Printf("WARNING: torn/corrupt WAL tail quarantined as registry.wal.quarantine")
+		}
+		defer srv.CloseState()
+	}
+	if *faultSpec != "" {
+		if err := fault.Arm(*faultSpec, *faultSeed); err != nil {
+			log.Fatalf("arming -faults: %v", err)
+		}
+		log.Printf("fault injection armed at boot (seed %d): %s", *faultSeed, *faultSpec)
+	} else if *enableFaults {
+		log.Printf("fault injection enabled (arm via POST /v1/admin/faults)")
+	}
 
 	if *demo {
 		sc := workload.Serving(workload.ServingSpec{})

@@ -7,6 +7,7 @@
 //	gsmload -addr 127.0.0.1:8080 -clients 100 -n 5000          # session mode
 //	gsmload -addr $(cat addr.txt) -n 100 -mode oneshot         # baseline
 //	gsmload -addr ... -mode both -verify -json report.json     # the E16 run
+//	gsmload -addr ... -chaos -verify                           # fault drill
 //
 // Modes:
 //
@@ -17,11 +18,29 @@
 //     throwaway session per call — the amortization baseline;
 //   - both: oneshot first, then session, reporting the speedup.
 //
+// All traffic goes through the shared retrying client
+// (internal/server/client): capped exponential backoff with seeded jitter,
+// honoring Retry-After, retrying only what is safe to repeat. Failed
+// requests are excluded from the latency percentiles and reported as an
+// error-rate line instead.
+//
 // With -verify every server response is compared byte-for-byte against the
 // embedded repro.Session path computing the same canonical wire encoding.
+// With -chaos the run first arms a fault plan on the server (POST
+// /v1/admin/faults; the server must run with -enable-faults) spanning the
+// handler, materialization, chase and stream layers, then asserts that
+// every response that does come back is still byte-for-byte correct —
+// faults may cost availability, never answers.
+//
 // The scenario pair is registered as mapping "demo" / graph "demo"
-// (idempotent, so running against `gsmd -demo` is fine). Exits non-zero on
-// any request error, any verification mismatch, or zero answers.
+// (idempotent, so running against `gsmd -demo` is fine — and a content
+// mismatch comes back as 409, which is how a post-crash run detects a
+// corrupted registry). Exit codes:
+//
+//	0  success
+//	1  hard failure: registration failed, zero answers, bad flags
+//	2  SLO miss: error rate above -max-error-rate
+//	3  verification mismatch: a response differed from the embedded answer
 package main
 
 import (
@@ -40,17 +59,41 @@ import (
 
 	"repro"
 	"repro/internal/server"
+	"repro/internal/server/client"
 	"repro/internal/workload"
+)
+
+// The default -chaos plan: errors, panics and latency across three layers
+// (HTTP handler, backend materialization/chase/memo in core, stream
+// writer). Probabilities are low enough that retries keep the run moving;
+// counts bound the brutal modes.
+const defaultChaosSpec = "server.handler=error:p=0.02;" +
+	"server.materialize=error:n=2;" +
+	"core.chase=error:p=0.3:n=6;" +
+	"core.memo=panic:n=2;" +
+	"server.stream=latency:p=0.05:ms=2"
+
+// Exit codes (see package comment).
+const (
+	exitHard     = 1
+	exitSLOMiss  = 2
+	exitMismatch = 3
 )
 
 // report is the -json document for one mode's run.
 type report struct {
-	Mode           string  `json:"mode"`
-	Clients        int     `json:"clients"`
-	Requests       int     `json:"requests"`
-	Errors         int     `json:"errors"`
-	Answers        int     `json:"answers"`
-	Seconds        float64 `json:"seconds"`
+	Mode     string `json:"mode"`
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	// OK counts requests that succeeded (after retries); only their
+	// latencies enter the percentiles.
+	OK         int     `json:"ok"`
+	Errors     int     `json:"errors"`
+	ErrorRate  float64 `json:"error_rate"`
+	Mismatches int     `json:"mismatches"`
+	Answers    int     `json:"answers"`
+	Seconds    float64 `json:"seconds"`
+
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	AnswersPerSec  float64 `json:"answers_per_sec"`
 	P50MS          float64 `json:"p50_ms"`
@@ -60,7 +103,9 @@ type report struct {
 // fullReport is the top-level -json document.
 type fullReport struct {
 	Scenario string   `json:"scenario"`
+	Chaos    string   `json:"chaos,omitempty"`
 	Verified int      `json:"verified"`
+	Retries  uint64   `json:"retries"`
 	Runs     []report `json:"runs"`
 	// Speedup is session answers/sec over oneshot answers/sec, present in
 	// -mode both.
@@ -78,6 +123,12 @@ func main() {
 	tenants := flag.Int("tenants", 4, "spread clients across this many tenants")
 	verify := flag.Bool("verify", false, "check every response byte-for-byte against the embedded session path")
 	jsonPath := flag.String("json", "", "write a JSON report to this file ('-' = stdout)")
+	chaos := flag.Bool("chaos", false, "arm a fault plan on the server before the run (needs gsmd -enable-faults)")
+	faults := flag.String("faults", defaultChaosSpec, "fault spec to arm with -chaos")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the armed fault plan")
+	retries := flag.Int("retries", 5, "max attempts per request (1 = no retries)")
+	maxErrRate := flag.Float64("max-error-rate", -1,
+		"fail (exit 2) if a run's error rate exceeds this; -1 = auto (0 normally, 0.5 with -chaos)")
 	flag.Parse()
 	log.SetFlags(0)
 	log.SetPrefix("gsmload: ")
@@ -95,32 +146,70 @@ func main() {
 	default:
 		log.Fatalf("unknown -mode %q (want session, oneshot or both)", *mode)
 	}
+	slo := *maxErrRate
+	if slo < 0 {
+		if *chaos {
+			slo = 0.5
+		} else {
+			slo = 0
+		}
+	}
 
+	httpClient := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        2 * *clients,
+		MaxIdleConnsPerHost: 2 * *clients,
+	}}
 	lg := &loadgen{
-		base:    "http://" + *addr,
 		sc:      sc,
 		clients: *clients,
 		total:   total,
 		tenants: *tenants,
-		client: &http.Client{Transport: &http.Transport{
-			MaxIdleConns:        2 * *clients,
-			MaxIdleConnsPerHost: 2 * *clients,
-		}},
 	}
+	lg.api = make([]*client.Client, *tenants+1)
+	for t := 0; t <= *tenants; t++ {
+		tenant := ""
+		if t < *tenants {
+			tenant = fmt.Sprintf("load-%d", t)
+		}
+		lg.api[t] = client.New(client.Config{
+			Base:        *addr,
+			Tenant:      tenant,
+			HTTP:        httpClient,
+			MaxAttempts: *retries,
+			Seed:        *faultSeed + int64(t),
+		})
+	}
+	admin := lg.api[*tenants] // default tenant, used for register/admin calls
+
 	if *verify {
 		if err := lg.buildExpected(); err != nil {
 			log.Fatalf("building embedded verification answers: %v", err)
 		}
 	}
-	if err := lg.register(); err != nil {
+	ctx := context.Background()
+	// Register before arming faults: the scenario pair must land cleanly,
+	// the drill is about serving, not about losing registrations.
+	if err := lg.register(ctx, admin); err != nil {
 		log.Fatalf("registering scenario: %v", err)
+	}
+	if *chaos {
+		fr, err := admin.ArmFaults(ctx, *faults, *faultSeed)
+		if err != nil {
+			log.Fatalf("arming faults (is gsmd running with -enable-faults?): %v", err)
+		}
+		log.Printf("chaos: armed %d fault points (seed %d): %s", len(fr.Points), *faultSeed, *faults)
 	}
 
 	full := fullReport{Scenario: sc.String()}
+	if *chaos {
+		full.Chaos = *faults
+	}
 	run := func(m string) report {
 		r := lg.run(m)
-		log.Printf("%-8s %d clients, %d requests, %d errors: %.0f answers/s, %.0f req/s, p50 %.2fms, p99 %.2fms (%.2fs)",
-			m, r.Clients, r.Requests, r.Errors, r.AnswersPerSec, r.RequestsPerSec, r.P50MS, r.P99MS, r.Seconds)
+		log.Printf("%-8s %d clients, %d requests, %d ok: %.0f answers/s, %.0f req/s, p50 %.2fms, p99 %.2fms (%.2fs)",
+			m, r.Clients, r.Requests, r.OK, r.AnswersPerSec, r.RequestsPerSec, r.P50MS, r.P99MS, r.Seconds)
+		log.Printf("%-8s error rate: %d/%d = %.2f%% (%d mismatches)",
+			m, r.Errors, r.Requests, 100*r.ErrorRate, r.Mismatches)
 		full.Runs = append(full.Runs, r)
 		return r
 	}
@@ -137,9 +226,20 @@ func main() {
 			log.Printf("session/oneshot speedup: %.1fx", full.Speedup)
 		}
 	}
+	if *chaos {
+		// Disarm so a shared server is left clean even if the process that
+		// armed us is reused.
+		if _, err := admin.ArmFaults(ctx, "", 0); err != nil {
+			log.Printf("warning: disarming faults: %v", err)
+		}
+	}
 	full.Verified = int(lg.verified.Load())
+	for _, c := range lg.api {
+		full.Retries += c.Retries()
+	}
 	if *verify {
-		log.Printf("verified %d responses byte-for-byte against the embedded session", full.Verified)
+		log.Printf("verified %d responses byte-for-byte against the embedded session (%d retries)",
+			full.Verified, full.Retries)
 	}
 
 	if *jsonPath != "" {
@@ -155,29 +255,43 @@ func main() {
 		}
 	}
 
-	failed := false
+	// Classify the outcome; the most actionable failure wins the exit code
+	// (a mismatch means wrong answers, strictly worse than unavailability).
+	exit := 0
 	for _, r := range full.Runs {
-		if r.Errors > 0 {
-			log.Printf("FAIL: %s mode had %d errors", r.Mode, r.Errors)
-			failed = true
-		}
-		if r.Answers == 0 {
-			log.Printf("FAIL: %s mode produced zero answers", r.Mode)
-			failed = true
+		if r.Mismatches > 0 {
+			log.Printf("FAIL: %s mode had %d verification mismatches", r.Mode, r.Mismatches)
+			exit = exitMismatch
 		}
 	}
-	if failed {
-		os.Exit(1)
+	if exit == 0 {
+		for _, r := range full.Runs {
+			if r.ErrorRate > slo {
+				log.Printf("FAIL: %s mode error rate %.2f%% exceeds budget %.2f%%",
+					r.Mode, 100*r.ErrorRate, 100*slo)
+				exit = exitSLOMiss
+			}
+		}
 	}
+	if exit == 0 {
+		for _, r := range full.Runs {
+			if r.Answers == 0 {
+				log.Printf("FAIL: %s mode produced zero answers", r.Mode)
+				exit = exitHard
+			}
+		}
+	}
+	os.Exit(exit)
 }
 
 type loadgen struct {
-	base    string
 	sc      workload.ServingScenario
 	clients int
 	total   int
 	tenants int
-	client  *http.Client
+	// api[t] is the retrying client for tenant t; api[tenants] is the
+	// default tenant used for registration and admin calls.
+	api []*client.Client
 
 	// expected[i] is the canonical wire encoding of query i's answers,
 	// computed by the embedded session path (set by -verify).
@@ -212,16 +326,15 @@ func (lg *loadgen) buildExpected() error {
 	return nil
 }
 
-// register installs the scenario pair (idempotently) on the server.
-func (lg *loadgen) register() error {
-	var mi server.MappingInfo
-	if err := lg.post("", "/v1/mappings",
-		server.RegisterMappingRequest{Name: "demo", Text: lg.sc.MappingText}, &mi); err != nil {
+// register installs the scenario pair (idempotently) on the server. A 409
+// here means the server holds *different* content under the demo names —
+// after a crash recovery that is exactly the corruption signal we want
+// loud, so it stays fatal.
+func (lg *loadgen) register(ctx context.Context, c *client.Client) error {
+	if _, err := c.RegisterMapping(ctx, "demo", lg.sc.MappingText); err != nil {
 		return fmt.Errorf("mapping: %w", err)
 	}
-	var gi server.GraphInfo
-	if err := lg.post("", "/v1/graphs",
-		server.RegisterGraphRequest{Name: "demo", Text: lg.sc.GraphText}, &gi); err != nil {
+	if _, err := c.RegisterGraph(ctx, "demo", lg.sc.GraphText); err != nil {
 		return fmt.Errorf("graph: %w", err)
 	}
 	return nil
@@ -229,28 +342,35 @@ func (lg *loadgen) register() error {
 
 // run replays the stream in the given mode and aggregates the results.
 func (lg *loadgen) run(mode string) report {
+	// latencies[i] is request i's duration, valid only where ok[i] is set:
+	// failed requests must not pollute the percentiles (a fast 503 would
+	// flatter them, a retried timeout would smear them).
 	latencies := make([]time.Duration, lg.total)
+	ok := make([]bool, lg.total)
 	answers := make([]int, lg.clients)
 	errs := make([]int, lg.clients)
+	mismatches := make([]int, lg.clients)
 
 	var wg sync.WaitGroup
+	ctx := context.Background()
 	start := time.Now()
 	for c := 0; c < lg.clients; c++ {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			tenant := fmt.Sprintf("load-%d", c%lg.tenants)
+			api := lg.api[c%lg.tenants]
 			sessionID := ""
 			if mode == "session" {
-				var si server.SessionInfo
-				if err := lg.post(tenant, "/v1/sessions",
-					server.CreateSessionRequest{Mapping: "demo", Graph: "demo"}, &si); err != nil {
-					errs[c]++
+				si, err := api.CreateSession(ctx, server.CreateSessionRequest{Mapping: "demo", Graph: "demo"})
+				if err != nil {
+					// Every request this client would have served fails.
+					for i := c; i < lg.total; i += lg.clients {
+						errs[c]++
+					}
 					return
 				}
 				sessionID = si.ID
-				defer lg.client.Do(mustRequest(http.MethodDelete,
-					lg.base+"/v1/sessions/"+sessionID, tenant, nil))
+				defer api.CloseSession(ctx, sessionID)
 			}
 			// Client c serves requests c, c+clients, c+2*clients, ...; each
 			// request i replays query i modulo the stream length.
@@ -260,23 +380,23 @@ func (lg *loadgen) run(mode string) report {
 				var resp server.QueryResponse
 				var err error
 				if mode == "session" {
-					err = lg.post(tenant, "/v1/sessions/"+sessionID+"/query",
-						server.QueryRequest{Query: lg.sc.QueryTexts[qi]}, &resp)
+					resp, err = api.Query(ctx, sessionID, server.QueryRequest{Query: lg.sc.QueryTexts[qi]})
 				} else {
-					err = lg.post(tenant, "/v1/query", server.OneShotRequest{
-						Mapping: "demo", Graph: "demo", Query: lg.sc.QueryTexts[qi]}, &resp)
+					resp, err = api.OneShot(ctx, server.OneShotRequest{
+						Mapping: "demo", Graph: "demo", Query: lg.sc.QueryTexts[qi]})
 				}
-				latencies[i] = time.Since(t0)
 				if err != nil {
 					errs[c]++
 					continue
 				}
+				latencies[i] = time.Since(t0)
+				ok[i] = true
 				answers[c] += resp.Count
 				if lg.expected != nil {
 					got, merr := json.Marshal(resp.Answers)
 					if merr != nil || !bytes.Equal(got, lg.expected[qi]) {
 						log.Printf("verify mismatch on query %d (%s mode)", qi, mode)
-						errs[c]++
+						mismatches[c]++
 						continue
 					}
 					lg.verified.Add(1)
@@ -291,56 +411,26 @@ func (lg *loadgen) run(mode string) report {
 	for c := 0; c < lg.clients; c++ {
 		r.Errors += errs[c]
 		r.Answers += answers[c]
+		r.Mismatches += mismatches[c]
+	}
+	r.OK = r.Requests - r.Errors
+	if r.Requests > 0 {
+		r.ErrorRate = float64(r.Errors) / float64(r.Requests)
 	}
 	if elapsed > 0 {
-		r.RequestsPerSec = float64(lg.total) / elapsed.Seconds()
+		r.RequestsPerSec = float64(r.OK) / elapsed.Seconds()
 		r.AnswersPerSec = float64(r.Answers) / elapsed.Seconds()
 	}
-	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
-	r.P50MS = ms(percentile(latencies, 50))
-	r.P99MS = ms(percentile(latencies, 99))
-	return r
-}
-
-// post sends a JSON request and decodes a JSON response, surfacing non-2xx
-// bodies as errors.
-func (lg *loadgen) post(tenant, path string, body, out any) error {
-	b, err := json.Marshal(body)
-	if err != nil {
-		return err
-	}
-	req := mustRequest(http.MethodPost, lg.base+path, tenant, bytes.NewReader(b))
-	resp, err := lg.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode/100 != 2 {
-		var eb server.ErrorBody
-		if json.NewDecoder(resp.Body).Decode(&eb) == nil && eb.Error != "" {
-			return fmt.Errorf("%s %s: %s (%s, status %d)", req.Method, path, eb.Error, eb.Kind, resp.StatusCode)
+	good := latencies[:0]
+	for i, d := range latencies {
+		if ok[i] {
+			good = append(good, d)
 		}
-		return fmt.Errorf("%s %s: status %d", req.Method, path, resp.StatusCode)
 	}
-	return json.NewDecoder(resp.Body).Decode(out)
-}
-
-func mustRequest(method, url, tenant string, body *bytes.Reader) *http.Request {
-	var req *http.Request
-	var err error
-	if body == nil {
-		req, err = http.NewRequest(method, url, nil)
-	} else {
-		req, err = http.NewRequest(method, url, body)
-	}
-	if err != nil {
-		panic(err)
-	}
-	req.Header.Set("Content-Type", "application/json")
-	if tenant != "" {
-		req.Header.Set("X-Tenant", tenant)
-	}
-	return req
+	sort.Slice(good, func(i, j int) bool { return good[i] < good[j] })
+	r.P50MS = ms(percentile(good, 50))
+	r.P99MS = ms(percentile(good, 99))
+	return r
 }
 
 func percentile(sorted []time.Duration, p int) time.Duration {

@@ -5,20 +5,36 @@ import (
 	"sync"
 
 	"repro/internal/datagraph"
+	"repro/internal/fault"
 )
 
-// memo is a concurrency-safe, lazily computed value: the first caller runs
-// the builder under a sync.Once gate, every later caller — from any
-// goroutine — gets the shared result.
+// memo is a concurrency-safe, lazily computed value: the first caller to
+// succeed populates it, every later caller — from any goroutine — gets the
+// shared result. Unlike a sync.Once gate, a builder *error* is returned
+// but not cached: a transient failure (a canceled context, an injected
+// fault, resource pressure) must not poison the materialization forever,
+// or a single bad call would permanently degrade every session sharing the
+// backend. Deterministic failures (ErrInfinite, ErrNoSolution) are cheap
+// to re-derive, so retrying them is harmless.
 type memo[T any] struct {
-	once sync.Once
+	mu   sync.Mutex
+	done bool
 	val  T
-	err  error
 }
 
 func (mo *memo[T]) get(build func() (T, error)) (T, error) {
-	mo.once.Do(func() { mo.val, mo.err = build() })
-	return mo.val, mo.err
+	mo.mu.Lock()
+	defer mo.mu.Unlock()
+	if mo.done {
+		return mo.val, nil
+	}
+	val, err := build()
+	if err != nil {
+		var zero T
+		return zero, err
+	}
+	mo.val, mo.done = val, true
+	return mo.val, nil
 }
 
 // Materialization memoizes every expensive artifact derived from one
@@ -105,6 +121,11 @@ func (mat *Materialization) DomIDs() map[datagraph.NodeID]struct{} {
 // Universal returns the memoized SQL-null universal solution (Section 7).
 func (mat *Materialization) Universal() (*datagraph.Graph, error) {
 	return mat.uni.get(func() (*datagraph.Graph, error) {
+		// Fault point "core.memo": the memoization gate, the moment a
+		// missing artifact commits to being built.
+		if err := fault.Hit("core.memo"); err != nil {
+			return nil, err
+		}
 		return mat.buildSolution(solutionNulls)
 	})
 }
@@ -113,6 +134,9 @@ func (mat *Materialization) Universal() (*datagraph.Graph, error) {
 // solution (Section 8).
 func (mat *Materialization) LeastInformative() (*datagraph.Graph, error) {
 	return mat.li.get(func() (*datagraph.Graph, error) {
+		if err := fault.Hit("core.memo"); err != nil {
+			return nil, err
+		}
 		return mat.buildSolution(solutionFresh)
 	})
 }
@@ -160,6 +184,12 @@ func (mat *Materialization) buildSolution(style solutionStyle) (*datagraph.Graph
 	rules := mat.cm.Rules()
 	pairsByRule := mat.SourcePairs()
 	for ri, r := range rules {
+		// Fault point "core.chase": one per rule, mid-chase — exercises
+		// abandoning a partially built solution (the partial target graph
+		// is discarded, never published to the memo).
+		if err := fault.Hit("core.chase"); err != nil {
+			return nil, err
+		}
 		word, _ := mat.cm.TargetWord(ri)
 		pairs := pairsByRule[ri].Sorted()
 		for _, p := range pairs {

@@ -1,0 +1,285 @@
+// Package fault provides named, deterministic fault-injection points for
+// exercising failure paths in tests, the chaos smoke script and gsmload
+// -chaos runs. A point is a call site like
+//
+//	if err := fault.Hit("server.materialize"); err != nil { return err }
+//
+// that is a no-op in production: when nothing is armed, Hit costs one
+// atomic load and returns nil. Arming installs a plan — a set of points,
+// each with a mode (error, panic, latency, partial), a firing probability,
+// an optional firing budget and a seeded RNG — so a chaos run is fully
+// reproducible from its spec string and seed.
+//
+// The spec grammar is a ';'-separated list of point clauses:
+//
+//	point '=' mode [':' param]...
+//	mode  := error | panic | latency | partial
+//	param := p=<0..1 probability, default 1> | n=<max fires, default ∞>
+//	       | ms=<latency milliseconds, default 10>
+//
+// e.g. "core.chase=error:p=0.2;server.handler=panic:n=1;wal.append=partial".
+// Each point draws from its own RNG seeded from the global seed and the
+// point name, so arming an extra point never perturbs another point's
+// firing sequence.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every error Hit returns; callers
+// (and tests) detect injected failures with errors.Is.
+var ErrInjected = errors.New("injected fault")
+
+// PanicValue is the value a panic-mode point panics with, so recover
+// middleware and tests can tell an injected panic from a genuine bug.
+type PanicValue struct{ Point string }
+
+func (p PanicValue) String() string { return "injected panic at fault point " + p.Point }
+
+// Mode is a point's failure mode.
+type Mode string
+
+const (
+	// ModeError makes Hit return an ErrInjected-wrapping error.
+	ModeError Mode = "error"
+	// ModePanic makes Hit panic with a PanicValue.
+	ModePanic Mode = "panic"
+	// ModeLatency makes Hit sleep for the configured duration, then
+	// return nil.
+	ModeLatency Mode = "latency"
+	// ModePartial only affects Partial-aware call sites (WAL appends):
+	// Partial reports a truncated byte count and Hit returns an error.
+	ModePartial Mode = "partial"
+)
+
+// point is one armed injection point.
+type point struct {
+	name string
+	mode Mode
+	prob float64       // firing probability per Hit, (0, 1]
+	max  int64         // max fires; <0 = unlimited
+	lat  time.Duration // ModeLatency sleep
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	hits  int64 // times the point was evaluated
+	fires int64 // times it actually fired
+}
+
+// fire decides — under the point's own seeded RNG — whether this Hit
+// fires, consuming one unit of the firing budget when it does.
+func (pt *point) fire() bool {
+	pt.mu.Lock()
+	defer pt.mu.Unlock()
+	pt.hits++
+	if pt.max >= 0 && pt.fires >= pt.max {
+		return false
+	}
+	if pt.prob < 1 && pt.rng.Float64() >= pt.prob {
+		return false
+	}
+	pt.fires++
+	return true
+}
+
+// plan is the full armed configuration, swapped atomically so Hit never
+// takes a global lock.
+type plan struct {
+	spec   string
+	seed   int64
+	points map[string]*point
+}
+
+var (
+	armed   atomic.Bool
+	current atomic.Pointer[plan]
+)
+
+// Armed reports whether any fault plan is installed.
+func Armed() bool { return armed.Load() }
+
+// Arm installs the plan described by spec, replacing any previous plan.
+// An empty spec disarms. The seed makes every firing decision
+// deterministic; seed 0 means 1.
+func Arm(spec string, seed int64) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		Disarm()
+		return nil
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	points := make(map[string]*point)
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		pt, err := parseClause(clause, seed)
+		if err != nil {
+			return err
+		}
+		points[pt.name] = pt
+	}
+	if len(points) == 0 {
+		Disarm()
+		return nil
+	}
+	current.Store(&plan{spec: spec, seed: seed, points: points})
+	armed.Store(true)
+	return nil
+}
+
+// Disarm removes the active plan; every point becomes a no-op again.
+func Disarm() {
+	armed.Store(false)
+	current.Store(nil)
+}
+
+// parseClause parses one "point=mode:param:param" clause.
+func parseClause(clause string, seed int64) (*point, error) {
+	name, rest, ok := strings.Cut(clause, "=")
+	name = strings.TrimSpace(name)
+	if !ok || name == "" {
+		return nil, fmt.Errorf("fault: clause %q: want point=mode[:param...]", clause)
+	}
+	parts := strings.Split(rest, ":")
+	pt := &point{name: name, prob: 1, max: -1, lat: 10 * time.Millisecond}
+	switch Mode(strings.TrimSpace(parts[0])) {
+	case ModeError, ModePanic, ModeLatency, ModePartial:
+		pt.mode = Mode(strings.TrimSpace(parts[0]))
+	default:
+		return nil, fmt.Errorf("fault: clause %q: unknown mode %q (want error, panic, latency or partial)",
+			clause, parts[0])
+	}
+	for _, param := range parts[1:] {
+		key, val, ok := strings.Cut(strings.TrimSpace(param), "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: clause %q: parameter %q: want key=value", clause, param)
+		}
+		switch key {
+		case "p":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p <= 0 || p > 1 {
+				return nil, fmt.Errorf("fault: clause %q: probability %q: want (0, 1]", clause, val)
+			}
+			pt.prob = p
+		case "n":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("fault: clause %q: fire budget %q: want >= 0", clause, val)
+			}
+			pt.max = n
+		case "ms":
+			ms, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || ms < 0 {
+				return nil, fmt.Errorf("fault: clause %q: latency %q: want milliseconds >= 0", clause, val)
+			}
+			pt.lat = time.Duration(ms) * time.Millisecond
+		default:
+			return nil, fmt.Errorf("fault: clause %q: unknown parameter %q (want p, n or ms)", clause, key)
+		}
+	}
+	// Seed per point from (seed, name) so points are independent streams.
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	pt.rng = rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+	return pt, nil
+}
+
+// lookup resolves name against the active plan, nil when inactive.
+func lookup(name string) *point {
+	if !armed.Load() {
+		return nil
+	}
+	pl := current.Load()
+	if pl == nil {
+		return nil
+	}
+	return pl.points[name]
+}
+
+// Hit is the injection point. Unarmed (the production state) it returns
+// nil after a single atomic load. Armed, it consults the point's plan:
+// error mode returns an ErrInjected wrap, panic mode panics with a
+// PanicValue, latency mode sleeps. Partial-mode points are ignored by Hit
+// — they fire (and spend their budget) only through Partial, so a writer
+// calling both never double-draws from the plan.
+func Hit(name string) error {
+	pt := lookup(name)
+	if pt == nil || pt.mode == ModePartial || !pt.fire() {
+		return nil
+	}
+	switch pt.mode {
+	case ModeError:
+		return fmt.Errorf("%w at %s", ErrInjected, name)
+	case ModePanic:
+		panic(PanicValue{Point: name})
+	case ModeLatency:
+		time.Sleep(pt.lat)
+	}
+	return nil
+}
+
+// Partial asks whether a write of n bytes at this point should be torn.
+// It reports the number of bytes to actually write and whether the point
+// fired; an unarmed or non-partial point reports (n, false). The
+// truncation length is drawn from the point's RNG: at least 1 byte short,
+// possibly zero bytes written.
+func Partial(name string, n int) (int, bool) {
+	pt := lookup(name)
+	if pt == nil || pt.mode != ModePartial || !pt.fire() {
+		return n, false
+	}
+	if n <= 0 {
+		return 0, true
+	}
+	pt.mu.Lock()
+	k := pt.rng.Intn(n)
+	pt.mu.Unlock()
+	return k, true
+}
+
+// PointStatus describes one armed point for the admin/status surface.
+type PointStatus struct {
+	Name  string  `json:"name"`
+	Mode  string  `json:"mode"`
+	Prob  float64 `json:"p"`
+	Max   int64   `json:"n,omitempty"` // -1 (unlimited) is omitted
+	Hits  int64   `json:"hits"`
+	Fires int64   `json:"fires"`
+}
+
+// Status reports the active spec, seed and per-point counters, sorted by
+// point name; armed is false when no plan is installed.
+func Status() (spec string, seed int64, points []PointStatus, ok bool) {
+	pl := current.Load()
+	if pl == nil || !armed.Load() {
+		return "", 0, nil, false
+	}
+	for _, pt := range pl.points {
+		pt.mu.Lock()
+		st := PointStatus{
+			Name: pt.name, Mode: string(pt.mode), Prob: pt.prob,
+			Hits: pt.hits, Fires: pt.fires,
+		}
+		if pt.max >= 0 {
+			st.Max = pt.max
+		}
+		pt.mu.Unlock()
+		points = append(points, st)
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].Name < points[j].Name })
+	return pl.spec, pl.seed, points, true
+}

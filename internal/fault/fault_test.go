@@ -1,0 +1,187 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// arm is a test helper that arms a spec and disarms at cleanup so tests
+// never leak a plan into each other.
+func arm(t *testing.T, spec string, seed int64) {
+	t.Helper()
+	if err := Arm(spec, seed); err != nil {
+		t.Fatalf("Arm(%q): %v", spec, err)
+	}
+	t.Cleanup(Disarm)
+}
+
+func TestUnarmedIsNil(t *testing.T) {
+	Disarm()
+	if Armed() {
+		t.Fatal("Armed() = true with no plan")
+	}
+	if err := Hit("anything"); err != nil {
+		t.Fatalf("unarmed Hit: %v", err)
+	}
+	if n, fired := Partial("anything", 100); n != 100 || fired {
+		t.Fatalf("unarmed Partial = (%d, %v), want (100, false)", n, fired)
+	}
+}
+
+func TestErrorMode(t *testing.T) {
+	arm(t, "a.b=error", 7)
+	err := Hit("a.b")
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("Hit = %v, want ErrInjected wrap", err)
+	}
+	if err := Hit("other.point"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	arm(t, "boom=panic", 7)
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok || pv.Point != "boom" {
+			t.Fatalf("recovered %v, want PanicValue{boom}", r)
+		}
+	}()
+	Hit("boom")
+	t.Fatal("Hit did not panic")
+}
+
+func TestLatencyMode(t *testing.T) {
+	arm(t, "slow=latency:ms=30", 7)
+	start := time.Now()
+	if err := Hit("slow"); err != nil {
+		t.Fatalf("latency Hit: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency Hit returned after %v, want >= ~30ms", d)
+	}
+}
+
+func TestFireBudget(t *testing.T) {
+	arm(t, "once=error:n=1", 7)
+	if err := Hit("once"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("first Hit = %v, want injected", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := Hit("once"); err != nil {
+			t.Fatalf("Hit after budget spent = %v, want nil", err)
+		}
+	}
+}
+
+func TestProbabilityDeterminism(t *testing.T) {
+	pattern := func(seed int64) []bool {
+		arm(t, "p.x=error:p=0.5", seed)
+		defer Disarm()
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Hit("p.x") != nil
+		}
+		return out
+	}
+	a, b := pattern(42), pattern(42)
+	fires := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+		if a[i] {
+			fires++
+		}
+	}
+	if fires == 0 || fires == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times; want a mix", fires, len(a))
+	}
+	c := pattern(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical firing patterns")
+	}
+}
+
+func TestPartialMode(t *testing.T) {
+	arm(t, "wal=partial:n=1", 7)
+	n, fired := Partial("wal", 100)
+	if !fired || n >= 100 || n < 0 {
+		t.Fatalf("Partial = (%d, %v), want torn write < 100", n, fired)
+	}
+	// Budget spent: later writes go through whole.
+	if n, fired := Partial("wal", 100); fired || n != 100 {
+		t.Fatalf("Partial after budget = (%d, %v), want (100, false)", n, fired)
+	}
+	// Hit ignores partial points — only Partial draws their budget, so a
+	// writer calling Hit then Partial never double-fires.
+	arm(t, "wal=partial", 7)
+	if err := Hit("wal"); err != nil {
+		t.Fatalf("partial Hit = %v, want nil (partial fires only via Partial)", err)
+	}
+	if n, fired := Partial("wal", 100); !fired || n >= 100 {
+		t.Fatalf("Partial after Hit = (%d, %v), want torn write", n, fired)
+	}
+}
+
+func TestSpecErrors(t *testing.T) {
+	for _, spec := range []string{
+		"noeq",
+		"x=warp",
+		"x=error:p=2",
+		"x=error:p=0",
+		"x=error:n=-1",
+		"x=latency:ms=abc",
+		"x=error:q=1",
+	} {
+		if err := Arm(spec, 1); err == nil {
+			Disarm()
+			t.Errorf("Arm(%q) accepted; want error", spec)
+		}
+	}
+	if Armed() {
+		t.Fatal("failed Arm left a plan armed")
+	}
+}
+
+func TestStatus(t *testing.T) {
+	arm(t, "b=error;a=latency:ms=1:n=3", 9)
+	Hit("a")
+	Hit("b")
+	spec, seed, points, ok := Status()
+	if !ok || seed != 9 || spec == "" {
+		t.Fatalf("Status = (%q, %d, _, %v)", spec, seed, ok)
+	}
+	if len(points) != 2 || points[0].Name != "a" || points[1].Name != "b" {
+		t.Fatalf("points = %+v, want sorted [a b]", points)
+	}
+	if points[0].Fires != 1 || points[0].Hits != 1 || points[0].Max != 3 {
+		t.Fatalf("point a status = %+v", points[0])
+	}
+	Disarm()
+	if _, _, _, ok := Status(); ok {
+		t.Fatal("Status ok after Disarm")
+	}
+}
+
+func TestArmEmptyDisarms(t *testing.T) {
+	arm(t, "x=error", 1)
+	if err := Arm("", 0); err != nil {
+		t.Fatalf("Arm(\"\"): %v", err)
+	}
+	if Armed() {
+		t.Fatal("empty spec left faults armed")
+	}
+	if err := Hit("x"); err != nil {
+		t.Fatalf("Hit after disarm: %v", err)
+	}
+}

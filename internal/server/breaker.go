@@ -1,0 +1,159 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// errDegraded marks requests refused by an open circuit breaker: the
+// backend they address has failed repeatedly and is cooling down. Mapped
+// to 503 degraded with a Retry-After of the remaining cooldown.
+var errDegraded = errors.New("backend degraded")
+
+// breakerState is the classic three-state machine.
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breaker is a per-backend circuit breaker. Consecutive backend failures
+// (panics, internal errors — never client errors like bad options or
+// budget overruns) open it; while open, the backend's requests are refused
+// immediately with errDegraded instead of hitting the failing
+// materialization again. After the cooldown one probe request is let
+// through (half-open): success closes the breaker, failure re-opens it for
+// another cooldown. The zero value is unusable — configure with init.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	state     breakerState
+	fails     int       // consecutive failures while closed
+	openedAt  time.Time // when the breaker last opened
+	probing   bool      // a half-open probe is in flight
+}
+
+func (b *breaker) init(threshold int, cooldown time.Duration) {
+	b.threshold = threshold
+	b.cooldown = cooldown
+}
+
+// allow gates one request. It returns nil to admit (closed, or the single
+// half-open probe) or an errDegraded wrap carrying the remaining cooldown.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		remaining := b.cooldown - time.Since(b.openedAt)
+		if remaining > 0 {
+			return retryAfter(fmt.Errorf("%w: circuit open for %s more", errDegraded, remaining.Round(time.Millisecond)), remaining)
+		}
+		// Cooldown over: this request becomes the half-open probe.
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return retryAfter(fmt.Errorf("%w: probe in flight", errDegraded), b.cooldown)
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// onSuccess records a successful backend call: the probe (or any closed
+// success) resets the failure streak and closes the breaker.
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	b.state = breakerClosed
+}
+
+// onSkip releases a half-open probe slot without judging backend health —
+// the request turned out to be a caller mistake and never exercised the
+// backend.
+func (b *breaker) onSkip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+	}
+}
+
+// onFailure records a backend failure. A failed half-open probe re-opens
+// immediately; in the closed state the breaker opens once the consecutive
+// failure count reaches the threshold.
+func (b *breaker) onFailure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.state = breakerOpen
+		b.openedAt = time.Now()
+		b.probing = false
+	default:
+		b.fails++
+		if b.fails >= b.threshold {
+			b.state = breakerOpen
+			b.openedAt = time.Now()
+			b.fails = 0
+		}
+	}
+}
+
+// status reports the state name for /v1/stats and session info.
+func (b *breaker) status() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state.String()
+}
+
+// retryAfterError decorates an error with a client backoff hint; writeError
+// surfaces it as a Retry-After header.
+type retryAfterError struct {
+	err   error
+	after time.Duration
+}
+
+func (e *retryAfterError) Error() string { return e.err.Error() }
+func (e *retryAfterError) Unwrap() error { return e.err }
+
+// retryAfter wraps err with a Retry-After hint, minimum one second (the
+// header has whole-second resolution and 0 reads as "retry immediately",
+// defeating the backoff).
+func retryAfter(err error, d time.Duration) error {
+	if d < time.Second {
+		d = time.Second
+	}
+	return &retryAfterError{err: err, after: d}
+}
+
+// retryAfterSeconds extracts the backoff hint, 0 when none is attached.
+func retryAfterSeconds(err error) int {
+	var ra *retryAfterError
+	if errors.As(err, &ra) {
+		return int((ra.after + time.Second - 1) / time.Second)
+	}
+	return 0
+}

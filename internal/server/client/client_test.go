@@ -1,0 +1,195 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// fastCfg keeps retry sleeps in the microsecond range so tests stay quick.
+func fastCfg(base string) Config {
+	return Config{
+		Base:        base,
+		MaxAttempts: 4,
+		BaseBackoff: 100 * time.Microsecond,
+		MaxBackoff:  time.Millisecond,
+		Seed:        7,
+	}
+}
+
+// flaky returns a handler that fails the first n requests with status and
+// then succeeds with the given JSON body.
+func flaky(n int32, status int, retryAfter string, okBody any) (http.HandlerFunc, *atomic.Int32) {
+	var calls atomic.Int32
+	return func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= n {
+			if retryAfter != "" {
+				w.Header().Set("Retry-After", retryAfter)
+			}
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(server.ErrorBody{Error: "injected", Kind: "busy"})
+			return
+		}
+		json.NewEncoder(w).Encode(okBody)
+	}, &calls
+}
+
+func TestRetriesBusyThenSucceeds(t *testing.T) {
+	h, calls := flaky(2, http.StatusTooManyRequests, "", server.MappingInfo{Name: "m", Rules: 3})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	info, err := c.RegisterMapping(context.Background(), "m", "x -> y")
+	if err != nil {
+		t.Fatalf("RegisterMapping: %v", err)
+	}
+	if info.Rules != 3 || calls.Load() != 3 || c.Retries() != 2 {
+		t.Fatalf("info %+v, calls %d, retries %d; want 3 rules after 3 calls, 2 retries",
+			info, calls.Load(), c.Retries())
+	}
+}
+
+func TestRetryAfterHonoredButCapped(t *testing.T) {
+	// The server demands a 30s pause; MaxBackoff clamps it so the retry
+	// still happens quickly — assert by wall clock.
+	h, calls := flaky(1, http.StatusServiceUnavailable, "30", server.StatsResponse{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	start := time.Now()
+	if _, err := c.Stats(context.Background()); err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Retry-After not capped: took %s", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("calls = %d, want 2", calls.Load())
+	}
+}
+
+func TestNonIdempotent500NotRetried(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+		json.NewEncoder(w).Encode(server.ErrorBody{Error: "boom", Kind: "internal"})
+	}))
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	_, err := c.CreateSession(context.Background(), server.CreateSessionRequest{Mapping: "m", Graph: "g"})
+	if err == nil {
+		t.Fatal("CreateSession unexpectedly succeeded")
+	}
+	if !IsStatus(err, http.StatusInternalServerError) || !IsKind(err, "internal") {
+		t.Fatalf("error classification: %v", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("non-idempotent 500 retried: %d calls", calls.Load())
+	}
+}
+
+func TestNonIdempotentBusyIsRetried(t *testing.T) {
+	// 429/503 precede any server-side work, so even session creation may
+	// retry them.
+	h, calls := flaky(1, http.StatusServiceUnavailable, "1", server.SessionInfo{ID: "s-1"})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	si, err := c.CreateSession(context.Background(), server.CreateSessionRequest{Mapping: "m", Graph: "g"})
+	if err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	if si.ID != "s-1" || calls.Load() != 2 {
+		t.Fatalf("si %+v after %d calls, want s-1 after 2", si, calls.Load())
+	}
+}
+
+func TestIdempotent500Retried(t *testing.T) {
+	h, calls := flaky(1, http.StatusInternalServerError, "", server.QueryResponse{Count: 4})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	qr, err := c.Query(context.Background(), "s-1", server.QueryRequest{Query: "q"})
+	if err != nil {
+		t.Fatalf("Query: %v", err)
+	}
+	if qr.Count != 4 || calls.Load() != 2 {
+		t.Fatalf("count %d after %d calls, want 4 after 2", qr.Count, calls.Load())
+	}
+}
+
+func TestAttemptsExhausted(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		json.NewEncoder(w).Encode(server.ErrorBody{Error: "busy", Kind: "busy"})
+	}))
+	defer ts.Close()
+
+	c := New(fastCfg(ts.URL))
+	_, err := c.Stats(context.Background())
+	if err == nil {
+		t.Fatal("Stats unexpectedly succeeded")
+	}
+	if !IsStatus(err, http.StatusTooManyRequests) {
+		t.Fatalf("error: %v", err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("calls = %d, want MaxAttempts = 4", calls.Load())
+	}
+}
+
+func TestTransportErrorRetriedOnlyWhenIdempotent(t *testing.T) {
+	// A closed port: every attempt is a transport error.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	addr := ts.URL
+	ts.Close()
+
+	c := New(fastCfg(addr))
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("Stats against a dead server succeeded")
+	}
+	if got := c.TransportErrors(); got != 4 {
+		t.Fatalf("idempotent transport errors = %d, want 4 attempts", got)
+	}
+
+	c2 := New(fastCfg(addr))
+	if _, err := c2.CreateSession(context.Background(), server.CreateSessionRequest{}); err == nil {
+		t.Fatal("CreateSession against a dead server succeeded")
+	}
+	if got := c2.TransportErrors(); got != 1 {
+		t.Fatalf("non-idempotent transport errors = %d, want 1 attempt", got)
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	h, _ := flaky(100, http.StatusServiceUnavailable, "1", server.StatsResponse{})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	cfg := fastCfg(ts.URL)
+	cfg.MaxBackoff = time.Second
+	c := New(cfg)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := c.Stats(ctx); err == nil {
+		t.Fatal("Stats unexpectedly succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("cancellation not honored during backoff: %s", elapsed)
+	}
+}

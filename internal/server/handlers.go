@@ -6,9 +6,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"time"
 
 	"repro"
+	"repro/internal/fault"
 )
 
 // Handler builds the HTTP API. Every endpoint except /healthz runs behind
@@ -33,17 +36,51 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sessions/{id}/query", s.wrap(s.handleQuery))
 	mux.HandleFunc("POST /v1/sessions/{id}/stream", s.wrap(s.handleStream))
 	mux.HandleFunc("POST /v1/query", s.wrap(s.handleOneShot))
+	mux.HandleFunc("DELETE /v1/mappings/{name}", s.wrap(s.handleDeleteMapping))
+	mux.HandleFunc("DELETE /v1/graphs/{name}", s.wrap(s.handleDeleteGraph))
+	mux.HandleFunc("POST /v1/admin/checkpoint", s.wrap(s.handleCheckpoint))
+	mux.HandleFunc("GET /v1/admin/faults", s.wrap(s.handleGetFaults))
+	mux.HandleFunc("POST /v1/admin/faults", s.wrap(s.handleArmFaults))
 	return mux
 }
 
-// wrap is the admission middleware: counts the request, refuses new work
-// while draining (503) or at the in-flight cap (429, immediate — overload
-// sheds rather than queues), and tracks in-flight requests for WaitIdle.
+// statusWriter tracks whether the response header was committed, so the
+// panic recovery in wrap knows if it can still write an error body.
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so the streaming endpoint keeps
+// its chunked flushes through the wrapper.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap is the admission and isolation middleware: counts the request,
+// refuses new work while draining (503) or at the in-flight cap (429,
+// immediate — overload sheds rather than queues, both with a Retry-After
+// hint), tracks in-flight requests for WaitIdle, and converts a handler
+// panic into a logged 500 so one request's crash never takes down the
+// process or any other tenant's in-flight work.
 func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.stats.requests.Add(1)
 		if s.draining.Load() {
 			s.stats.rejectedDraining.Add(1)
+			w.Header().Set("Retry-After", "2")
 			writeJSON(w, http.StatusServiceUnavailable,
 				ErrorBody{Error: "server is draining", Kind: "draining"})
 			return
@@ -52,20 +89,71 @@ func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
 		case s.inflight <- struct{}{}:
 		default:
 			s.stats.rejectedBusy.Add(1)
+			w.Header().Set("Retry-After", "1")
 			writeJSON(w, http.StatusTooManyRequests,
 				ErrorBody{Error: "too many in-flight requests", Kind: "busy"})
 			return
 		}
 		s.reqWG.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
 		defer func() {
+			if rec := recover(); rec != nil {
+				s.stats.panics.Add(1)
+				s.stats.errors.Add(1)
+				s.cfg.Logf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+				if !sw.wrote {
+					writeJSON(sw, http.StatusInternalServerError,
+						ErrorBody{Error: fmt.Sprintf("internal panic: %v", rec), Kind: "panic"})
+				}
+			}
 			<-s.inflight
 			s.reqWG.Done()
 		}()
 		if hook := s.testHookStarted; hook != nil {
 			hook(r)
 		}
-		h(w, r)
+		// Fault point "server.handler": request entry, after admission.
+		if err := fault.Hit("server.handler"); err != nil {
+			s.writeError(sw, err)
+			return
+		}
+		h(sw, r)
 	}
+}
+
+// runBackend gates one backend call through the pair's circuit breaker:
+// refused while open (503 degraded + Retry-After), failure accounting on
+// backend errors and panics (the panic is re-raised for wrap to log),
+// streak reset on success. Client errors — bad options, budgets, not
+// found, cancellation — never trip the breaker; only failures that
+// indicate the backend itself is unhealthy do.
+func (s *Server) runBackend(be *backend, fn func() error) error {
+	if err := be.brk.allow(); err != nil {
+		s.stats.rejectedDegraded.Add(1)
+		return err
+	}
+	completed := false
+	defer func() {
+		if !completed {
+			be.brk.onFailure()
+		}
+	}()
+	err := fn()
+	completed = true
+	if err != nil && isBackendFailure(err) {
+		be.brk.onFailure()
+	} else {
+		be.brk.onSuccess()
+	}
+	return err
+}
+
+// isBackendFailure reports whether an error indicates backend ill-health
+// (trips the breaker) rather than a caller mistake: exactly the errors the
+// status table maps to 500.
+func isBackendFailure(err error) bool {
+	status, _ := statusKind(err)
+	return status == http.StatusInternalServerError
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
@@ -214,10 +302,11 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 	p := repro.PrepareQuery(q)
 	// Bind eagerly: materializes the pair's universal solution (once per
 	// backend) and lowers the query onto its snapshot, so the first query
-	// against the prepared handle pays nothing.
+	// against the prepared handle pays nothing. Materialization is a
+	// backend call — it runs behind the pair's circuit breaker.
 	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
 	defer cancel()
-	if err := p.Bind(ctx, as.sess); err != nil {
+	if err := s.runBackend(as.be, func() error { return p.Bind(ctx, as.sess) }); err != nil {
 		s.writeError(w, err)
 		return
 	}
@@ -325,16 +414,19 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	var ans *repro.Answers
-	switch req.Algo {
-	case "null", "":
-		ans, err = sess.CertainNull(ctx, q)
-	case "least":
-		ans, err = sess.CertainLeastInformative(ctx, q)
-	case "exact":
-		ans, err = sess.CertainExact(ctx, q)
-	default:
-		err = fmt.Errorf("%w: unknown algo %q (want null, least or exact)", repro.ErrBadOptions, req.Algo)
-	}
+	err = s.runBackend(as.be, func() error {
+		switch req.Algo {
+		case "null", "":
+			ans, err = sess.CertainNull(ctx, q)
+		case "least":
+			ans, err = sess.CertainLeastInformative(ctx, q)
+		case "exact":
+			ans, err = sess.CertainExact(ctx, q)
+		default:
+			err = fmt.Errorf("%w: unknown algo %q (want null, least or exact)", repro.ErrBadOptions, req.Algo)
+		}
+		return err
+	})
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -384,6 +476,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestContext(r, req.TimeoutMS)
 	defer cancel()
 
+	if err := as.be.brk.allow(); err != nil {
+		s.stats.rejectedDegraded.Add(1)
+		s.writeError(w, err)
+		return
+	}
 	var seq func(func(repro.Answer, error) bool)
 	switch req.Algo {
 	case "null", "":
@@ -391,13 +488,15 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	case "least":
 		seq = sess.CertainLeastInformativeSeq(ctx, q)
 	default:
+		as.be.brk.onSkip() // caller mistake, not a backend verdict
 		s.writeError(w, fmt.Errorf("%w: streaming supports algo null or least, not %q",
 			repro.ErrBadOptions, req.Algo))
 		return
 	}
 
 	// From here on the 200 header is committed; evaluation errors travel
-	// in-band as a terminal NDJSON error chunk.
+	// in-band as a terminal NDJSON error chunk, so a reader always sees
+	// either {"done":true} or {"error":...} — never a silent truncation.
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	bw := bufio.NewWriter(w)
@@ -409,11 +508,33 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+	// A panic mid-stream (a handler bug, or an armed panic point) still
+	// owes the reader a terminal record: emit it, count the backend
+	// failure, then re-raise for wrap to log the stack — the committed 200
+	// means wrap's recovery writes no second body.
+	defer func() {
+		if rec := recover(); rec != nil {
+			as.be.brk.onFailure()
+			enc.Encode(StreamChunk{Error: fmt.Sprintf("internal panic: %v", rec), Kind: "panic"})
+			flush()
+			panic(rec)
+		}
+	}()
 	count := 0
 	for a, err := range seq {
+		if err == nil {
+			// Fault point "server.stream": mid-flight, after the header is
+			// committed — exercises the terminal-error path of readers.
+			err = fault.Hit("server.stream")
+		}
 		if err != nil {
 			_, kind := statusKind(err)
 			s.stats.errors.Add(1)
+			if isBackendFailure(err) {
+				as.be.brk.onFailure()
+			} else {
+				as.be.brk.onSuccess()
+			}
 			enc.Encode(StreamChunk{Error: err.Error(), Kind: kind})
 			flush()
 			return
@@ -425,6 +546,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			flush()
 		}
 	}
+	as.be.brk.onSuccess()
 	as.be.warmed.Store(true)
 	as.queries.Add(1)
 	as.answers.Add(uint64(count))
@@ -496,6 +618,68 @@ func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+func (s *Server) handleDeleteMapping(w http.ResponseWriter, r *http.Request) {
+	info, err := s.DeleteMapping(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleDeleteGraph(w http.ResponseWriter, r *http.Request) {
+	info, err := s.DeleteGraph(r.PathValue("name"))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	resp, err := s.Checkpoint()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// faultsResponse snapshots the armed plan for the admin endpoints.
+func faultsResponse() FaultsResponse {
+	spec, seed, points, ok := fault.Status()
+	return FaultsResponse{Armed: ok, Spec: spec, Seed: seed, Points: points}
+}
+
+func (s *Server) handleGetFaults(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.EnableFaultInjection {
+		s.writeError(w, fmt.Errorf("fault injection: %w", errForbidden))
+		return
+	}
+	writeJSON(w, http.StatusOK, faultsResponse())
+}
+
+// handleArmFaults arms (or, with an empty spec, disarms) the process-wide
+// fault plan. Only available when the server was started with fault
+// injection enabled — this is a chaos-testing surface, not a production
+// one.
+func (s *Server) handleArmFaults(w http.ResponseWriter, r *http.Request) {
+	if !s.cfg.EnableFaultInjection {
+		s.writeError(w, fmt.Errorf("fault injection: %w", errForbidden))
+		return
+	}
+	var req FaultsRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	if err := fault.Arm(req.Spec, req.Seed); err != nil {
+		s.writeError(w, fmt.Errorf("%w: %v", repro.ErrBadOptions, err))
+		return
+	}
+	s.cfg.Logf("fault plan armed: %q (seed %d)", req.Spec, req.Seed)
+	writeJSON(w, http.StatusOK, faultsResponse())
+}
+
 // decode reads a JSON request body, reporting malformed input as 400
 // (bad_options). Returns false when it already wrote the error response.
 func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -510,6 +694,14 @@ func (s *Server) decode(w http.ResponseWriter, r *http.Request, v any) bool {
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.stats.errors.Add(1)
 	status, kind := statusKind(err)
+	// Refusals a well-behaved client should back off from carry a
+	// Retry-After hint: the breaker's remaining cooldown when one is
+	// attached, else one second for the generically-retryable statuses.
+	if sec := retryAfterSeconds(err); sec > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(sec))
+	} else if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, ErrorBody{Error: err.Error(), Kind: kind})
 }
 

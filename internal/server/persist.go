@@ -1,0 +1,375 @@
+package server
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/fault"
+)
+
+// This file is the crash-safe registry store: a JSON snapshot plus an
+// append-only, fsync'd write-ahead log of register/delete operations. The
+// registry (named mapping and graph texts) is the only durable state —
+// sessions, backends and memoized solutions are soft state that is lazily
+// re-materialized after a restart, so recovery is: load snapshot, replay
+// WAL, re-compile entries, and let the first query on each (mapping,
+// graph) pair rebuild its solutions.
+//
+// WAL format: each record is [4-byte little-endian payload length][4-byte
+// IEEE CRC32 of the payload][JSON payload]. Replay is torn-write
+// tolerant: a truncated or corrupt record ends the replay, the bad tail is
+// moved to a quarantine file (never silently deleted), and the WAL is
+// truncated back to its last good record — the registry refuses to lose
+// acknowledged writes but never refuses to start.
+
+// Registry operation kinds, as stored in WAL records and snapshots.
+const (
+	opMapping       = "mapping"
+	opGraph         = "graph"
+	opDeleteMapping = "delete_mapping"
+	opDeleteGraph   = "delete_graph"
+)
+
+// walRecord is one logged registry operation.
+type walRecord struct {
+	Seq  uint64 `json:"seq"`
+	Op   string `json:"op"`
+	Name string `json:"name"`
+	Text string `json:"text,omitempty"`
+}
+
+// namedText is a registry entry in snapshot form.
+type namedText struct {
+	Name string `json:"name"`
+	Text string `json:"text"`
+}
+
+// registrySnapshot is the JSON snapshot document: the full registry as of
+// sequence number Seq. WAL records with Seq greater than this apply on top.
+type registrySnapshot struct {
+	Seq      uint64      `json:"seq"`
+	Mappings []namedText `json:"mappings"`
+	Graphs   []namedText `json:"graphs"`
+}
+
+// errStorage marks persistence failures: the operation was refused because
+// it could not be made durable. Mapped to 503 storage_failed (retryable —
+// an admin checkpoint or a restart repairs the store).
+var errStorage = errors.New("registry storage failed")
+
+// persister owns the state directory: the open WAL file, the sequence
+// counter and the wedged flag, all guarded by its own mutex (appends run
+// under the Server's registry lock, but statsSnapshot and checkpoint read
+// the counters from outside it).
+type persister struct {
+	dir string
+
+	mu     sync.Mutex
+	wal    *os.File
+	seq    uint64 // last durable sequence number
+	wedged bool   // a failed append left an unrepaired tail; appends refused
+}
+
+func (p *persister) walPath() string       { return filepath.Join(p.dir, "registry.wal") }
+func (p *persister) snapPath() string      { return filepath.Join(p.dir, "registry.json") }
+func (p *persister) walQuarantine() string { return filepath.Join(p.dir, "registry.wal.quarantine") }
+
+// RecoveryInfo reports what openState reconstructed, for logs and tests.
+type RecoveryInfo struct {
+	SnapshotSeq     uint64 // sequence the snapshot covered (0 = none)
+	WALReplayed     int    // records applied on top of the snapshot
+	Seq             uint64 // last durable sequence after recovery
+	Mappings        int    // registry size after recovery
+	Graphs          int
+	QuarantinedWAL  bool // a torn/corrupt WAL tail was quarantined
+	QuarantinedSnap bool // an unreadable snapshot was quarantined
+}
+
+// OpenState attaches a state directory to the server: it recovers the
+// registry from the directory's snapshot + WAL (tolerating torn writes and
+// quarantining corruption), registers the recovered entries in memory, and
+// keeps the WAL open so every later registry mutation is persisted before
+// it is acknowledged. Backends are not rebuilt here — the first session on
+// each recovered (mapping, graph) pair re-materializes its solutions
+// lazily. Must be called before the server starts serving.
+func (s *Server) OpenState(dir string) (RecoveryInfo, error) {
+	var info RecoveryInfo
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return info, fmt.Errorf("state dir: %w", err)
+	}
+	p := &persister{dir: dir}
+
+	// 1. Snapshot: the base registry image. An unreadable snapshot is
+	// quarantined, not fatal — the WAL (from seq 0) may still restore part
+	// of the registry, and refusing to start helps nobody.
+	var snap registrySnapshot
+	if raw, err := os.ReadFile(p.snapPath()); err == nil {
+		if jerr := json.Unmarshal(raw, &snap); jerr != nil {
+			if qerr := os.Rename(p.snapPath(), p.snapPath()+".quarantine"); qerr != nil {
+				return info, fmt.Errorf("quarantining corrupt snapshot: %w", qerr)
+			}
+			snap = registrySnapshot{}
+			info.QuarantinedSnap = true
+		}
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return info, fmt.Errorf("reading snapshot: %w", err)
+	}
+	info.SnapshotSeq = snap.Seq
+	p.seq = snap.Seq
+
+	// 2. WAL: replay every intact record past the snapshot, quarantine and
+	// truncate a torn tail.
+	recs, torn, err := p.replayWAL()
+	if err != nil {
+		return info, err
+	}
+	info.QuarantinedWAL = torn
+
+	// 3. Rebuild the in-memory registry. Snapshot entries first, then WAL
+	// ops in sequence order. Replay applies ops unconditionally (last op
+	// wins) — conflicts were already rejected before these ops were logged.
+	reg := make(map[string]namedText) // key "m\x00name" / "g\x00name"
+	for _, m := range snap.Mappings {
+		reg["m\x00"+m.Name] = m
+	}
+	for _, g := range snap.Graphs {
+		reg["g\x00"+g.Name] = g
+	}
+	for _, rec := range recs {
+		if rec.Seq <= snap.Seq {
+			continue // already folded into the snapshot
+		}
+		switch rec.Op {
+		case opMapping:
+			reg["m\x00"+rec.Name] = namedText{Name: rec.Name, Text: rec.Text}
+		case opGraph:
+			reg["g\x00"+rec.Name] = namedText{Name: rec.Name, Text: rec.Text}
+		case opDeleteMapping:
+			delete(reg, "m\x00"+rec.Name)
+		case opDeleteGraph:
+			delete(reg, "g\x00"+rec.Name)
+		}
+		if rec.Seq > p.seq {
+			p.seq = rec.Seq
+		}
+		info.WALReplayed++
+	}
+	for key, e := range reg {
+		if key[0] == 'm' {
+			if _, err := s.registerMapping(e.Name, e.Text, false); err != nil {
+				return info, fmt.Errorf("recovering mapping %q: %w", e.Name, err)
+			}
+		} else {
+			if _, err := s.registerGraph(e.Name, e.Text, false); err != nil {
+				return info, fmt.Errorf("recovering graph %q: %w", e.Name, err)
+			}
+		}
+	}
+
+	// 4. Open the WAL for appending.
+	wal, err := os.OpenFile(p.walPath(), os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return info, fmt.Errorf("opening wal: %w", err)
+	}
+	p.wal = wal
+
+	s.mu.Lock()
+	s.persist = p
+	info.Seq = p.seq
+	info.Mappings = len(s.mappings)
+	info.Graphs = len(s.graphs)
+	s.mu.Unlock()
+	return info, nil
+}
+
+// replayWAL reads every intact record of the WAL. A truncated frame, CRC
+// mismatch or undecodable payload ends the scan: the bytes from the last
+// good record onward are appended to the quarantine file and the WAL is
+// truncated back to the good prefix, so the next append lands on a clean
+// boundary.
+func (p *persister) replayWAL() (recs []walRecord, torn bool, err error) {
+	raw, err := os.ReadFile(p.walPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("reading wal: %w", err)
+	}
+	off := 0
+	good := 0
+	for off < len(raw) {
+		if len(raw)-off < 8 {
+			break // torn header
+		}
+		n := int(binary.LittleEndian.Uint32(raw[off:]))
+		sum := binary.LittleEndian.Uint32(raw[off+4:])
+		if n <= 0 || len(raw)-off-8 < n {
+			break // absurd length or torn payload
+		}
+		payload := raw[off+8 : off+8+n]
+		if crc32.ChecksumIEEE(payload) != sum {
+			break // corrupt payload
+		}
+		var rec walRecord
+		if json.Unmarshal(payload, &rec) != nil {
+			break
+		}
+		recs = append(recs, rec)
+		off += 8 + n
+		good = off
+	}
+	if good == len(raw) {
+		return recs, false, nil
+	}
+	// Quarantine the bad tail, then truncate the WAL back to the good
+	// prefix.
+	q, err := os.OpenFile(p.walQuarantine(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, true, fmt.Errorf("opening wal quarantine: %w", err)
+	}
+	if _, err := q.Write(raw[good:]); err != nil {
+		q.Close()
+		return nil, true, fmt.Errorf("writing wal quarantine: %w", err)
+	}
+	if err := q.Close(); err != nil {
+		return nil, true, fmt.Errorf("closing wal quarantine: %w", err)
+	}
+	if err := os.Truncate(p.walPath(), int64(good)); err != nil {
+		return nil, true, fmt.Errorf("truncating torn wal: %w", err)
+	}
+	return recs, true, nil
+}
+
+// append logs one operation durably: frame, write, fsync — only then does
+// the caller apply the operation in memory. A failed write attempts to
+// truncate back to the record boundary; if the tail cannot be repaired the
+// persister wedges (all further appends refused) until a checkpoint or
+// restart re-establishes a clean log. Returns the record's sequence
+// number.
+//
+// Fault points: "wal.append" (partial mode tears the frame mid-write and —
+// deliberately simulating a crash — skips the truncate repair; error mode
+// fails before writing), "wal.fsync" (error mode fails the sync).
+func (p *persister) append(op, name, text string) (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wedged {
+		return 0, fmt.Errorf("%w: write-ahead log has an unrepaired tail (checkpoint or restart to recover)", errStorage)
+	}
+	rec := walRecord{Seq: p.seq + 1, Op: op, Name: name, Text: text}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return 0, fmt.Errorf("%w: encoding record: %v", errStorage, err)
+	}
+	frame := make([]byte, 8+len(payload))
+	binary.LittleEndian.PutUint32(frame, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.ChecksumIEEE(payload))
+	copy(frame[8:], payload)
+
+	start, err := p.wal.Seek(0, io.SeekEnd)
+	if err != nil {
+		p.wedged = true
+		return 0, fmt.Errorf("%w: seeking wal: %v", errStorage, err)
+	}
+	if k, fired := fault.Partial("wal.append", len(frame)); fired {
+		// Simulate a crash mid-append: the torn prefix stays on disk and
+		// no repair runs, exactly as if power was lost here.
+		p.wal.Write(frame[:k])
+		p.wal.Sync()
+		p.wedged = true
+		return 0, fmt.Errorf("%w: appending wal record: %v at wal.append (torn write)", errStorage, fault.ErrInjected)
+	}
+	if err := fault.Hit("wal.append"); err != nil {
+		p.wedged = true
+		return 0, fmt.Errorf("%w: appending wal record: %v", errStorage, err)
+	}
+	if _, err := p.wal.Write(frame); err != nil {
+		// A genuine short write: try to cut the log back to the record
+		// boundary so the store stays usable; wedge if that also fails.
+		if terr := p.wal.Truncate(start); terr != nil {
+			p.wedged = true
+		}
+		return 0, fmt.Errorf("%w: appending wal record: %v", errStorage, err)
+	}
+	if err := fault.Hit("wal.fsync"); err != nil {
+		p.wedged = true
+		return 0, fmt.Errorf("%w: syncing wal: %v", errStorage, err)
+	}
+	if err := p.wal.Sync(); err != nil {
+		p.wedged = true
+		return 0, fmt.Errorf("%w: syncing wal: %v", errStorage, err)
+	}
+	p.seq = rec.Seq
+	return rec.Seq, nil
+}
+
+// checkpoint writes a full snapshot of the registry (atomically:
+// tmp + fsync + rename + directory fsync) and truncates the WAL, which
+// also clears a wedged log — the snapshot supersedes whatever the torn
+// tail lost acknowledgment for. Called with the registry contents already
+// extracted under the server's lock.
+//
+// Fault point: "registry.snapshot" (error mode fails before the tmp write).
+func (p *persister) checkpoint(snap registrySnapshot) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap.Seq = p.seq
+	if err := fault.Hit("registry.snapshot"); err != nil {
+		return fmt.Errorf("%w: writing snapshot: %v", errStorage, err)
+	}
+	raw, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("%w: encoding snapshot: %v", errStorage, err)
+	}
+	tmp := p.snapPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("%w: creating snapshot: %v", errStorage, err)
+	}
+	if _, err := f.Write(raw); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: writing snapshot: %v", errStorage, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("%w: syncing snapshot: %v", errStorage, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("%w: closing snapshot: %v", errStorage, err)
+	}
+	if err := os.Rename(tmp, p.snapPath()); err != nil {
+		return fmt.Errorf("%w: installing snapshot: %v", errStorage, err)
+	}
+	if dir, err := os.Open(p.dir); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	// The snapshot now covers every durable op; empty the WAL.
+	if err := p.wal.Truncate(0); err != nil {
+		return fmt.Errorf("%w: truncating wal after snapshot: %v", errStorage, err)
+	}
+	if err := p.wal.Sync(); err != nil {
+		return fmt.Errorf("%w: syncing truncated wal: %v", errStorage, err)
+	}
+	p.wedged = false
+	return nil
+}
+
+// close releases the WAL file handle (tests re-open state directories).
+func (p *persister) close() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.wal != nil {
+		err := p.wal.Close()
+		p.wal = nil
+		return err
+	}
+	return nil
+}

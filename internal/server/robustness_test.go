@@ -1,0 +1,520 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/workload"
+)
+
+// registryImage is a comparable snapshot of a server's registry contents,
+// used to assert byte-for-byte recovery.
+type registryImage struct {
+	Mappings map[string]string
+	Graphs   map[string]string
+}
+
+func imageOf(s *Server) registryImage {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	img := registryImage{Mappings: map[string]string{}, Graphs: map[string]string{}}
+	for name, e := range s.mappings {
+		img.Mappings[name] = e.text
+	}
+	for name, e := range s.graphs {
+		img.Graphs[name] = e.text
+	}
+	return img
+}
+
+func (a registryImage) equal(b registryImage) bool {
+	if len(a.Mappings) != len(b.Mappings) || len(a.Graphs) != len(b.Graphs) {
+		return false
+	}
+	for k, v := range a.Mappings {
+		if b.Mappings[k] != v {
+			return false
+		}
+	}
+	for k, v := range a.Graphs {
+		if b.Graphs[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// queryBytes runs one session query through the handler and returns the
+// canonical answer bytes.
+func queryBytes(t *testing.T, s *Server, mapping, graph, query string) []byte {
+	t.Helper()
+	h := s.Handler()
+	var si SessionInfo
+	if code := do(t, h, "POST", "/v1/sessions", "",
+		CreateSessionRequest{Mapping: mapping, Graph: graph}, &si); code != http.StatusOK {
+		t.Fatalf("create session: status %d", code)
+	}
+	var qr QueryResponse
+	if code := do(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "",
+		QueryRequest{Query: query}, &qr); code != http.StatusOK {
+		t.Fatalf("query: status %d", code)
+	}
+	b, err := json.Marshal(qr.Answers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// newAnsweringServer registers the canonical (default-spec) serving
+// scenario, whose query stream returns real answers — the small
+// testScenario's queries are all empty, useless for stream-interruption
+// tests.
+func newAnsweringServer(t testing.TB, cfg Config) (*Server, workload.ServingScenario) {
+	t.Helper()
+	sc := workload.Serving(workload.ServingSpec{})
+	s := New(cfg)
+	if _, err := s.RegisterMappingText("m", sc.MappingText); err != nil {
+		t.Fatalf("register mapping: %v", err)
+	}
+	if _, err := s.RegisterGraphText("g", sc.GraphText); err != nil {
+		t.Fatalf("register graph: %v", err)
+	}
+	return s, sc
+}
+
+// answeringQuery finds the first scenario query with a non-empty answer
+// set (some streams in the canonical scenario are legitimately empty) and
+// returns its text with its batch response.
+func answeringQuery(t *testing.T, h http.Handler, tenant, sessionID string, texts []string) (string, QueryResponse) {
+	t.Helper()
+	for _, q := range texts {
+		var qr QueryResponse
+		if code := do(t, h, "POST", "/v1/sessions/"+sessionID+"/query", tenant,
+			QueryRequest{Query: q}, &qr); code != http.StatusOK {
+			t.Fatalf("batch query: status %d", code)
+		}
+		if qr.Count > 0 {
+			return q, qr
+		}
+	}
+	t.Fatal("no scenario query returns answers")
+	return "", QueryResponse{}
+}
+
+// TestPersistRoundtrip is the plain crash-free cycle: register, delete,
+// close, reopen — the reopened server must hold the identical registry and
+// produce identical answers.
+func TestPersistRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	sc := testScenario(t)
+
+	a := New(Config{})
+	if _, err := a.OpenState(dir); err != nil {
+		t.Fatalf("OpenState: %v", err)
+	}
+	if _, err := a.RegisterMappingText("m", sc.MappingText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RegisterGraphText("g", sc.GraphText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RegisterGraphText("doomed", sc.GraphText); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.DeleteGraph("doomed"); err != nil {
+		t.Fatalf("DeleteGraph: %v", err)
+	}
+	want := imageOf(a)
+	wantAns := queryBytes(t, a, "m", "g", sc.QueryTexts[0])
+	if err := a.CloseState(); err != nil {
+		t.Fatalf("CloseState: %v", err)
+	}
+
+	b := New(Config{})
+	rec, err := b.OpenState(dir)
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	if rec.Mappings != 1 || rec.Graphs != 1 {
+		t.Fatalf("recovered %d mappings, %d graphs, want 1/1", rec.Mappings, rec.Graphs)
+	}
+	if rec.QuarantinedWAL || rec.QuarantinedSnap {
+		t.Fatalf("clean shutdown flagged corruption: %+v", rec)
+	}
+	if got := imageOf(b); !got.equal(want) {
+		t.Fatalf("recovered registry differs:\ngot  %+v\nwant %+v", got, want)
+	}
+	if gotAns := queryBytes(t, b, "m", "g", sc.QueryTexts[0]); !bytes.Equal(gotAns, wantAns) {
+		t.Fatalf("recovered answers differ:\ngot  %s\nwant %s", gotAns, wantAns)
+	}
+}
+
+// TestCrashRecoveryTornWAL is the crash drill from the issue: a fault
+// point tears a WAL append mid-write (simulating a crash), the wedged log
+// refuses further appends, and a fresh server recovering the directory
+// quarantines the torn tail and rebuilds exactly the acknowledged registry
+// — same names, same texts, same answers.
+func TestCrashRecoveryTornWAL(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	dir := t.TempDir()
+	sc := testScenario(t)
+
+	a := New(Config{})
+	if _, err := a.OpenState(dir); err != nil {
+		t.Fatalf("OpenState: %v", err)
+	}
+	if _, err := a.RegisterMappingText("m", sc.MappingText); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := a.RegisterGraphText(fmt.Sprintf("g%d", i), sc.GraphText); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := imageOf(a)
+	wantAns := queryBytes(t, a, "m", "g0", sc.QueryTexts[1])
+
+	// Tear the next append partway through the frame.
+	if err := fault.Arm("wal.append=partial:n=1", 42); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.RegisterGraphText("torn", sc.GraphText); err == nil {
+		t.Fatal("registration over a torn WAL append unexpectedly succeeded")
+	}
+	if img := imageOf(a); !img.equal(want) {
+		t.Fatalf("failed registration mutated the in-memory registry: %+v", img)
+	}
+	// The log is wedged: even a clean registration must be refused rather
+	// than buried behind torn bytes.
+	fault.Disarm()
+	if _, err := a.RegisterGraphText("after-tear", sc.GraphText); err == nil {
+		t.Fatal("append to a wedged WAL unexpectedly succeeded")
+	}
+	// Crash: abandon a without CloseState (the file stays as the torn
+	// write left it; a fresh OS handle is opened by recovery).
+
+	b := New(Config{})
+	rec, err := b.OpenState(dir)
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if !rec.QuarantinedWAL {
+		t.Fatalf("torn tail not quarantined: %+v", rec)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "registry.wal.quarantine")); err != nil {
+		t.Fatalf("quarantine file missing: %v", err)
+	}
+	if got := imageOf(b); !got.equal(want) {
+		t.Fatalf("recovered registry differs:\ngot  %+v\nwant %+v", got, want)
+	}
+	if gotAns := queryBytes(t, b, "m", "g0", sc.QueryTexts[1]); !bytes.Equal(gotAns, wantAns) {
+		t.Fatalf("recovered answers differ:\ngot  %s\nwant %s", gotAns, wantAns)
+	}
+	// The recovered server's truncated WAL accepts appends again.
+	if _, err := b.RegisterGraphText("post-crash", sc.GraphText); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+// TestCheckpointRepairsWedgedWAL: a checkpoint folds the registry into a
+// fresh snapshot, truncates the WAL and un-wedges a log left broken by a
+// torn append — the documented online repair.
+func TestCheckpointRepairsWedgedWAL(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	dir := t.TempDir()
+	sc := testScenario(t)
+
+	s := New(Config{})
+	if _, err := s.OpenState(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterMappingText("m", sc.MappingText); err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.Arm("wal.append=partial:n=1", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.RegisterGraphText("g", sc.GraphText); err == nil {
+		t.Fatal("torn append unexpectedly succeeded")
+	}
+	fault.Disarm()
+
+	cp, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if cp.Mappings != 1 || cp.Graphs != 0 {
+		t.Fatalf("checkpoint covered %d/%d, want 1/0", cp.Mappings, cp.Graphs)
+	}
+	if _, err := s.RegisterGraphText("g", sc.GraphText); err != nil {
+		t.Fatalf("append after checkpoint repair: %v", err)
+	}
+	want := imageOf(s)
+	if err := s.CloseState(); err != nil {
+		t.Fatal(err)
+	}
+
+	b := New(Config{})
+	rec, err := b.OpenState(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.QuarantinedWAL {
+		t.Fatalf("checkpointed state still flagged a torn WAL: %+v", rec)
+	}
+	if got := imageOf(b); !got.equal(want) {
+		t.Fatalf("recovered registry differs:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestPanicIsolation: tenant B's injected handler panic must return a 500
+// to B only — tenant A's stream, in flight across the panic, completes
+// with every answer and the done marker intact.
+func TestPanicIsolation(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	s, sc := newAnsweringServer(t, Config{})
+	h := s.Handler()
+
+	var si SessionInfo
+	if code := do(t, h, "POST", "/v1/sessions", "tenant-a",
+		CreateSessionRequest{Mapping: "m", Graph: "g"}, &si); code != http.StatusOK {
+		t.Fatalf("create session: status %d", code)
+	}
+	// Batch answers for the stream to be checked against; the stream must
+	// carry real answers or the mid-flight window is empty.
+	query, qr := answeringQuery(t, h, "tenant-a", si.ID, sc.QueryTexts)
+
+	// Hold tenant A's stream request at entry so it is provably in flight
+	// while tenant B panics.
+	streamEntered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	s.testHookStarted = func(r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/stream") {
+			once.Do(func() { close(streamEntered) })
+			<-release
+		}
+	}
+
+	streamDone := make(chan *httptest.ResponseRecorder, 1)
+	go func() {
+		b, _ := json.Marshal(QueryRequest{Query: query})
+		r := httptest.NewRequest("POST", "/v1/sessions/"+si.ID+"/stream", bytes.NewReader(b))
+		r.Header.Set("X-Tenant", "tenant-a")
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, r)
+		streamDone <- w
+	}()
+	<-streamEntered
+
+	// Tenant B panics at handler entry; the budget of one means nobody
+	// else can hit it.
+	if err := fault.Arm("server.handler=panic:n=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	code, kind := errKind(t, h, "POST", "/v1/query", "tenant-b",
+		OneShotRequest{Mapping: "m", Graph: "g", Query: sc.QueryTexts[0]})
+	if code != http.StatusInternalServerError || kind != "panic" {
+		t.Fatalf("panicking request: status %d kind %q, want 500 panic", code, kind)
+	}
+	if got := s.stats.panics.Load(); got != 1 {
+		t.Fatalf("panics counter = %d, want 1", got)
+	}
+
+	// Release A; the stream must be whole.
+	close(release)
+	w := <-streamDone
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status %d", w.Code)
+	}
+	var streamed []Answer
+	done := false
+	scanner := bufio.NewScanner(w.Body)
+	for scanner.Scan() {
+		var chunk StreamChunk
+		if err := json.Unmarshal(scanner.Bytes(), &chunk); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", scanner.Text(), err)
+		}
+		switch {
+		case chunk.Error != "":
+			t.Fatalf("in-band stream error: %s (%s)", chunk.Error, chunk.Kind)
+		case chunk.Done:
+			done = true
+			if chunk.Count != qr.Count {
+				t.Fatalf("stream count %d != batch count %d", chunk.Count, qr.Count)
+			}
+		default:
+			streamed = append(streamed, *chunk.Answer)
+		}
+	}
+	if !done {
+		t.Fatal("stream has no done marker")
+	}
+	// Streamed order is evaluation order; compare as canonical multisets.
+	key := func(a Answer) string { return a.From.ID + "|" + a.To.ID }
+	got := make(map[string]int)
+	for _, a := range streamed {
+		got[key(a)]++
+	}
+	want := make(map[string]int)
+	for _, a := range qr.Answers {
+		want[key(a)]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stream has %d distinct answers, batch has %d", len(got), len(want))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("streamed answers differ from batch at %s: %d != %d", k, got[k], n)
+		}
+	}
+
+	// And tenant B is fine on the next request.
+	var qr2 QueryResponse
+	if code := do(t, h, "POST", "/v1/query", "tenant-b",
+		OneShotRequest{Mapping: "m", Graph: "g", Query: sc.QueryTexts[0]}, &qr2); code != http.StatusOK {
+		t.Fatalf("tenant-b after panic: status %d", code)
+	}
+}
+
+// TestStreamEmitsTerminalErrorRecordOnPanic: a panic mid-stream — after
+// the 200 header is committed — must surface as a terminal NDJSON error
+// record, not a silent truncation.
+func TestStreamEmitsTerminalErrorRecordOnPanic(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	s, sc := newAnsweringServer(t, Config{})
+	h := s.Handler()
+
+	var si SessionInfo
+	if code := do(t, h, "POST", "/v1/sessions", "",
+		CreateSessionRequest{Mapping: "m", Graph: "g"}, &si); code != http.StatusOK {
+		t.Fatalf("create session: status %d", code)
+	}
+	query, _ := answeringQuery(t, h, "", si.ID, sc.QueryTexts)
+	if err := fault.Arm("server.stream=panic:n=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(QueryRequest{Query: query})
+	r := httptest.NewRequest("POST", "/v1/sessions/"+si.ID+"/stream", bytes.NewReader(b))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("stream status %d (header should be committed before the panic)", w.Code)
+	}
+	lines := strings.Split(strings.TrimSpace(w.Body.String()), "\n")
+	var last StreamChunk
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("bad terminal line %q: %v", lines[len(lines)-1], err)
+	}
+	if last.Kind != "panic" || last.Error == "" || last.Done {
+		t.Fatalf("terminal record = %+v, want an error record of kind panic", last)
+	}
+}
+
+// TestBreakerOpensAndRecovers drives a backend through the full circuit:
+// consecutive materialization failures open it, requests during cooldown
+// are shed with 503 degraded + Retry-After, and a successful half-open
+// probe closes it again.
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	s, sc := newTestServer(t, Config{
+		BreakerThreshold: 2,
+		BreakerCooldown:  80 * time.Millisecond,
+	})
+	h := s.Handler()
+
+	var si SessionInfo
+	if code := do(t, h, "POST", "/v1/sessions", "",
+		CreateSessionRequest{Mapping: "m", Graph: "g"}, &si); code != http.StatusOK {
+		t.Fatalf("create session: status %d", code)
+	}
+	// Two failing materializations (the memo does not cache errors, so
+	// each query retries the build and each hits the fault).
+	if err := fault.Arm("core.memo=error:n=2", 9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		code, _ := errKind(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "",
+			QueryRequest{Query: sc.QueryTexts[0]})
+		if code != http.StatusInternalServerError {
+			t.Fatalf("failing query %d: status %d, want 500", i, code)
+		}
+	}
+
+	// Threshold reached: the breaker sheds before touching the backend.
+	b, _ := json.Marshal(QueryRequest{Query: sc.QueryTexts[0]})
+	r := httptest.NewRequest("POST", "/v1/sessions/"+si.ID+"/query", bytes.NewReader(b))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("open breaker: status %d, want 503", w.Code)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Kind != "degraded" {
+		t.Fatalf("open breaker: kind %q (err %v), want degraded", eb.Kind, err)
+	}
+	if w.Header().Get("Retry-After") == "" {
+		t.Fatal("open breaker: no Retry-After header")
+	}
+
+	// After the cooldown the half-open probe runs the real (now healthy —
+	// the fault budget is spent) materialization and closes the breaker.
+	time.Sleep(100 * time.Millisecond)
+	var qr QueryResponse
+	if code := do(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "",
+		QueryRequest{Query: sc.QueryTexts[0]}, &qr); code != http.StatusOK {
+		t.Fatalf("half-open probe: status %d, want 200", code)
+	}
+	if code := do(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "",
+		QueryRequest{Query: sc.QueryTexts[0]}, &qr); code != http.StatusOK {
+		t.Fatalf("after close: status %d, want 200", code)
+	}
+}
+
+// TestFaultEndpointGating: /v1/admin/faults must be refused unless the
+// server opted in, and must arm/disarm when it did.
+func TestFaultEndpointGating(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	locked, _ := newTestServer(t, Config{})
+	code, kind := errKind(t, locked.Handler(), "POST", "/v1/admin/faults", "",
+		FaultsRequest{Spec: "server.handler=error"})
+	if code != http.StatusForbidden || kind != "forbidden" {
+		t.Fatalf("locked server: status %d kind %q, want 403 forbidden", code, kind)
+	}
+	if fault.Armed() {
+		t.Fatal("locked server armed faults anyway")
+	}
+
+	open, _ := newTestServer(t, Config{EnableFaultInjection: true})
+	var fr FaultsResponse
+	if code := do(t, open.Handler(), "POST", "/v1/admin/faults", "",
+		FaultsRequest{Spec: "server.handler=error:n=1", Seed: 3}, &fr); code != http.StatusOK {
+		t.Fatalf("arming: status %d", code)
+	}
+	if !fr.Armed || len(fr.Points) != 1 {
+		t.Fatalf("arming response: %+v", fr)
+	}
+	code, kind = errKind(t, open.Handler(), "GET", "/v1/stats", "", nil)
+	if code != http.StatusInternalServerError || kind != "internal" {
+		t.Fatalf("armed error point: status %d kind %q, want 500 internal", code, kind)
+	}
+	if code := do(t, open.Handler(), "POST", "/v1/admin/faults", "",
+		FaultsRequest{Spec: ""}, &fr); code != http.StatusOK {
+		t.Fatalf("disarming: status %d", code)
+	}
+	if fr.Armed || fault.Armed() {
+		t.Fatal("disarm did not take")
+	}
+}

@@ -26,6 +26,7 @@ package server
 
 import (
 	"fmt"
+	"log"
 	"net/http"
 	"regexp"
 	"sort"
@@ -34,6 +35,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fault"
 )
 
 // Config tunes the server; the zero value means the documented defaults.
@@ -51,6 +53,20 @@ type Config struct {
 	// MaxBodyBytes caps request bodies (413 beyond it). Default 64 MiB —
 	// graph registrations carry whole graphs as text.
 	MaxBodyBytes int64
+	// BreakerThreshold is the number of consecutive backend failures
+	// (panics or internal errors, never client errors) that open a
+	// (mapping, graph) pair's circuit breaker. Default 5.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker refuses requests (503
+	// degraded, Retry-After) before letting one half-open probe through.
+	// Default 2s.
+	BreakerCooldown time.Duration
+	// EnableFaultInjection exposes POST /v1/admin/faults so clients (the
+	// chaos harness) can arm internal/fault points over HTTP. Off by
+	// default: production servers refuse remote fault arming with 403.
+	EnableFaultInjection bool
+	// Logf receives panic stacks and recovery reports. Default log.Printf.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -65,6 +81,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	return c
 }
@@ -84,16 +109,21 @@ type Server struct {
 	backends map[backendKey]*backend
 	sessions map[string]*apiSession
 	nextID   uint64
+	// persist is the crash-safe registry store, attached by OpenState; nil
+	// means the registry is memory-only (the pre-state-dir behavior).
+	persist *persister
 
 	stats struct {
 		requests         atomic.Uint64
 		rejectedBusy     atomic.Uint64
 		rejectedDraining atomic.Uint64
+		rejectedDegraded atomic.Uint64
 		queries          atomic.Uint64
 		answers          atomic.Uint64
 		streams          atomic.Uint64
 		oneShots         atomic.Uint64
 		errors           atomic.Uint64
+		panics           atomic.Uint64
 		sessionsCreated  atomic.Uint64
 	}
 
@@ -136,6 +166,10 @@ type backend struct {
 	// the engine's per-snapshot lowered-program cache hit instead of
 	// re-lowering on every request.
 	queryCache sync.Map
+	// brk is the pair's circuit breaker: consecutive backend failures open
+	// it, refusing the pair's requests with 503 degraded until a half-open
+	// probe succeeds. Other pairs (and tenants on them) keep serving.
+	brk breaker
 }
 
 // parseQueryCached resolves query text through the backend's cache.
@@ -224,9 +258,15 @@ func validName(n string) error {
 
 // RegisterMappingText parses, compiles and registers a mapping under name.
 // Re-registering the same name with identical text is idempotent;
-// different text is a conflict (the registry is immutable by design —
-// sessions hold compiled pointers).
+// different text is a conflict (the registry is immutable while in use —
+// sessions hold compiled pointers; unused names can be deleted). With a
+// state directory attached, the registration is WAL-logged and fsync'd
+// before it is acknowledged.
 func (s *Server) RegisterMappingText(name, text string) (MappingInfo, error) {
+	return s.registerMapping(name, text, true)
+}
+
+func (s *Server) registerMapping(name, text string, persist bool) (MappingInfo, error) {
 	if err := validName(name); err != nil {
 		return MappingInfo{}, err
 	}
@@ -253,15 +293,25 @@ func (s *Server) RegisterMappingText(name, text string) (MappingInfo, error) {
 		}
 		return MappingInfo{}, fmt.Errorf("mapping %q: %w", name, errExists)
 	}
+	// Write-ahead: the op must be durable before the registry admits it.
+	if persist && s.persist != nil {
+		if _, err := s.persist.append(opMapping, name, text); err != nil {
+			return MappingInfo{}, err
+		}
+	}
 	s.mappings[name] = &mappingEntry{info: info, text: text, cm: cm}
 	return info, nil
 }
 
 // RegisterGraphText parses and registers a source graph under name, with
-// the same idempotence rule as RegisterMappingText. The graph is owned by
-// the registry and never mutated, so sessions can freeze it once and share
-// the snapshot indefinitely.
+// the same idempotence and durability rules as RegisterMappingText. The
+// graph is owned by the registry and never mutated, so sessions can freeze
+// it once and share the snapshot indefinitely.
 func (s *Server) RegisterGraphText(name, text string) (GraphInfo, error) {
+	return s.registerGraph(name, text, true)
+}
+
+func (s *Server) registerGraph(name, text string, persist bool) (GraphInfo, error) {
 	if err := validName(name); err != nil {
 		return GraphInfo{}, err
 	}
@@ -278,8 +328,106 @@ func (s *Server) RegisterGraphText(name, text string) (GraphInfo, error) {
 		}
 		return GraphInfo{}, fmt.Errorf("graph %q: %w", name, errExists)
 	}
+	if persist && s.persist != nil {
+		if _, err := s.persist.append(opGraph, name, text); err != nil {
+			return GraphInfo{}, err
+		}
+	}
 	s.graphs[name] = &graphEntry{info: info, text: text, g: g}
 	return info, nil
+}
+
+// DeleteMapping removes a registered mapping. A mapping serving any live
+// backend (open sessions reference it) is refused with a conflict; the
+// deletion is WAL-logged before it is applied.
+func (s *Server) DeleteMapping(name string) (MappingInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.mappings[name]
+	if !ok {
+		return MappingInfo{}, fmt.Errorf("mapping %q: %w", name, errNotFound)
+	}
+	for key := range s.backends {
+		if key.mapping == name {
+			return MappingInfo{}, fmt.Errorf("%w: mapping %q has open sessions", errInUse, name)
+		}
+	}
+	if s.persist != nil {
+		if _, err := s.persist.append(opDeleteMapping, name, ""); err != nil {
+			return MappingInfo{}, err
+		}
+	}
+	delete(s.mappings, name)
+	return e.info, nil
+}
+
+// DeleteGraph removes a registered graph, with the DeleteMapping rules.
+func (s *Server) DeleteGraph(name string) (GraphInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.graphs[name]
+	if !ok {
+		return GraphInfo{}, fmt.Errorf("graph %q: %w", name, errNotFound)
+	}
+	for key := range s.backends {
+		if key.graph == name {
+			return GraphInfo{}, fmt.Errorf("%w: graph %q has open sessions", errInUse, name)
+		}
+	}
+	if s.persist != nil {
+		if _, err := s.persist.append(opDeleteGraph, name, ""); err != nil {
+			return GraphInfo{}, err
+		}
+	}
+	delete(s.graphs, name)
+	return e.info, nil
+}
+
+// Checkpoint folds the WAL into a fresh registry snapshot: the full
+// registry is written atomically, the WAL truncated, and a wedged log (one
+// that refused appends after a failed write) is repaired. No-op without a
+// state directory.
+func (s *Server) Checkpoint() (CheckpointResponse, error) {
+	s.mu.RLock()
+	p := s.persist
+	var snap registrySnapshot
+	for name, e := range s.mappings {
+		snap.Mappings = append(snap.Mappings, namedText{Name: name, Text: e.text})
+	}
+	for name, e := range s.graphs {
+		snap.Graphs = append(snap.Graphs, namedText{Name: name, Text: e.text})
+	}
+	s.mu.RUnlock()
+	if p == nil {
+		return CheckpointResponse{}, fmt.Errorf("%w: no state directory attached", repro.ErrBadOptions)
+	}
+	sort.Slice(snap.Mappings, func(i, j int) bool { return snap.Mappings[i].Name < snap.Mappings[j].Name })
+	sort.Slice(snap.Graphs, func(i, j int) bool { return snap.Graphs[i].Name < snap.Graphs[j].Name })
+	if err := p.checkpoint(snap); err != nil {
+		return CheckpointResponse{}, err
+	}
+	p.mu.Lock()
+	seq := p.seq
+	p.mu.Unlock()
+	return CheckpointResponse{
+		Seq:      seq,
+		Mappings: len(snap.Mappings),
+		Graphs:   len(snap.Graphs),
+	}, nil
+}
+
+// CloseState detaches and closes the state directory (used by tests that
+// re-open the same directory to simulate a restart). The server keeps
+// serving from memory.
+func (s *Server) CloseState() error {
+	s.mu.Lock()
+	p := s.persist
+	s.persist = nil
+	s.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.close()
 }
 
 // listMappings returns the registered mappings sorted by name.
@@ -335,11 +483,17 @@ func (s *Server) createSession(tenant string, req CreateSessionRequest) (Session
 	key := backendKey{mapping: req.Mapping, graph: req.Graph}
 	be, ok := s.backends[key]
 	if !ok {
+		// Fault point "server.materialize": backend construction, the
+		// moment a (mapping, graph) pair's serving state comes to life.
+		if err := fault.Hit("server.materialize"); err != nil {
+			return SessionInfo{}, err
+		}
 		base, err := repro.NewSession(me.cm, ge.g)
 		if err != nil {
 			return SessionInfo{}, err
 		}
 		be = &backend{key: key, sess: base}
+		be.brk.init(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
 		s.backends[key] = be
 	}
 	derived, err := be.sess.Derive(req.Options.options()...)
@@ -412,8 +566,9 @@ func (s *Server) statsSnapshot() StatsResponse {
 	s.mu.RLock()
 	mappings, graphs := len(s.mappings), len(s.graphs)
 	sessions, backends := len(s.sessions), len(s.backends)
+	p := s.persist
 	s.mu.RUnlock()
-	return StatsResponse{
+	resp := StatsResponse{
 		Draining:         s.draining.Load(),
 		Mappings:         mappings,
 		Graphs:           graphs,
@@ -423,12 +578,22 @@ func (s *Server) statsSnapshot() StatsResponse {
 		Requests:         s.stats.requests.Load(),
 		RejectedBusy:     s.stats.rejectedBusy.Load(),
 		RejectedDraining: s.stats.rejectedDraining.Load(),
+		RejectedDegraded: s.stats.rejectedDegraded.Load(),
 		Queries:          s.stats.queries.Load(),
 		Answers:          s.stats.answers.Load(),
 		Streams:          s.stats.streams.Load(),
 		OneShots:         s.stats.oneShots.Load(),
 		Errors:           s.stats.errors.Load(),
+		Panics:           s.stats.panics.Load(),
 	}
+	if p != nil {
+		p.mu.Lock()
+		resp.Persistent = true
+		resp.WALSeq = p.seq
+		resp.WALWedged = p.wedged
+		p.mu.Unlock()
+	}
+	return resp
 }
 
 func millis(ms int) time.Duration { return time.Duration(ms) * time.Millisecond }

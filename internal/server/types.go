@@ -5,6 +5,7 @@ import (
 	"net/http"
 
 	"repro"
+	"repro/internal/fault"
 )
 
 // This file is the wire schema of the gsmd HTTP/JSON API, single-sourced so
@@ -225,11 +226,44 @@ type StatsResponse struct {
 	Requests         uint64 `json:"requests"`
 	RejectedBusy     uint64 `json:"rejected_busy"`
 	RejectedDraining uint64 `json:"rejected_draining"`
+	RejectedDegraded uint64 `json:"rejected_degraded"`
 	Queries          uint64 `json:"queries"`
 	Answers          uint64 `json:"answers"`
 	Streams          uint64 `json:"streams"`
 	OneShots         uint64 `json:"one_shots"`
 	Errors           uint64 `json:"errors"`
+	Panics           uint64 `json:"panics"`
+	// Persistent reports whether a state directory is attached; WALSeq is
+	// the last durable registry sequence number and WALWedged whether the
+	// log is refusing appends pending a checkpoint or restart.
+	Persistent bool   `json:"persistent"`
+	WALSeq     uint64 `json:"wal_seq,omitempty"`
+	WALWedged  bool   `json:"wal_wedged,omitempty"`
+}
+
+// CheckpointResponse is the body of POST /v1/admin/checkpoint: the
+// sequence number and registry size the new snapshot covers.
+type CheckpointResponse struct {
+	Seq      uint64 `json:"seq"`
+	Mappings int    `json:"mappings"`
+	Graphs   int    `json:"graphs"`
+}
+
+// FaultsRequest is the body of POST /v1/admin/faults: an internal/fault
+// spec string plus the RNG seed. An empty spec disarms. The endpoint is
+// refused unless the server runs with fault injection enabled.
+type FaultsRequest struct {
+	Spec string `json:"spec"`
+	Seed int64  `json:"seed,omitempty"`
+}
+
+// FaultsResponse describes the armed fault plan (GET or POST
+// /v1/admin/faults).
+type FaultsResponse struct {
+	Armed  bool                `json:"armed"`
+	Spec   string              `json:"spec,omitempty"`
+	Seed   int64               `json:"seed,omitempty"`
+	Points []fault.PointStatus `json:"points,omitempty"`
 }
 
 // HealthResponse is the body of GET /healthz.
@@ -247,8 +281,10 @@ const StatusClientClosedRequest = 499
 // than the evaluation engine; statusKind maps them alongside the facade's
 // typed errors.
 var (
-	errNotFound = errors.New("not found")
-	errExists   = errors.New("already registered with different contents")
+	errNotFound  = errors.New("not found")
+	errExists    = errors.New("already registered with different contents")
+	errInUse     = errors.New("in use by open sessions")
+	errForbidden = errors.New("not enabled on this server")
 )
 
 // statusKind maps an error to its HTTP status and stable wire kind — the
@@ -260,6 +296,14 @@ func statusKind(err error) (status int, kind string) {
 		return http.StatusNotFound, "not_found"
 	case errors.Is(err, errExists):
 		return http.StatusConflict, "exists"
+	case errors.Is(err, errInUse):
+		return http.StatusConflict, "in_use"
+	case errors.Is(err, errForbidden):
+		return http.StatusForbidden, "forbidden"
+	case errors.Is(err, errDegraded):
+		return http.StatusServiceUnavailable, "degraded"
+	case errors.Is(err, errStorage):
+		return http.StatusServiceUnavailable, "storage_failed"
 	case errors.Is(err, repro.ErrBadOptions):
 		return http.StatusBadRequest, "bad_options"
 	case errors.Is(err, repro.ErrInfinite):
