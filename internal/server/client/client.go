@@ -146,9 +146,14 @@ func retryable(err error, idem bool) bool {
 
 // backoff computes the sleep before the given retry attempt (0-based),
 // honoring the server's Retry-After when present: capped exponential with
-// ±50% seeded jitter.
+// ±50% seeded jitter. Doubling stops at MaxBackoff rather than shifting by
+// the raw attempt count, which for high MaxAttempts would overflow
+// time.Duration to negative and turn the sleep into a busy spin.
 func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
-	d := c.cfg.BaseBackoff << attempt
+	d := c.cfg.BaseBackoff
+	for i := 0; i < attempt && d < c.cfg.MaxBackoff; i++ {
+		d *= 2
+	}
 	if retryAfter > d {
 		d = retryAfter
 	}

@@ -76,6 +76,31 @@ func TestRetryAfterHonoredButCapped(t *testing.T) {
 	}
 }
 
+func TestBackoffHighAttemptStaysCapped(t *testing.T) {
+	// A raw BaseBackoff << attempt overflows time.Duration to negative
+	// around attempt 35, skipping the MaxBackoff clamp and turning every
+	// retry into a zero-sleep spin. Doubling must saturate at MaxBackoff
+	// for arbitrarily high attempt counts.
+	cfg := Config{
+		Base:        "http://unused",
+		MaxAttempts: 100,
+		BaseBackoff: 25 * time.Millisecond,
+		MaxBackoff:  2 * time.Second,
+		Seed:        7,
+	}
+	c := New(cfg)
+	for _, attempt := range []int{0, 1, 10, 35, 63, 99} {
+		d := c.backoff(attempt, 0)
+		if d <= 0 {
+			t.Fatalf("backoff(%d) = %s, want positive", attempt, d)
+		}
+		// Jitter multiplies by at most 1.5.
+		if max := time.Duration(float64(cfg.MaxBackoff) * 1.5); d > max {
+			t.Fatalf("backoff(%d) = %s, want <= %s", attempt, d, max)
+		}
+	}
+}
+
 func TestNonIdempotent500NotRetried(t *testing.T) {
 	var calls atomic.Int32
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -125,8 +125,10 @@ func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
 // refused while open (503 degraded + Retry-After), failure accounting on
 // backend errors and panics (the panic is re-raised for wrap to log),
 // streak reset on success. Client errors — bad options, budgets, not
-// found, cancellation — never trip the breaker; only failures that
-// indicate the backend itself is unhealthy do.
+// found, cancellation — are neutral: they never trip the breaker, but they
+// also never close it or reset the failure streak, since they carry no
+// verdict on backend health (a half-open probe that hits one merely
+// releases the probe slot for the next request).
 func (s *Server) runBackend(be *backend, fn func() error) error {
 	if err := be.brk.allow(); err != nil {
 		s.stats.rejectedDegraded.Add(1)
@@ -140,10 +142,13 @@ func (s *Server) runBackend(be *backend, fn func() error) error {
 	}()
 	err := fn()
 	completed = true
-	if err != nil && isBackendFailure(err) {
-		be.brk.onFailure()
-	} else {
+	switch {
+	case err == nil:
 		be.brk.onSuccess()
+	case isBackendFailure(err):
+		be.brk.onFailure()
+	default:
+		be.brk.onSkip() // caller mistake, not a backend verdict
 	}
 	return err
 }
@@ -533,7 +538,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if isBackendFailure(err) {
 				as.be.brk.onFailure()
 			} else {
-				as.be.brk.onSuccess()
+				as.be.brk.onSkip() // client error mid-stream: no health verdict
 			}
 			enc.Encode(StreamChunk{Error: err.Error(), Kind: kind})
 			flush()

@@ -313,14 +313,20 @@ func (p *persister) append(op, name, text string) (uint64, error) {
 // checkpoint writes a full snapshot of the registry (atomically:
 // tmp + fsync + rename + directory fsync) and truncates the WAL, which
 // also clears a wedged log — the snapshot supersedes whatever the torn
-// tail lost acknowledgment for. Called with the registry contents already
-// extracted under the server's lock.
+// tail lost acknowledgment for. The caller extracts the registry contents
+// AND stamps snap.Seq while holding the server's registry lock, and keeps
+// holding it across this call: that is what makes Truncate(0) safe, since
+// no acknowledged append can slip in between the copy and the truncation.
+// As defense in depth, a snapshot whose seq trails the WAL is refused
+// rather than allowed to destroy the newer records.
 //
 // Fault point: "registry.snapshot" (error mode fails before the tmp write).
 func (p *persister) checkpoint(snap registrySnapshot) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	snap.Seq = p.seq
+	if snap.Seq != p.seq {
+		return fmt.Errorf("%w: registry changed during checkpoint (snapshot seq %d, wal seq %d); retry", errStorage, snap.Seq, p.seq)
+	}
 	if err := fault.Hit("registry.snapshot"); err != nil {
 		return fmt.Errorf("%w: writing snapshot: %v", errStorage, err)
 	}

@@ -483,6 +483,99 @@ func TestBreakerOpensAndRecovers(t *testing.T) {
 	}
 }
 
+// TestBreakerClientErrorsAreNeutral exercises the state machine directly:
+// a client error (onSkip) carries no verdict on backend health, so it must
+// neither feed the failure streak nor reset it, and a half-open probe that
+// hits one must release the probe slot without closing the breaker.
+func TestBreakerClientErrorsAreNeutral(t *testing.T) {
+	var b breaker
+	b.init(3, 50*time.Millisecond)
+
+	// Closed: two failures, a client error, a third failure. The streak
+	// must survive the interleaved client error and open the breaker.
+	b.onFailure()
+	b.onFailure()
+	b.onSkip()
+	b.onFailure()
+	if b.status() != "open" {
+		t.Fatalf("state after 3 failures with an interleaved client error = %s, want open", b.status())
+	}
+
+	// Half-open: the probe hits a client error. The slot is released (the
+	// next request becomes the probe) but the breaker must not close.
+	time.Sleep(60 * time.Millisecond)
+	if err := b.allow(); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	b.onSkip()
+	if b.status() != "half-open" {
+		t.Fatalf("state after client-error probe = %s, want half-open", b.status())
+	}
+	if err := b.allow(); err != nil {
+		t.Fatalf("replacement probe refused after skip: %v", err)
+	}
+	b.onFailure()
+	if b.status() != "open" {
+		t.Fatalf("state after failed replacement probe = %s, want open", b.status())
+	}
+}
+
+// TestBreakerProbeClientErrorDoesNotClose drives the runBackend path over
+// HTTP: with the breaker half-open, a probe that fails with a client
+// mistake (unknown algo, 400) must not close the breaker — a single
+// backend failure afterwards re-opens it immediately, instead of the
+// backend eating a fresh threshold's worth of traffic.
+func TestBreakerProbeClientErrorDoesNotClose(t *testing.T) {
+	t.Cleanup(fault.Disarm)
+	s, sc := newTestServer(t, Config{
+		BreakerThreshold: 2,
+		BreakerCooldown:  50 * time.Millisecond,
+	})
+	h := s.Handler()
+
+	var si SessionInfo
+	if code := do(t, h, "POST", "/v1/sessions", "",
+		CreateSessionRequest{Mapping: "m", Graph: "g"}, &si); code != http.StatusOK {
+		t.Fatalf("create session: status %d", code)
+	}
+	if err := fault.Arm("core.memo=error:n=2", 9); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		code, _ := errKind(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "",
+			QueryRequest{Query: sc.QueryTexts[0]})
+		if code != http.StatusInternalServerError {
+			t.Fatalf("failing query %d: status %d, want 500", i, code)
+		}
+	}
+
+	// Cooldown over; the half-open probe is a client mistake that never
+	// exercises the backend.
+	time.Sleep(60 * time.Millisecond)
+	code, kind := errKind(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "",
+		QueryRequest{Query: sc.QueryTexts[0], Algo: "bogus"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("client-error probe: status %d kind %q, want 400", code, kind)
+	}
+
+	// One genuine backend failure must re-open the breaker on its own: if
+	// the client error had wrongly closed it, a single failure would be
+	// below the threshold and the next request would hit the backend again.
+	if err := fault.Arm("core.memo=error:n=1", 9); err != nil {
+		t.Fatal(err)
+	}
+	code, _ = errKind(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "",
+		QueryRequest{Query: sc.QueryTexts[0]})
+	if code != http.StatusInternalServerError {
+		t.Fatalf("failing probe: status %d, want 500", code)
+	}
+	code, kind = errKind(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "",
+		QueryRequest{Query: sc.QueryTexts[0]})
+	if code != http.StatusServiceUnavailable || kind != "degraded" {
+		t.Fatalf("after failed probe: status %d kind %q, want 503 degraded", code, kind)
+	}
+}
+
 // TestFaultEndpointGating: /v1/admin/faults must be refused unless the
 // server opted in, and must arm/disarm when it did.
 func TestFaultEndpointGating(t *testing.T) {

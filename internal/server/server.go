@@ -388,8 +388,19 @@ func (s *Server) DeleteGraph(name string) (GraphInfo, error) {
 // that refused appends after a failed write) is repaired. No-op without a
 // state directory.
 func (s *Server) Checkpoint() (CheckpointResponse, error) {
+	// The registry lock is held across the entire checkpoint — copy, seq
+	// capture, snapshot write, and WAL truncation. Mutations append to the
+	// WAL under the write lock, so holding the read lock here guarantees no
+	// acknowledged op can land between the copy and the truncation and be
+	// destroyed with the old WAL while absent from the snapshot. Checkpoints
+	// are rare admin operations; stalling registrations for one fsync is the
+	// price of the durability contract.
 	s.mu.RLock()
+	defer s.mu.RUnlock()
 	p := s.persist
+	if p == nil {
+		return CheckpointResponse{}, fmt.Errorf("%w: no state directory attached", repro.ErrBadOptions)
+	}
 	var snap registrySnapshot
 	for name, e := range s.mappings {
 		snap.Mappings = append(snap.Mappings, namedText{Name: name, Text: e.text})
@@ -397,20 +408,16 @@ func (s *Server) Checkpoint() (CheckpointResponse, error) {
 	for name, e := range s.graphs {
 		snap.Graphs = append(snap.Graphs, namedText{Name: name, Text: e.text})
 	}
-	s.mu.RUnlock()
-	if p == nil {
-		return CheckpointResponse{}, fmt.Errorf("%w: no state directory attached", repro.ErrBadOptions)
-	}
+	p.mu.Lock()
+	snap.Seq = p.seq
+	p.mu.Unlock()
 	sort.Slice(snap.Mappings, func(i, j int) bool { return snap.Mappings[i].Name < snap.Mappings[j].Name })
 	sort.Slice(snap.Graphs, func(i, j int) bool { return snap.Graphs[i].Name < snap.Graphs[j].Name })
 	if err := p.checkpoint(snap); err != nil {
 		return CheckpointResponse{}, err
 	}
-	p.mu.Lock()
-	seq := p.seq
-	p.mu.Unlock()
 	return CheckpointResponse{
-		Seq:      seq,
+		Seq:      snap.Seq,
 		Mappings: len(snap.Mappings),
 		Graphs:   len(snap.Graphs),
 	}, nil
