@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-json bench-diff lint fmt vet api-check api-update serve-smoke chaos-smoke docs-check ci
+.PHONY: build test test-race bench bench-smoke bench-json bench-diff bench-shard lint fmt vet api-check api-update serve-smoke chaos-smoke shard-smoke docs-check ci
 
 build:
 	$(GO) build ./...
@@ -30,6 +30,12 @@ bench-smoke:
 # artifact so the perf trajectory accumulates run over run).
 bench-json:
 	$(GO) run ./cmd/gsmbench -quick -timeout 30s -json > BENCH_smoke.json
+
+# Sharded-execution scaling report (E17 only, full workloads): the shards ×
+# GOMAXPROCS grid at 10^6/10^7 edges with per-cell answer cross-checks.
+# Slow by design; the quick variant runs inside bench-smoke/bench-json.
+bench-shard:
+	$(GO) run ./cmd/gsmbench -exp E17 -json > BENCH_shard.json
 
 # Per-experiment wall-clock delta between two bench-json reports (CI feeds
 # it the previous run's artifact): make bench-diff OLD=a.json NEW=b.json
@@ -58,6 +64,12 @@ serve-smoke:
 chaos-smoke:
 	sh scripts/chaos-smoke.sh
 
+# Sharded serving smoke: boot gsmd -demo -shards 4 and verify every
+# response byte-for-byte against the embedded unsharded session path, then
+# assert /v1/stats exposes the shard layout. See scripts/shard-smoke.sh.
+shard-smoke:
+	sh scripts/shard-smoke.sh
+
 # Documentation link check: every local markdown link in README.md and
 # docs/*.md must resolve to an existing file.
 docs-check:
@@ -74,4 +86,4 @@ vet:
 
 lint: fmt vet
 
-ci: build lint api-check docs-check test-race serve-smoke chaos-smoke bench-smoke bench-json
+ci: build lint api-check docs-check test-race serve-smoke shard-smoke chaos-smoke bench-smoke bench-json

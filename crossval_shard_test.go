@@ -1,0 +1,261 @@
+package repro
+
+// Sharded-vs-single-shard cross-validation at the facade: for random
+// workloads and navigational RPQs, sessions opened with WithShards(n) must
+// return byte-for-byte the answers of the default single-shard session, in
+// every certain-answer mode, across shard counts and partition policies —
+// plus a concurrent-session test (run under -race in CI) hammering one
+// shared ShardedSnapshot.
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+var shardCrossvalPatterns = []string{
+	"p",
+	"p q",
+	"(p|q)+",
+	"p (q|r)*",
+	"(p q)|(q r)",
+}
+
+func shardCrossvalFixture(t *testing.T, seed int64, nodes, edges int) (*CompiledMapping, *Graph) {
+	t.Helper()
+	gs := workload.RandomGraph(workload.GraphSpec{
+		Nodes: nodes, Edges: edges, Labels: []string{"a", "b"}, Values: 8, Seed: seed,
+	})
+	m := workload.RandomRelationalMapping(workload.MappingSpec{
+		SourceLabels: []string{"a", "b"}, TargetLabels: []string{"p", "q", "r"},
+		Rules: 3, MaxWordLen: 2, Seed: seed,
+	})
+	cm, err := Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cm, gs
+}
+
+// answersBytes is the canonical serialized form used for byte-for-byte
+// comparison: the deterministic sorted answer list, rendered.
+func answersBytes(a *Answers) string { return fmt.Sprintf("%v", a.Sorted()) }
+
+func TestShardedSessionCrossValidation(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 3; seed++ {
+		cm, gs := shardCrossvalFixture(t, seed, 50, 150)
+		base, err := NewSession(cm, gs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pat := range shardCrossvalPatterns {
+			q, err := ParseRPQ(pat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantNull, err := base.CertainNull(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantLI, err := base.CertainLeastInformative(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantSrc, err := base.EvalSource(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 7, 16} {
+				for _, policy := range []string{"hash", "range"} {
+					s, err := NewSession(cm, gs, WithShards(shards), WithPartition(policy))
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotNull, err := s.CertainNull(ctx, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if answersBytes(gotNull) != answersBytes(wantNull) {
+						t.Fatalf("seed %d shards %d %s %q: CertainNull differs\n got: %s\nwant: %s",
+							seed, shards, policy, pat, answersBytes(gotNull), answersBytes(wantNull))
+					}
+					gotLI, err := s.CertainLeastInformative(ctx, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if answersBytes(gotLI) != answersBytes(wantLI) {
+						t.Fatalf("seed %d shards %d %s %q: CertainLeastInformative differs",
+							seed, shards, policy, pat)
+					}
+					gotSrc, err := s.EvalSource(ctx, q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !gotSrc.Equal(wantSrc) {
+						t.Fatalf("seed %d shards %d %s %q: EvalSource differs", seed, shards, policy, pat)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestShardedSessionExactCrossValidation(t *testing.T) {
+	ctx := context.Background()
+	// Small instances: the exact mode is an exponential search.
+	cm, gs := shardCrossvalFixture(t, 21, 8, 10)
+	base, err := NewSession(cm, gs, WithMaxNulls(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pat := range shardCrossvalPatterns[:3] {
+		q, err := ParseRPQ(pat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantErr := base.CertainExact(ctx, q)
+		for _, shards := range []int{2, 7} {
+			s, err := NewSession(cm, gs, WithShards(shards), WithMaxNulls(10))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, gotErr := s.CertainExact(ctx, q)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("shards %d %q: error mismatch got %v want %v", shards, pat, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				if gotErr.Error() != wantErr.Error() {
+					t.Fatalf("shards %d %q: error text differs: %q vs %q", shards, pat, gotErr, wantErr)
+				}
+				continue
+			}
+			if answersBytes(got) != answersBytes(want) {
+				t.Fatalf("shards %d %q: CertainExact differs\n got: %s\nwant: %s",
+					shards, pat, answersBytes(got), answersBytes(want))
+			}
+		}
+	}
+}
+
+func TestShardedEvalBatchCrossValidation(t *testing.T) {
+	ctx := context.Background()
+	cm, gs := shardCrossvalFixture(t, 5, 40, 120)
+	base, err := NewSession(cm, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A mixed batch: navigational RPQs (sharded path) interleaved with REE
+	// queries (merged-solution fallback).
+	queries := []Query{
+		mustParseRPQ(t, "p q"),
+		MustREE("(p q)= | r"),
+		mustParseRPQ(t, "(p|q)+"),
+		MustREE("p (q)= r"),
+	}
+	want, err := base.Eval(ctx, queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(cm, gs, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Eval(ctx, queries...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range queries {
+		if answersBytes(got[i]) != answersBytes(want[i]) {
+			t.Fatalf("query %d: sharded batch answer differs", i)
+		}
+	}
+	st := s.ShardStats()
+	if st.Shards != 4 || st.Policy != "hash" {
+		t.Fatalf("ShardStats = %+v", st)
+	}
+	if len(st.Fragments) != 4 {
+		t.Fatalf("fragments not reported after evaluation: %+v", st)
+	}
+}
+
+func mustParseRPQ(t *testing.T, s string) Query {
+	t.Helper()
+	q, err := ParseRPQ(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+// TestShardedSnapshotConcurrentSessions hammers one source graph's shared
+// ShardedSnapshot and one sharded session family from many goroutines —
+// the -race guarantee that the exchange kernels, the fragment caches and
+// the metrics counters are safe under concurrent serving.
+func TestShardedSnapshotConcurrentSessions(t *testing.T) {
+	ctx := context.Background()
+	cm, gs := shardCrossvalFixture(t, 9, 40, 120)
+	base, err := NewSession(cm, gs, WithShards(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := ParseRPQ("p (q|r)*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantNull, err := base.CertainNull(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSrc, err := base.EvalSource(ctx, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := base
+			if w%2 == 1 {
+				var err error
+				s, err = base.Derive(WithWorkers(2))
+				if err != nil {
+					errs <- err
+					return
+				}
+			}
+			for i := 0; i < 5; i++ {
+				got, err := s.CertainNull(ctx, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if answersBytes(got) != answersBytes(wantNull) {
+					errs <- fmt.Errorf("worker %d: concurrent CertainNull diverged", w)
+					return
+				}
+				src, err := s.EvalSource(ctx, q)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !src.Equal(wantSrc) {
+					errs <- fmt.Errorf("worker %d: concurrent EvalSource diverged", w)
+					return
+				}
+				_ = s.ShardStats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/datagraph"
+	"repro/internal/fault"
+)
+
+// This file is the sharded chase: the Section 7/8 solution builders run per
+// shard in parallel, producing solution *fragments* whose union is
+// node-for-node and edge-for-edge the sequential solution. Determinism is
+// the load-bearing property — fresh node ids and fresh values must come out
+// byte-for-byte identical to buildSolution's, or the sharded and
+// single-shard certain-answer paths would disagree on the merged view. The
+// trick is a sequential prefix pass that walks rules and sorted pairs in
+// the exact order of the sequential chase, assigning each pair the
+// fresh-counter value it would have observed; the parallel per-shard phase
+// then reproduces ids from those bases with plain arithmetic.
+
+// ShardOptions configures the sharded materialization path.
+type ShardOptions struct {
+	// Shards is the number of solution shards. 1 selects the single-shard
+	// path; 0 defaults to 1.
+	Shards int
+	// Policy is the node→shard partitioning policy for the source graph.
+	Policy datagraph.PartitionPolicy
+}
+
+// Normalized validates the options, applying defaults: a zero shard count
+// becomes 1. A negative shard count or an unknown policy is an
+// ErrBadOptions.
+func (o ShardOptions) Normalized() (ShardOptions, error) {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Shards < 1 {
+		return o, badOptionf("shard count %d (want >= 1)", o.Shards)
+	}
+	switch o.Policy {
+	case datagraph.PartitionHash, datagraph.PartitionRange:
+	default:
+		return o, badOptionf("unknown partition policy %d", int(o.Policy))
+	}
+	return o, nil
+}
+
+// SolutionShard is one fragment of a sharded solution: a real solution
+// graph restricted to the chase output of the pairs whose From endpoint the
+// shard owns, plus ghost copies of remote dom targets. Fresh chase nodes
+// are always owned (a chase path lives entirely in its pair's shard except
+// for its final hop), so every duplicate chase edge collides inside a
+// single fragment and the per-fragment dedup reproduces the merged dedup
+// exactly.
+type SolutionShard struct {
+	// G is the fragment graph, frozen at build time.
+	G *datagraph.Graph
+	// GhostOwner maps fragment-local dense index -> owning shard, or -1
+	// when this shard owns the node. Ghosts are always dom nodes.
+	GhostOwner []int32
+	// OwnedDom lists the fragment-local indices of owned dom(M, Gs) nodes,
+	// ascending — the start frontier for sharded certain-answer evaluation.
+	OwnedDom []int32
+	// Nulls counts the fresh intermediate nodes this shard's chase created
+	// (the per-shard share of the exact-search null budget).
+	Nulls int
+}
+
+// ShardedSolution is the sharded counterpart of a materialized solution:
+// per-shard fragments plus the partition that routed the chase.
+type ShardedSolution struct {
+	// Part is the source-graph partition; chase pairs are routed to the
+	// shard owning their From endpoint.
+	Part *datagraph.Partition
+	// Shards holds the fragments, indexed by shard.
+	Shards []*SolutionShard
+	// TotalNulls is the sum of the per-shard fresh-node counters — equal to
+	// the null-node count of the merged universal solution.
+	TotalNulls int
+}
+
+// NumShards returns the shard count.
+func (ss *ShardedSolution) NumShards() int { return len(ss.Shards) }
+
+// buildShardedSolution runs the chase sharded: a sequential prefix pass
+// bins (rule, pair) jobs to shards and reproduces the sequential
+// fault-injection and ε-validation order, then a bounded goroutine pool
+// materialises one fragment per shard.
+func (mat *Materialization) buildShardedSolution(style solutionStyle) (*ShardedSolution, error) {
+	if !mat.cm.IsRelational() {
+		return nil, fmt.Errorf("core: %w", ErrInfinite)
+	}
+	gs := mat.gs
+	part := mat.SourcePartition()
+	k := part.NumShards()
+	rules := mat.cm.Rules()
+	pairsByRule := mat.SourcePairs()
+	words := make([][]string, len(rules))
+	for ri := range rules {
+		words[ri], _ = mat.cm.TargetWord(ri)
+	}
+
+	// Sequential prefix pass, in the exact (rule, sorted-pair) order of
+	// buildSolution: per-rule fault points fire in the same order, ε rules
+	// fail with the identical first error, and each path-producing pair
+	// records the fresh-counter value the sequential chase would hold when
+	// reaching it.
+	type pairJob struct {
+		ri       int
+		from, to int
+		base     int // fresh counter before this pair's intermediates
+	}
+	bins := make([][]pairJob, k)
+	counter := 0
+	for ri, r := range rules {
+		if err := fault.Hit("core.chase"); err != nil {
+			return nil, err
+		}
+		word := words[ri]
+		pairs := pairsByRule[ri].Sorted()
+		if len(word) == 0 {
+			for _, p := range pairs {
+				from, to := gs.Node(p.From), gs.Node(p.To)
+				if from.ID != to.ID {
+					return nil, fmt.Errorf(
+						"core: rule %s requires %s = %s via ε: %w", r, from.ID, to.ID, ErrNoSolution)
+				}
+			}
+			continue
+		}
+		for _, p := range pairs {
+			s := part.ShardOf(p.From)
+			bins[s] = append(bins[s], pairJob{ri: ri, from: p.From, to: p.To, base: counter})
+			counter += len(word) - 1
+		}
+	}
+
+	// Dom nodes binned to their owners in global dense order, so each
+	// fragment's owned-dom prefix is ascending.
+	domBins := make([][]int, k)
+	for _, n := range mat.DomNodes() {
+		i, _ := gs.IndexOf(n.ID)
+		s := part.ShardOf(i)
+		domBins[s] = append(domBins[s], i)
+	}
+
+	idPrefix := newFreshIDs(gs, "_n").prefix
+	valPrefix := newFreshValues(gs, "_fresh").prefix
+
+	ss := &ShardedSolution{Part: part, Shards: make([]*SolutionShard, k), TotalNulls: counter}
+	forEachShard(k, func(s int) {
+		freshN, edges := 0, 0
+		for _, pj := range bins[s] {
+			freshN += len(words[pj.ri]) - 1
+			edges += len(words[pj.ri])
+		}
+		g := datagraph.NewSized(len(domBins[s])+freshN+len(bins[s]), edges)
+		sh := &SolutionShard{G: g}
+		for _, gi := range domBins[s] {
+			n := gs.Node(gi)
+			g.MustAddNode(n.ID, n.Value)
+			sh.GhostOwner = append(sh.GhostOwner, -1)
+			sh.OwnedDom = append(sh.OwnedDom, int32(len(sh.GhostOwner)-1))
+		}
+		for _, pj := range bins[s] {
+			word := words[pj.ri]
+			to := gs.Node(pj.to)
+			if _, ok := g.IndexOf(to.ID); !ok {
+				g.MustAddNode(to.ID, to.Value)
+				sh.GhostOwner = append(sh.GhostOwner, int32(part.ShardOf(pj.to)))
+			}
+			prev := gs.Node(pj.from).ID
+			for i := 0; i < len(word)-1; i++ {
+				seq := pj.base + i + 1
+				v := datagraph.Null()
+				if style == solutionFresh {
+					v = datagraph.V(valPrefix + strconv.Itoa(seq))
+				}
+				id := datagraph.NodeID(idPrefix + strconv.Itoa(seq))
+				g.MustAddNode(id, v)
+				sh.GhostOwner = append(sh.GhostOwner, -1)
+				g.MustAddEdge(prev, word[i], id)
+				prev = id
+			}
+			g.MustAddEdge(prev, word[len(word)-1], to.ID)
+			sh.Nulls += len(word) - 1
+		}
+		g.Freeze()
+		ss.Shards[s] = sh
+	})
+	return ss, nil
+}
+
+// forEachShard runs fn(s) for every shard over a bounded goroutine pool.
+func forEachShard(shards int, fn func(s int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,210 @@
+package core_test
+
+// Sharded-chase equivalence: the union of the per-shard solution fragments
+// must be node-for-node and edge-for-edge the sequential solution, with
+// byte-identical fresh ids and fresh values — the property that makes the
+// sharded and single-shard certain-answer paths interchangeable.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/rpq"
+	"repro/internal/workload"
+)
+
+func shardedMat(t *testing.T, m *core.Mapping, gs *datagraph.Graph, shards int, policy datagraph.PartitionPolicy) *core.Materialization {
+	t.Helper()
+	cm, err := core.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mat, err := core.NewMaterializationSharded(cm, gs, core.ShardOptions{Shards: shards, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mat
+}
+
+// mergeFragments unions fragment nodes and edges on global identity.
+func mergeFragments(ss *core.ShardedSolution) (map[datagraph.NodeID]string, map[datagraph.Edge]bool) {
+	nodes := make(map[datagraph.NodeID]string)
+	edges := make(map[datagraph.Edge]bool)
+	for _, sh := range ss.Shards {
+		for _, n := range sh.G.Nodes() {
+			v := "null"
+			if !n.Value.IsNull() {
+				v = n.Value.Raw()
+			}
+			nodes[n.ID] = v
+		}
+		for _, e := range sh.G.Edges() {
+			edges[e] = true
+		}
+	}
+	return nodes, edges
+}
+
+func graphSets(g *datagraph.Graph) (map[datagraph.NodeID]string, map[datagraph.Edge]bool) {
+	nodes := make(map[datagraph.NodeID]string)
+	edges := make(map[datagraph.Edge]bool)
+	for _, n := range g.Nodes() {
+		v := "null"
+		if !n.Value.IsNull() {
+			v = n.Value.Raw()
+		}
+		nodes[n.ID] = v
+	}
+	for _, e := range g.Edges() {
+		edges[e] = true
+	}
+	return nodes, edges
+}
+
+func TestShardedChaseMatchesSequential(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		gs := workload.RandomGraph(workload.GraphSpec{
+			Nodes: 50, Edges: 150, Labels: []string{"a", "b"}, Values: 9, Seed: seed,
+		})
+		m := workload.RandomRelationalMapping(workload.MappingSpec{
+			SourceLabels: []string{"a", "b"}, TargetLabels: []string{"p", "q", "r"},
+			Rules: 4, MaxWordLen: 3, Seed: seed,
+		})
+		cm, err := core.Compile(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := core.NewMaterialization(cm, gs)
+		uniWant, err := ref.Universal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		liWant, err := ref.LeastInformative()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 2, 7, 16} {
+			for _, policy := range []datagraph.PartitionPolicy{datagraph.PartitionHash, datagraph.PartitionRange} {
+				mat := shardedMat(t, m, gs, shards, policy)
+				ssU, err := mat.UniversalSharded()
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotN, gotE := mergeFragments(ssU)
+				wantN, wantE := graphSets(uniWant)
+				compareNodeSets(t, "universal", seed, shards, gotN, wantN)
+				compareEdgeSets(t, "universal", seed, shards, gotE, wantE)
+				if want := len(core.NullNodes(uniWant)); ssU.TotalNulls != want {
+					t.Fatalf("seed %d shards %d: TotalNulls = %d, want %d", seed, shards, ssU.TotalNulls, want)
+				}
+				perShard := 0
+				for _, sh := range ssU.Shards {
+					perShard += sh.Nulls
+				}
+				if perShard != ssU.TotalNulls {
+					t.Fatalf("per-shard null counters sum %d != total %d", perShard, ssU.TotalNulls)
+				}
+				ssL, err := mat.LeastInformativeSharded()
+				if err != nil {
+					t.Fatal(err)
+				}
+				gotN, gotE = mergeFragments(ssL)
+				wantN, wantE = graphSets(liWant)
+				compareNodeSets(t, "least-informative", seed, shards, gotN, wantN)
+				compareEdgeSets(t, "least-informative", seed, shards, gotE, wantE)
+			}
+		}
+	}
+}
+
+func compareNodeSets(t *testing.T, kind string, seed int64, shards int,
+	gotN, wantN map[datagraph.NodeID]string) {
+	t.Helper()
+	if len(gotN) != len(wantN) {
+		t.Fatalf("seed %d shards %d %s: %d nodes, want %d", seed, shards, kind, len(gotN), len(wantN))
+	}
+	for id, v := range wantN {
+		if gotN[id] != v {
+			t.Fatalf("seed %d shards %d %s: node %s value %q, want %q", seed, shards, kind, id, gotN[id], v)
+		}
+	}
+}
+
+func compareEdgeSets(t *testing.T, kind string, seed int64, shards int, gotE, wantE map[datagraph.Edge]bool) {
+	t.Helper()
+	if len(gotE) != len(wantE) {
+		t.Fatalf("seed %d shards %d %s: %d edges, want %d", seed, shards, kind, len(gotE), len(wantE))
+	}
+	for e := range wantE {
+		if !gotE[e] {
+			t.Fatalf("seed %d shards %d %s: missing edge %v", seed, shards, kind, e)
+		}
+	}
+}
+
+func TestShardedChaseEpsilonErrorMatchesSequential(t *testing.T) {
+	gs := datagraph.New()
+	gs.MustAddNode("u", datagraph.V("1"))
+	gs.MustAddNode("v", datagraph.V("2"))
+	gs.MustAddEdge("u", "a", "v")
+	m := core.NewMapping(core.R("a", "()")) // ε target demands u = v
+	cm := core.MustCompile(m)
+
+	ref := core.NewMaterialization(cm, gs)
+	_, wantErr := ref.Universal()
+	if wantErr == nil || !errors.Is(wantErr, core.ErrNoSolution) {
+		t.Fatalf("sequential chase: want ErrNoSolution, got %v", wantErr)
+	}
+	mat, err := core.NewMaterializationSharded(cm, gs, core.ShardOptions{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gotErr := mat.UniversalSharded()
+	if gotErr == nil || gotErr.Error() != wantErr.Error() {
+		t.Fatalf("sharded chase error %q, want %q", gotErr, wantErr)
+	}
+}
+
+func TestShardOptionsNormalized(t *testing.T) {
+	if o, err := (core.ShardOptions{}).Normalized(); err != nil || o.Shards != 1 {
+		t.Fatalf("zero value: %+v, %v", o, err)
+	}
+	if _, err := (core.ShardOptions{Shards: -2}).Normalized(); !errors.Is(err, core.ErrBadOptions) {
+		t.Fatalf("negative shards: %v", err)
+	}
+	if _, err := (core.ShardOptions{Shards: 2, Policy: datagraph.PartitionPolicy(9)}).Normalized(); !errors.Is(err, core.ErrBadOptions) {
+		t.Fatalf("unknown policy: %v", err)
+	}
+}
+
+func TestShardedNullCountBudget(t *testing.T) {
+	gs := workload.RandomGraph(workload.GraphSpec{
+		Nodes: 20, Edges: 60, Labels: []string{"a"}, Values: 5, Seed: 11,
+	})
+	m := core.NewMapping(core.R("a", "p q r"))
+	cm := core.MustCompile(m)
+	mat, err := core.NewMaterializationSharded(cm, gs, core.ShardOptions{Shards: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	count, err := mat.UniversalNullCount()
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := mat.Universal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(core.NullNodes(u)); count != want {
+		t.Fatalf("UniversalNullCount = %d, want %d", count, want)
+	}
+	// An over-budget exact search must fail from the shard counters.
+	q := core.NavQuery{Q: rpq.MustParse("p q r")}
+	_, err = mat.CertainExact(context.Background(), q, core.ExactOptions{MaxNulls: 1})
+	if !errors.Is(err, core.ErrBudgetExceeded) {
+		t.Fatalf("want ErrBudgetExceeded, got %v", err)
+	}
+}

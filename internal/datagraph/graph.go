@@ -79,6 +79,9 @@ type Graph struct {
 	aidx        atomic.Pointer[adjIndex]
 	lidx        atomic.Pointer[labelIndex]
 	snap        atomic.Pointer[Snapshot]
+	// sharded caches the partitioned freeze (see FreezeSharded), keyed by
+	// the version counters plus its (shards, policy) configuration.
+	sharded atomic.Pointer[ShardedSnapshot]
 }
 
 // adjIndex is the lazily built flat adjacency form behind Out/In: per-node

@@ -1,0 +1,411 @@
+package datagraph
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the sharding layer of the data-graph store: a stable
+// node→shard partitioner (hash and id-range policies) and ShardedSnapshot,
+// the partitioned counterpart of Snapshot. A sharded snapshot carves the
+// graph into per-shard fragment graphs — each holding the nodes it owns
+// plus ghost copies of remote endpoints of its edges — with a global↔local
+// id mapping and an explicit boundary-node set, so evaluation kernels can
+// run shard-locally and exchange frontiers only at the boundary.
+//
+// Fragments are ordinary *Graph values, so each shard keeps the whole
+// existing machinery: per-label adjacency indexes, interned CSR snapshots
+// and — crucially — incremental (delta) Freeze. Re-sharding after an append
+// burst bins only the new suffix of the edge log and re-freezes each
+// fragment through its own delta path.
+
+// PartitionPolicy selects how nodes are assigned to shards.
+type PartitionPolicy int
+
+const (
+	// PartitionHash assigns each node by a hash of its id — stateless,
+	// stable under appends, and balanced for arbitrary id distributions.
+	PartitionHash PartitionPolicy = iota
+	// PartitionRange assigns nodes by lexicographic id ranges: the id space
+	// is cut into contiguous blocks, one per shard, with the cut points
+	// fixed when the partition is first built. Ids that sort near each
+	// other co-locate, which keeps path queries over structured id schemes
+	// (per-tenant or per-entity prefixes) mostly shard-local.
+	PartitionRange
+)
+
+func (p PartitionPolicy) String() string {
+	switch p {
+	case PartitionRange:
+		return "range"
+	default:
+		return "hash"
+	}
+}
+
+// ParsePartitionPolicy parses the textual policy names accepted by the
+// -partition flags ("hash", "range").
+func ParsePartitionPolicy(s string) (PartitionPolicy, error) {
+	switch s {
+	case "hash":
+		return PartitionHash, nil
+	case "range":
+		return PartitionRange, nil
+	default:
+		return 0, fmt.Errorf("datagraph: unknown partition policy %q (want hash or range)", s)
+	}
+}
+
+// Partition is a stable assignment of a graph's dense node indices to
+// shards. Assignments never change once made: appending nodes extends the
+// assignment (hash of the new id, or a binary search of the frozen range
+// cut points) without disturbing existing ones, which is what lets a
+// sharded snapshot extend incrementally.
+type Partition struct {
+	policy  PartitionPolicy
+	shards  int
+	shardOf []int32
+	// bounds are the PartitionRange cut points, fixed at first build:
+	// shard i owns ids in [bounds[i-1], bounds[i]) with virtual ±∞ ends.
+	bounds []NodeID
+}
+
+// NewPartition assigns every node of g to one of shards shards under the
+// policy. shards must be >= 1.
+func NewPartition(g *Graph, shards int, policy PartitionPolicy) *Partition {
+	if shards < 1 {
+		panic(fmt.Sprintf("datagraph: partition with %d shards", shards))
+	}
+	p := &Partition{policy: policy, shards: shards}
+	if policy == PartitionRange {
+		ids := make([]NodeID, g.NumNodes())
+		for i := range ids {
+			ids[i] = g.nodes[i].ID
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for i := 1; i < shards; i++ {
+			cut := i * len(ids) / shards
+			if cut < len(ids) {
+				p.bounds = append(p.bounds, ids[cut])
+			}
+		}
+	}
+	p.extend(g)
+	return p
+}
+
+// NumShards returns the shard count.
+func (p *Partition) NumShards() int { return p.shards }
+
+// Policy returns the partitioning policy.
+func (p *Partition) Policy() PartitionPolicy { return p.policy }
+
+// ShardOf returns the shard owning the node at dense index i.
+func (p *Partition) ShardOf(i int) int { return int(p.shardOf[i]) }
+
+// assign computes the shard of an id under the policy.
+func (p *Partition) assign(id NodeID) int32 {
+	if p.policy == PartitionRange {
+		// First cut point > id ⇒ its block; past the last ⇒ last shard.
+		lo := sort.Search(len(p.bounds), func(i int) bool { return id < p.bounds[i] })
+		return int32(lo)
+	}
+	h := fnv.New64a()
+	h.Write([]byte(id))
+	return int32(h.Sum64() % uint64(p.shards))
+}
+
+// extend assigns shards to nodes appended since the last call. Existing
+// assignments are never revisited.
+func (p *Partition) extend(g *Graph) {
+	for i := len(p.shardOf); i < g.NumNodes(); i++ {
+		p.shardOf = append(p.shardOf, p.assign(g.nodes[i].ID))
+	}
+}
+
+// GraphShard is one fragment of a sharded snapshot: a real *Graph holding
+// the shard's owned nodes plus ghost copies of remote endpoints of its
+// edges. Owned nodes carry their complete out- and in-adjacency inside the
+// fragment; ghosts carry only the cross edges that reached them, so a
+// traversal that lands on a ghost must hand its frontier to the owner.
+type GraphShard struct {
+	g          *Graph
+	globalOf   []int32 // local dense index -> global dense index
+	ghostOwner []int32 // local dense index -> owning shard; -1 when owned here
+	owned      []int32 // owned locals, ascending
+}
+
+// Graph returns the fragment graph. Callers must not mutate it.
+func (fs *GraphShard) Graph() *Graph { return fs.g }
+
+// NumOwned returns the number of nodes this shard owns.
+func (fs *GraphShard) NumOwned() int { return len(fs.owned) }
+
+// OwnedLocals returns the fragment-local indices of owned nodes, ascending.
+// The returned slice must not be modified.
+func (fs *GraphShard) OwnedLocals() []int32 { return fs.owned }
+
+// GhostOwner returns the shard owning the node at fragment-local index l,
+// or -1 when this shard owns it.
+func (fs *GraphShard) GhostOwner(l int) int { return int(fs.ghostOwner[l]) }
+
+// GlobalOf returns the global dense index of the node at local index l.
+func (fs *GraphShard) GlobalOf(l int) int { return int(fs.globalOf[l]) }
+
+func (fs *GraphShard) addOwned(global int32, n Node) {
+	local := int32(fs.g.NumNodes())
+	fs.g.MustAddNode(n.ID, n.Value)
+	fs.globalOf = append(fs.globalOf, global)
+	fs.ghostOwner = append(fs.ghostOwner, -1)
+	fs.owned = append(fs.owned, local)
+}
+
+func (fs *GraphShard) ensureGhost(global int32, n Node, owner int32) {
+	if _, ok := fs.g.IndexOf(n.ID); ok {
+		return
+	}
+	fs.g.MustAddNode(n.ID, n.Value)
+	fs.globalOf = append(fs.globalOf, global)
+	fs.ghostOwner = append(fs.ghostOwner, owner)
+}
+
+// ShardedSnapshot is the partitioned freeze of a graph: per-shard fragment
+// graphs (each individually frozen to its CSR snapshot), the partition that
+// produced them, and the boundary — every global node incident to a
+// cross-shard edge. Like Snapshot it is immutable once built and cached on
+// the graph keyed by the mutation counters; unlike Snapshot it also keys on
+// the (shards, policy) pair.
+type ShardedSnapshot struct {
+	part        *Partition
+	topoVersion uint64
+	valVersion  uint64
+	frozenNodes int
+	frozenEdges int
+	shards      []*GraphShard
+	boundary    []int32
+	crossEdges  int
+}
+
+// NumShards returns the shard count.
+func (ss *ShardedSnapshot) NumShards() int { return len(ss.shards) }
+
+// Shard returns fragment s.
+func (ss *ShardedSnapshot) Shard(s int) *GraphShard { return ss.shards[s] }
+
+// Partition returns the node→shard assignment the snapshot was built under.
+func (ss *ShardedSnapshot) Partition() *Partition { return ss.part }
+
+// BoundaryNodes returns the global dense indices of nodes incident to at
+// least one cross-shard edge, ascending. The slice must not be modified.
+func (ss *ShardedSnapshot) BoundaryNodes() []int32 { return ss.boundary }
+
+// CrossEdges returns the number of edges whose endpoints live on different
+// shards. Each such edge is replicated into both fragments.
+func (ss *ShardedSnapshot) CrossEdges() int { return ss.crossEdges }
+
+// FreezeSharded compiles (or returns the cached) sharded snapshot of the
+// graph under the given shard count and policy. Rebuilds are incremental:
+// when the cached sharded snapshot has the same configuration and only an
+// append burst happened since, the new edge-log suffix is binned to shards
+// in one pass and each fragment re-freezes through its own delta path. A
+// value overwrite or a configuration change forces a full rebuild.
+//
+// FreezeSharded follows the same concurrency contract as Freeze: any number
+// of concurrent readers may call it, but it must not run concurrently with
+// mutation of g.
+func (g *Graph) FreezeSharded(shards int, policy PartitionPolicy) *ShardedSnapshot {
+	if cs := g.sharded.Load(); cs != nil &&
+		cs.part.shards == shards && cs.part.policy == policy {
+		if cs.topoVersion == g.topoVersion && cs.valVersion == g.valVersion {
+			return cs
+		}
+		if cs.valVersion == g.valVersion {
+			ns := extendSharded(g, cs)
+			g.sharded.Store(ns)
+			return ns
+		}
+	}
+	ss := buildSharded(g, NewPartition(g, shards, policy))
+	g.sharded.Store(ss)
+	return ss
+}
+
+// binEdges bins the edge-log slice seq[lo:hi] to shards in a single pass
+// (count, then fill — the same idiom as the snapshot CSR build): each edge
+// lands in its source's shard, and additionally in its target's shard when
+// they differ. It marks boundary nodes and counts cross edges.
+func binEdges(g *Graph, part *Partition, lo, hi int, isBoundary []bool) (bins [][]int32, cross int) {
+	counts := make([]int, part.shards)
+	for i := lo; i < hi; i++ {
+		e := &g.seq[i]
+		su, sv := part.shardOf[e.from], part.shardOf[e.to]
+		counts[su]++
+		if sv != su {
+			counts[sv]++
+		}
+	}
+	bins = make([][]int32, part.shards)
+	for s := range bins {
+		bins[s] = make([]int32, 0, counts[s])
+	}
+	for i := lo; i < hi; i++ {
+		e := &g.seq[i]
+		su, sv := part.shardOf[e.from], part.shardOf[e.to]
+		bins[su] = append(bins[su], int32(i))
+		if sv != su {
+			bins[sv] = append(bins[sv], int32(i))
+			isBoundary[e.from] = true
+			isBoundary[e.to] = true
+			cross++
+		}
+	}
+	return bins, cross
+}
+
+// populateShard adds the owned-node batch and the binned edge batch to one
+// fragment, creating ghosts on first use, then (re-)freezes the fragment.
+func populateShard(g *Graph, part *Partition, fs *GraphShard, ownedGlobals []int32, bin []int32) {
+	for _, gi := range ownedGlobals {
+		fs.addOwned(gi, g.nodes[gi])
+	}
+	for _, ei := range bin {
+		e := &g.seq[ei]
+		from, to := g.nodes[e.from], g.nodes[e.to]
+		fs.ensureGhost(e.from, from, part.shardOf[e.from])
+		fs.ensureGhost(e.to, to, part.shardOf[e.to])
+		fs.g.MustAddEdge(from.ID, e.label, to.ID)
+	}
+	fs.g.Freeze()
+}
+
+// buildSharded is the full (non-incremental) sharded build: nodes and edges
+// are each binned to shards in one pass over the graph, then fragments are
+// populated and frozen in parallel.
+func buildSharded(g *Graph, part *Partition) *ShardedSnapshot {
+	n := len(g.nodes)
+	isBoundary := make([]bool, n)
+	nodeBins := make([][]int32, part.shards)
+	for i := 0; i < n; i++ {
+		s := part.shardOf[i]
+		nodeBins[s] = append(nodeBins[s], int32(i))
+	}
+	bins, cross := binEdges(g, part, 0, len(g.seq), isBoundary)
+
+	ss := &ShardedSnapshot{
+		part:        part,
+		topoVersion: g.topoVersion,
+		valVersion:  g.valVersion,
+		frozenNodes: n,
+		frozenEdges: len(g.seq),
+		shards:      make([]*GraphShard, part.shards),
+		crossEdges:  cross,
+	}
+	for s := range ss.shards {
+		ss.shards[s] = &GraphShard{g: NewSized(len(nodeBins[s]), len(bins[s]))}
+	}
+	forEachShard(part.shards, func(s int) {
+		populateShard(g, part, ss.shards[s], nodeBins[s], bins[s])
+	})
+	for i := 0; i < n; i++ {
+		if isBoundary[i] {
+			ss.boundary = append(ss.boundary, int32(i))
+		}
+	}
+	return ss
+}
+
+// extendSharded merges an append burst into a cached sharded snapshot: the
+// partition is extended over the new nodes, only the edge-log suffix since
+// the watermark is binned, and each fragment re-freezes incrementally.
+func extendSharded(g *Graph, prev *ShardedSnapshot) *ShardedSnapshot {
+	part := prev.part
+	part.extend(g)
+	n := len(g.nodes)
+	isBoundary := make([]bool, n)
+	nodeBins := make([][]int32, part.shards)
+	for i := prev.frozenNodes; i < n; i++ {
+		s := part.shardOf[i]
+		nodeBins[s] = append(nodeBins[s], int32(i))
+	}
+	bins, cross := binEdges(g, part, prev.frozenEdges, len(g.seq), isBoundary)
+
+	ss := &ShardedSnapshot{
+		part:        part,
+		topoVersion: g.topoVersion,
+		valVersion:  g.valVersion,
+		frozenNodes: n,
+		frozenEdges: len(g.seq),
+		shards:      prev.shards,
+		crossEdges:  prev.crossEdges + cross,
+	}
+	forEachShard(part.shards, func(s int) {
+		populateShard(g, part, ss.shards[s], nodeBins[s], bins[s])
+	})
+	// Boundary: previous set plus newly marked nodes, kept sorted unique.
+	seen := make(map[int32]struct{}, len(prev.boundary))
+	ss.boundary = append(ss.boundary, prev.boundary...)
+	for _, b := range prev.boundary {
+		seen[b] = struct{}{}
+	}
+	for i := 0; i < n; i++ {
+		if isBoundary[i] {
+			if _, dup := seen[int32(i)]; !dup {
+				ss.boundary = append(ss.boundary, int32(i))
+			}
+		}
+	}
+	sort.Slice(ss.boundary, func(i, j int) bool { return ss.boundary[i] < ss.boundary[j] })
+	return ss
+}
+
+// forEachShard runs fn(s) for every shard over a bounded goroutine pool.
+func forEachShard(shards int, fn func(s int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > shards {
+		workers = shards
+	}
+	if workers <= 1 {
+		for s := 0; s < shards; s++ {
+			fn(s)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				s := int(next.Add(1)) - 1
+				if s >= shards {
+					return
+				}
+				fn(s)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// NewSized returns an empty graph with capacity hints for the node and edge
+// stores — the bulk-construction entry point used by sharded builds, which
+// know fragment sizes up front from the binning pass.
+func NewSized(nodes, edges int) *Graph {
+	if nodes < 0 {
+		nodes = 0
+	}
+	if edges < 0 {
+		edges = 0
+	}
+	return &Graph{
+		nodes: make([]Node, 0, nodes),
+		index: make(map[NodeID]int, nodes),
+		edges: make(map[Edge]struct{}, edges),
+		seq:   make([]seqEdge, 0, edges),
+	}
+}

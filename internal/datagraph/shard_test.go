@@ -1,0 +1,211 @@
+package datagraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomShardGraph builds a deterministic pseudo-random graph for the
+// sharding invariants below.
+func randomShardGraph(nodes, edges int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := New()
+	for i := 0; i < nodes; i++ {
+		g.MustAddNode(NodeID(fmt.Sprintf("n%03d", i)), V(fmt.Sprintf("v%d", rng.Intn(7))))
+	}
+	labels := []string{"a", "b", "c"}
+	for i := 0; i < edges; i++ {
+		from := g.Node(rng.Intn(nodes)).ID
+		to := g.Node(rng.Intn(nodes)).ID
+		g.AddEdge(from, labels[rng.Intn(len(labels))], to)
+	}
+	return g
+}
+
+// checkShardedInvariants verifies the structural contract of a sharded
+// snapshot against its graph: each node owned exactly once; every edge
+// present in its source's fragment and, when cross-shard, in its target's
+// fragment too with both endpoints in the boundary set; ghost ownership and
+// the global↔local mapping consistent.
+func checkShardedInvariants(t *testing.T, g *Graph, ss *ShardedSnapshot) {
+	t.Helper()
+	part := ss.Partition()
+	ownedCount := make([]int, g.NumNodes())
+	for s := 0; s < ss.NumShards(); s++ {
+		fs := ss.Shard(s)
+		fg := fs.Graph()
+		for l := 0; l < fg.NumNodes(); l++ {
+			gi := fs.GlobalOf(l)
+			if fg.Node(l).ID != g.Node(gi).ID {
+				t.Fatalf("shard %d local %d: id %s mapped to global %d (%s)",
+					s, l, fg.Node(l).ID, gi, g.Node(gi).ID)
+			}
+			if owner := fs.GhostOwner(l); owner == -1 {
+				ownedCount[gi]++
+				if part.ShardOf(gi) != s {
+					t.Fatalf("shard %d claims node %s owned by shard %d", s, fg.Node(l).ID, part.ShardOf(gi))
+				}
+			} else if part.ShardOf(gi) != owner {
+				t.Fatalf("ghost %s in shard %d: recorded owner %d, partition says %d",
+					fg.Node(l).ID, s, owner, part.ShardOf(gi))
+			}
+		}
+		for i, l := range fs.OwnedLocals() {
+			if i > 0 && fs.OwnedLocals()[i-1] >= l {
+				t.Fatalf("shard %d: owned locals not ascending", s)
+			}
+			if fs.GhostOwner(int(l)) != -1 {
+				t.Fatalf("shard %d: owned local %d marked as ghost", s, l)
+			}
+		}
+	}
+	for gi, c := range ownedCount {
+		if c != 1 {
+			t.Fatalf("node %s owned %d times", g.Node(gi).ID, c)
+		}
+	}
+	boundary := make(map[int32]bool, len(ss.BoundaryNodes()))
+	for i, b := range ss.BoundaryNodes() {
+		if i > 0 && ss.BoundaryNodes()[i-1] >= b {
+			t.Fatal("boundary nodes not ascending")
+		}
+		boundary[b] = true
+	}
+	cross := 0
+	for _, e := range g.Edges() {
+		fi, _ := g.IndexOf(e.From)
+		ti, _ := g.IndexOf(e.To)
+		su, sv := part.ShardOf(fi), part.ShardOf(ti)
+		if !ss.Shard(su).Graph().HasEdge(e.From, e.Label, e.To) {
+			t.Fatalf("edge %v missing from source shard %d", e, su)
+		}
+		if su != sv {
+			cross++
+			if !ss.Shard(sv).Graph().HasEdge(e.From, e.Label, e.To) {
+				t.Fatalf("cross edge %v missing from target shard %d", e, sv)
+			}
+			if !boundary[int32(fi)] || !boundary[int32(ti)] {
+				t.Fatalf("cross edge %v endpoints not in boundary set", e)
+			}
+		}
+	}
+	if cross != ss.CrossEdges() {
+		t.Fatalf("CrossEdges() = %d, counted %d", ss.CrossEdges(), cross)
+	}
+	// Fragment edges must all exist in the graph (no inventions).
+	total := 0
+	for s := 0; s < ss.NumShards(); s++ {
+		for _, e := range ss.Shard(s).Graph().Edges() {
+			if !g.HasEdge(e.From, e.Label, e.To) {
+				t.Fatalf("shard %d invented edge %v", s, e)
+			}
+		}
+		total += ss.Shard(s).NumOwned()
+	}
+	if total != g.NumNodes() {
+		t.Fatalf("owned nodes total %d, graph has %d", total, g.NumNodes())
+	}
+}
+
+func TestFreezeShardedInvariants(t *testing.T) {
+	for _, policy := range []PartitionPolicy{PartitionHash, PartitionRange} {
+		for _, shards := range []int{1, 2, 3, 5} {
+			g := randomShardGraph(60, 180, 42)
+			ss := g.FreezeSharded(shards, policy)
+			if ss.NumShards() != shards {
+				t.Fatalf("NumShards = %d, want %d", ss.NumShards(), shards)
+			}
+			checkShardedInvariants(t, g, ss)
+			if again := g.FreezeSharded(shards, policy); again != ss {
+				t.Fatalf("policy %v shards %d: unchanged graph rebuilt its sharded snapshot", policy, shards)
+			}
+		}
+	}
+}
+
+func TestFreezeShardedExtendsIncrementally(t *testing.T) {
+	for _, policy := range []PartitionPolicy{PartitionHash, PartitionRange} {
+		g := randomShardGraph(40, 100, 7)
+		ss1 := g.FreezeSharded(3, policy)
+		checkShardedInvariants(t, g, ss1)
+
+		// Record assignments, then append an update burst.
+		before := make([]int, g.NumNodes())
+		for i := range before {
+			before[i] = ss1.Partition().ShardOf(i)
+		}
+		rng := rand.New(rand.NewSource(99))
+		for i := 0; i < 15; i++ {
+			g.MustAddNode(NodeID(fmt.Sprintf("x%03d", i)), V("new"))
+		}
+		for i := 0; i < 60; i++ {
+			from := g.Node(rng.Intn(g.NumNodes())).ID
+			to := g.Node(rng.Intn(g.NumNodes())).ID
+			g.AddEdge(from, "a", to)
+		}
+
+		ss2 := g.FreezeSharded(3, policy)
+		if ss2 == ss1 {
+			t.Fatal("append burst did not produce a new sharded snapshot")
+		}
+		// Incremental extension must reuse fragments, not rebuild them.
+		for s := 0; s < 3; s++ {
+			if ss2.Shard(s) != ss1.Shard(s) {
+				t.Fatalf("policy %v: shard %d was rebuilt instead of extended", policy, s)
+			}
+		}
+		// Existing assignments are stable under extension.
+		for i, want := range before {
+			if got := ss2.Partition().ShardOf(i); got != want {
+				t.Fatalf("policy %v: node %d reassigned %d -> %d", policy, i, want, got)
+			}
+		}
+		checkShardedInvariants(t, g, ss2)
+	}
+}
+
+func TestFreezeShardedValueChangeRebuilds(t *testing.T) {
+	g := randomShardGraph(20, 40, 3)
+	ss1 := g.FreezeSharded(2, PartitionHash)
+	g.SetValue(0, V("overwritten"))
+	ss2 := g.FreezeSharded(2, PartitionHash)
+	if ss2 == ss1 {
+		t.Fatal("value overwrite did not invalidate the sharded snapshot")
+	}
+	id := g.Node(0).ID
+	s := ss2.Partition().ShardOf(0)
+	n, ok := ss2.Shard(s).Graph().NodeByID(id)
+	if !ok || n.Value.Raw() != "overwritten" {
+		t.Fatalf("fragment node %s did not pick up overwritten value (got %v)", id, n.Value)
+	}
+	checkShardedInvariants(t, g, ss2)
+}
+
+func TestFreezeShardedConfigChangeRebuilds(t *testing.T) {
+	g := randomShardGraph(20, 40, 5)
+	ss2 := g.FreezeSharded(2, PartitionHash)
+	ss3 := g.FreezeSharded(3, PartitionHash)
+	if ss3.NumShards() != 3 {
+		t.Fatalf("NumShards = %d after reconfigure", ss3.NumShards())
+	}
+	checkShardedInvariants(t, g, ss3)
+	ssr := g.FreezeSharded(2, PartitionRange)
+	if ssr.Partition().Policy() != PartitionRange {
+		t.Fatal("policy change ignored")
+	}
+	checkShardedInvariants(t, g, ssr)
+	_ = ss2
+}
+
+func TestParsePartitionPolicy(t *testing.T) {
+	if p, err := ParsePartitionPolicy("hash"); err != nil || p != PartitionHash {
+		t.Fatalf("hash: %v %v", p, err)
+	}
+	if p, err := ParsePartitionPolicy("range"); err != nil || p != PartitionRange {
+		t.Fatalf("range: %v %v", p, err)
+	}
+	if _, err := ParsePartitionPolicy("modulo"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,361 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/fault"
+	"repro/internal/rpq"
+)
+
+// This file is the sharded evaluation path for navigational RPQs: each
+// shard runs the rpq product-BFS kernel over its own fragment, stopping at
+// ghost nodes, and the (node, NFA-state) pairs that reached a ghost are
+// exchanged with the owning shard as fresh seeds. The exchange iterates in
+// rounds until no shard's frontier grows; a second phase then walks the
+// per-entry summaries to assemble answers. Answers are merged on global
+// node identity into the deterministic (sorted) core.Answers set, so the
+// sharded path is byte-for-byte identical to single-shard evaluation.
+//
+// Only navigational RPQs go through the exchange: their NFA never inspects
+// data values, so shard-local traversal plus boundary hand-off is exact.
+// REE/REM/GXPath queries keep evaluating against the merged solution.
+
+// ShardView is the engine's per-shard evaluation surface: one fragment
+// graph, the ghost→owner map aligned with its dense indices, and the owned
+// locals to start traversals from. Views adapt both core.SolutionShard
+// fragments and datagraph.GraphShard fragments.
+type ShardView struct {
+	G          *datagraph.Graph
+	GhostOwner []int32 // local -> owning shard; -1 when owned by this shard
+	Starts     []int32 // owned locals used as traversal starts
+}
+
+// ExchangeStats describes one sharded evaluation.
+type ExchangeStats struct {
+	// Shards is the number of fragments evaluated.
+	Shards int
+	// Rounds is the number of exchange rounds until no frontier grew.
+	Rounds int
+	// Entries is the number of (node, state) entry batches evaluated
+	// across all shards and rounds.
+	Entries int
+	// CrossPairs is the number of boundary (node, state) pairs handed
+	// between shards.
+	CrossPairs int
+}
+
+func (st *ExchangeStats) add(o ExchangeStats) {
+	if st.Shards < o.Shards {
+		st.Shards = o.Shards
+	}
+	st.Rounds += o.Rounds
+	st.Entries += o.Entries
+	st.CrossPairs += o.CrossPairs
+}
+
+// entryKey identifies one unit of shard-local work: resume the product BFS
+// on shard at local node in the given NFA state. State -1 is the start
+// entry — seed the node with the ε-closed NFA start states.
+type entryKey struct {
+	shard, local, state int32
+}
+
+// entrySummary is the memoized result of one entry: the fragment-local
+// nodes its traversal accepted at, and the boundary entries it exited to.
+type entrySummary struct {
+	accepts []int32
+	exits   []entryKey
+}
+
+const startState int32 = -1
+
+// evalExchange runs the boundary-frontier exchange to fixpoint and returns
+// the summary of every entry reached from the start frontier. Each round
+// evaluates the pending entries shard-locally (shards in parallel, each
+// shard single-threaded over its reused scratch) and the exits seed the
+// next round's frontier; the loop converges when no shard's frontier grows.
+func evalExchange(ctx context.Context, q *rpq.Query, views []ShardView, opts Options) (map[entryKey]*entrySummary, ExchangeStats, error) {
+	k := len(views)
+	stats := ExchangeStats{Shards: k}
+	progs := make([]*rpq.ShardProg, k)
+	forEachShard(k, opts.workers(), func(s int) {
+		progs[s] = q.LowerOnto(views[s].G)
+	})
+	startStates := q.StartStates()
+
+	summaries := make(map[entryKey]*entrySummary)
+	var frontier []entryKey
+	for s := range views {
+		for _, l := range views[s].Starts {
+			ek := entryKey{int32(s), l, startState}
+			summaries[ek] = nil // mark queued
+			frontier = append(frontier, ek)
+		}
+	}
+
+	for len(frontier) > 0 {
+		stats.Rounds++
+		// Fault point "engine.exchange": one per exchange round, the
+		// moment frontiers are about to cross shard boundaries.
+		if err := fault.Hit("engine.exchange"); err != nil {
+			return nil, stats, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, stats, core.Canceled(err)
+		}
+		byShard := make([][]entryKey, k)
+		for _, ek := range frontier {
+			byShard[ek.shard] = append(byShard[ek.shard], ek)
+		}
+		results := make([][]*entrySummary, k)
+		forEachShard(k, opts.workers(), func(s int) {
+			results[s] = evalShardBatch(progs[s], views, s, byShard[s], startStates)
+		})
+		frontier = frontier[:0]
+		for s := range byShard {
+			for i, ek := range byShard[s] {
+				sum := results[s][i]
+				summaries[ek] = sum
+				stats.Entries++
+				for _, x := range sum.exits {
+					stats.CrossPairs++
+					if _, queued := summaries[x]; !queued {
+						summaries[x] = nil
+						frontier = append(frontier, x)
+					}
+				}
+			}
+		}
+	}
+	return summaries, stats, nil
+}
+
+// evalShardBatch evaluates one shard's entry batch sequentially over the
+// shard's program and scratch. It reads other views only through their
+// frozen fragments (id lookup of exit targets), which is safe concurrently.
+func evalShardBatch(prog *rpq.ShardProg, views []ShardView, s int, batch []entryKey, startStates []int) []*entrySummary {
+	v := views[s]
+	out := make([]*entrySummary, len(batch))
+	var seeds []rpq.Seed
+	for i, ek := range batch {
+		sum := &entrySummary{}
+		out[i] = sum
+		seeds = seeds[:0]
+		if ek.state == startState {
+			if prog.CanSkipStart(int(ek.local)) {
+				continue
+			}
+			for _, st := range startStates {
+				seeds = append(seeds, rpq.Seed{Node: ek.local, State: int32(st)})
+			}
+		} else {
+			seeds = append(seeds, rpq.Seed{Node: ek.local, State: ek.state})
+		}
+		prog.EvalSeeds(seeds,
+			func(n int) bool { return v.GhostOwner[n] >= 0 },
+			func(n int) { sum.accepts = append(sum.accepts, int32(n)) },
+			func(n, st int) {
+				owner := v.GhostOwner[n]
+				ol, ok := views[owner].G.IndexOf(v.G.Node(n).ID)
+				if !ok {
+					// Cannot happen: owners hold every node they own.
+					return
+				}
+				sum.exits = append(sum.exits, entryKey{owner, int32(ol), int32(st)})
+			})
+	}
+	return out
+}
+
+// shardPair is one answer in shard-local coordinates.
+type shardPair struct {
+	fromShard, from int32
+	toShard, to     int32
+}
+
+// collectAnswers walks the exchange summaries from every start entry,
+// unioning the accepts of all entries reachable through exit edges — the
+// second, cheap phase over the boundary summary graph. Starts are chunked
+// over the worker pool; answer order across workers is nondeterministic,
+// so callers must merge into a set keyed on global identity.
+func collectAnswers(views []ShardView, summaries map[entryKey]*entrySummary, opts Options, emit func(p shardPair)) {
+	type start struct{ shard, local int32 }
+	var starts []start
+	for s := range views {
+		for _, l := range views[s].Starts {
+			starts = append(starts, start{int32(s), l})
+		}
+	}
+	workers := opts.workers()
+	if workers > len(starts) {
+		workers = len(starts)
+	}
+	buffers := make([][]shardPair, max(workers, 1))
+	runStart := func(w int, st start) {
+		seen := map[entryKey]struct{}{}
+		stack := []entryKey{{st.shard, st.local, startState}}
+		seen[stack[0]] = struct{}{}
+		for len(stack) > 0 {
+			ek := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			sum := summaries[ek]
+			if sum == nil {
+				continue
+			}
+			for _, a := range sum.accepts {
+				buffers[w] = append(buffers[w], shardPair{st.shard, st.local, ek.shard, a})
+			}
+			for _, x := range sum.exits {
+				if _, ok := seen[x]; !ok {
+					seen[x] = struct{}{}
+					stack = append(stack, x)
+				}
+			}
+		}
+	}
+	forEachShardRange(len(starts), workers, func(w, i int) {
+		runStart(w, starts[i])
+	})
+	for _, buf := range buffers {
+		for _, p := range buf {
+			emit(p)
+		}
+	}
+}
+
+// viewsOfSolution adapts a sharded solution's fragments.
+func viewsOfSolution(ss *core.ShardedSolution) []ShardView {
+	views := make([]ShardView, len(ss.Shards))
+	for s, sh := range ss.Shards {
+		views[s] = ShardView{G: sh.G, GhostOwner: sh.GhostOwner, Starts: sh.OwnedDom}
+	}
+	return views
+}
+
+// viewsOfSnapshot adapts a sharded source snapshot's fragments; every owned
+// node is a start.
+func viewsOfSnapshot(ss *datagraph.ShardedSnapshot) []ShardView {
+	views := make([]ShardView, ss.NumShards())
+	for s := range views {
+		fs := ss.Shard(s)
+		gh := make([]int32, fs.Graph().NumNodes())
+		for l := range gh {
+			gh[l] = int32(fs.GhostOwner(l))
+		}
+		views[s] = ShardView{G: fs.Graph(), GhostOwner: gh, Starts: fs.OwnedLocals()}
+	}
+	return views
+}
+
+// CertainNullSharded computes certain answers under the Theorem 4 SQL-null
+// procedure over the sharded universal solution: shard-local kernels plus
+// boundary exchange, then answers whose target is a null node are dropped.
+// Byte-for-byte equivalent to evaluating q over the merged universal
+// solution and filtering.
+func CertainNullSharded(ctx context.Context, mat *core.Materialization, q *rpq.Query, opts Options) (*core.Answers, ExchangeStats, error) {
+	ss, err := mat.UniversalSharded()
+	if err != nil {
+		return nil, ExchangeStats{}, err
+	}
+	views := viewsOfSolution(ss)
+	summaries, stats, err := evalExchange(ctx, q, views, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	ans := core.NewAnswers()
+	collectAnswers(views, summaries, opts, func(p shardPair) {
+		to := views[p.toShard].G.Node(int(p.to))
+		if to.IsNullNode() {
+			return
+		}
+		ans.Add(core.Answer{From: views[p.fromShard].G.Node(int(p.from)), To: to})
+	})
+	return ans, stats, nil
+}
+
+// CertainLeastInformativeSharded computes certain answers under the Theorem
+// 5 procedure over the sharded least informative solution: answers are kept
+// only when both endpoints are dom(M, Gs) nodes.
+func CertainLeastInformativeSharded(ctx context.Context, mat *core.Materialization, q *rpq.Query, opts Options) (*core.Answers, ExchangeStats, error) {
+	ss, err := mat.LeastInformativeSharded()
+	if err != nil {
+		return nil, ExchangeStats{}, err
+	}
+	dom := mat.DomIDs()
+	views := viewsOfSolution(ss)
+	summaries, stats, err := evalExchange(ctx, q, views, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	ans := core.NewAnswers()
+	collectAnswers(views, summaries, opts, func(p shardPair) {
+		to := views[p.toShard].G.Node(int(p.to))
+		if _, ok := dom[to.ID]; !ok {
+			return
+		}
+		ans.Add(core.Answer{From: views[p.fromShard].G.Node(int(p.from)), To: to})
+	})
+	return ans, stats, nil
+}
+
+// EvalSourceSharded evaluates a navigational RPQ directly over a sharded
+// source snapshot, returning pairs in global dense indices — equivalent to
+// q.Eval over the unsharded graph.
+func EvalSourceSharded(ctx context.Context, ss *datagraph.ShardedSnapshot, q *rpq.Query, opts Options) (*datagraph.PairSet, ExchangeStats, error) {
+	views := viewsOfSnapshot(ss)
+	summaries, stats, err := evalExchange(ctx, q, views, opts)
+	if err != nil {
+		return nil, stats, err
+	}
+	var n int
+	for s := 0; s < ss.NumShards(); s++ {
+		n += ss.Shard(s).NumOwned()
+	}
+	res := datagraph.NewPairSetSized(n)
+	collectAnswers(views, summaries, opts, func(p shardPair) {
+		res.Add(ss.Shard(int(p.fromShard)).GlobalOf(int(p.from)),
+			ss.Shard(int(p.toShard)).GlobalOf(int(p.to)))
+	})
+	return res, stats, nil
+}
+
+// forEachShard runs fn(s) for s in [0, shards) over at most workers
+// goroutines.
+func forEachShard(shards, workers int, fn func(s int)) {
+	forEachShardRange(shards, workers, func(_, s int) { fn(s) })
+}
+
+// forEachShardRange runs fn(worker, i) for i in [0, n) over at most workers
+// goroutines; fn additionally learns which worker runs it, for per-worker
+// buffers.
+func forEachShardRange(n, workers int, fn func(w, i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

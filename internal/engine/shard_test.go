@@ -1,0 +1,147 @@
+package engine_test
+
+// Sharded-evaluation equivalence: the shard-local kernels plus boundary
+// exchange must produce exactly the answers of single-shard evaluation over
+// the merged solution (and, for EvalSourceSharded, of direct evaluation
+// over the unsharded graph), across shard counts and policies.
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datagraph"
+	"repro/internal/engine"
+	"repro/internal/fault"
+	"repro/internal/rpq"
+	"repro/internal/workload"
+)
+
+var shardPatterns = []string{
+	"p",
+	"p q",
+	"(p|q)+",
+	"p (q|r)*",
+	"r* p",
+	"(p q)|(q r)",
+	"(p|q|r)*",
+}
+
+func shardedFixture(t *testing.T, seed int64, shards int, policy datagraph.PartitionPolicy) (*core.Materialization, *core.Materialization, *datagraph.Graph) {
+	t.Helper()
+	gs := workload.RandomGraph(workload.GraphSpec{
+		Nodes: 60, Edges: 200, Labels: []string{"a", "b"}, Values: 8, Seed: seed,
+	})
+	m := workload.RandomRelationalMapping(workload.MappingSpec{
+		SourceLabels: []string{"a", "b"}, TargetLabels: []string{"p", "q", "r"},
+		Rules: 4, MaxWordLen: 3, Seed: seed,
+	})
+	cm, err := core.Compile(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := core.NewMaterializationSharded(cm, gs, core.ShardOptions{Shards: shards, Policy: policy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sharded, core.NewMaterialization(cm, gs), gs
+}
+
+func TestCertainNullShardedMatchesSingle(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(1); seed <= 3; seed++ {
+		for _, shards := range []int{1, 2, 7, 16} {
+			for _, policy := range []datagraph.PartitionPolicy{datagraph.PartitionHash, datagraph.PartitionRange} {
+				mat, ref, _ := shardedFixture(t, seed, shards, policy)
+				u, err := ref.Universal()
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, pat := range shardPatterns {
+					q := rpq.MustParse(pat)
+					res, err := engine.EvalGraph(ctx, u, core.NavQuery{Q: q}, datagraph.SQLNulls, engine.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := core.FilterNullAnswers(u, res)
+					got, st, err := engine.CertainNullSharded(ctx, mat, q, engine.Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !got.Equal(want) {
+						t.Fatalf("seed %d shards %d policy %v %q: sharded answers differ\n got: %v\nwant: %v",
+							seed, shards, policy, pat, got.Sorted(), want.Sorted())
+					}
+					if st.Shards != shards {
+						t.Fatalf("stats shards = %d, want %d", st.Shards, shards)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCertainLeastInformativeShardedMatchesSingle(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(4); seed <= 6; seed++ {
+		for _, shards := range []int{2, 7} {
+			mat, ref, _ := shardedFixture(t, seed, shards, datagraph.PartitionHash)
+			li, err := ref.LeastInformative()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, pat := range shardPatterns {
+				q := rpq.MustParse(pat)
+				res, err := engine.EvalGraph(ctx, li, core.NavQuery{Q: q}, datagraph.MarkedNulls, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := core.FilterDomAnswers(li, ref.DomIDs(), res)
+				got, _, err := engine.CertainLeastInformativeSharded(ctx, mat, q, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("seed %d shards %d %q: sharded LI answers differ\n got: %v\nwant: %v",
+						seed, shards, pat, got.Sorted(), want.Sorted())
+				}
+			}
+		}
+	}
+}
+
+func TestEvalSourceShardedMatchesDirect(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(7); seed <= 9; seed++ {
+		gs := workload.RandomGraph(workload.GraphSpec{
+			Nodes: 50, Edges: 180, Labels: []string{"p", "q", "r"}, Values: 6, Seed: seed,
+		})
+		for _, shards := range []int{1, 3, 8} {
+			ss := gs.FreezeSharded(shards, datagraph.PartitionHash)
+			for _, pat := range shardPatterns {
+				q := rpq.MustParse(pat)
+				want := q.Eval(gs)
+				got, _, err := engine.EvalSourceSharded(ctx, ss, q, engine.Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("seed %d shards %d %q: source answers differ", seed, shards, pat)
+				}
+			}
+		}
+	}
+}
+
+func TestExchangeFaultPoint(t *testing.T) {
+	mat, _, _ := shardedFixture(t, 1, 4, datagraph.PartitionHash)
+	if err := fault.Arm("engine.exchange=error:p=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+	_, _, err := engine.CertainNullSharded(context.Background(), mat, rpq.MustParse("p q"), engine.Options{})
+	if err == nil || !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("armed engine.exchange fault not surfaced: %v", err)
+	}
+}

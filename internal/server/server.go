@@ -65,6 +65,14 @@ type Config struct {
 	// chaos harness) can arm internal/fault points over HTTP. Off by
 	// default: production servers refuse remote fault arming with 403.
 	EnableFaultInjection bool
+	// Shards is the solution shard count every backend session is opened
+	// with (gsmd -shards). 0 or 1 serves unsharded; > 1 materializes per
+	// shard and answers navigational RPQs via boundary exchange. Answers
+	// are identical either way.
+	Shards int
+	// Partition is the node→shard partitioning policy name ("hash",
+	// "range"); empty means hash. Ignored unless Shards > 1.
+	Partition string
 	// Logf receives panic stacks and recovery reports. Default log.Printf.
 	Logf func(format string, args ...any)
 }
@@ -495,7 +503,14 @@ func (s *Server) createSession(tenant string, req CreateSessionRequest) (Session
 		if err := fault.Hit("server.materialize"); err != nil {
 			return SessionInfo{}, err
 		}
-		base, err := repro.NewSession(me.cm, ge.g)
+		var baseOpts []repro.Option
+		if s.cfg.Shards > 1 {
+			baseOpts = append(baseOpts, repro.WithShards(s.cfg.Shards))
+			if s.cfg.Partition != "" {
+				baseOpts = append(baseOpts, repro.WithPartition(s.cfg.Partition))
+			}
+		}
+		base, err := repro.NewSession(me.cm, ge.g, baseOpts...)
 		if err != nil {
 			return SessionInfo{}, err
 		}
@@ -574,6 +589,32 @@ func (s *Server) statsSnapshot() StatsResponse {
 	mappings, graphs := len(s.mappings), len(s.graphs)
 	sessions, backends := len(s.sessions), len(s.backends)
 	p := s.persist
+	var shardBackends []ShardBackendStats
+	if s.cfg.Shards > 1 {
+		for _, be := range s.backends {
+			st := be.sess.ShardStats()
+			sb := ShardBackendStats{
+				Mapping:        be.key.mapping,
+				Graph:          be.key.graph,
+				Shards:         st.Shards,
+				Policy:         st.Policy,
+				ExchangeRounds: st.ExchangeRounds,
+				BoundaryPairs:  st.BoundaryPairs,
+			}
+			for _, f := range st.Fragments {
+				sb.Fragments = append(sb.Fragments, ShardFragmentWire{
+					Nodes: f.Nodes, Edges: f.Edges, Nulls: f.Nulls,
+				})
+			}
+			shardBackends = append(shardBackends, sb)
+		}
+		sort.Slice(shardBackends, func(i, j int) bool {
+			if shardBackends[i].Mapping != shardBackends[j].Mapping {
+				return shardBackends[i].Mapping < shardBackends[j].Mapping
+			}
+			return shardBackends[i].Graph < shardBackends[j].Graph
+		})
+	}
 	s.mu.RUnlock()
 	resp := StatsResponse{
 		Draining:         s.draining.Load(),
@@ -592,6 +633,14 @@ func (s *Server) statsSnapshot() StatsResponse {
 		OneShots:         s.stats.oneShots.Load(),
 		Errors:           s.stats.errors.Load(),
 		Panics:           s.stats.panics.Load(),
+	}
+	if s.cfg.Shards > 1 {
+		resp.Shards = s.cfg.Shards
+		resp.Partition = s.cfg.Partition
+		if resp.Partition == "" {
+			resp.Partition = "hash"
+		}
+		resp.ShardBackends = shardBackends
 	}
 	if p != nil {
 		p.mu.Lock()

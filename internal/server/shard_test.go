@@ -1,0 +1,98 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestShardedServingMatchesUnsharded replays the same query stream against
+// a sharded and an unsharded server and pins byte-identical answer wires:
+// the HTTP layer is where every tier of the sharded path (partitioned
+// freeze, per-shard chase, boundary exchange, deterministic merge) is
+// finally observable to a client, so equality here is the end-to-end
+// acceptance check.
+func TestShardedServingMatchesUnsharded(t *testing.T) {
+	plain, sc := newTestServer(t, Config{})
+	sharded, _ := newTestServer(t, Config{Shards: 4, Partition: "hash"})
+	hp, hs := plain.Handler(), sharded.Handler()
+
+	var sip, sis SessionInfo
+	if code := do(t, hp, "POST", "/v1/sessions", "alice", CreateSessionRequest{Mapping: "m", Graph: "g"}, &sip); code != http.StatusOK {
+		t.Fatalf("plain create session: status %d", code)
+	}
+	if code := do(t, hs, "POST", "/v1/sessions", "alice", CreateSessionRequest{Mapping: "m", Graph: "g"}, &sis); code != http.StatusOK {
+		t.Fatalf("sharded create session: status %d", code)
+	}
+
+	type probe struct {
+		text, lang, algo string
+	}
+	var probes []probe
+	for _, q := range sc.QueryTexts {
+		probes = append(probes, probe{q, "ree", "null"})
+		probes = append(probes, probe{q, "ree", "least"})
+	}
+	// Navigational queries go through the shard-local kernels plus the
+	// boundary-frontier exchange rather than the merged solution.
+	for _, q := range []string{"s t", "(s|t)+", "p q", "r q", "(p|r) q"} {
+		probes = append(probes, probe{q, "rpq", "null"})
+		probes = append(probes, probe{q, "rpq", "least"})
+	}
+
+	for i, pr := range probes {
+		req := QueryRequest{Query: pr.text, Lang: pr.lang, Algo: pr.algo}
+		var got, want QueryResponse
+		codeP := do(t, hp, "POST", "/v1/sessions/"+sip.ID+"/query", "alice", req, &want)
+		codeS := do(t, hs, "POST", "/v1/sessions/"+sis.ID+"/query", "alice", req, &got)
+		if codeP != http.StatusOK || codeS != http.StatusOK {
+			t.Fatalf("probe %d (%s %s %s): status plain=%d sharded=%d", i, pr.lang, pr.algo, pr.text, codeP, codeS)
+		}
+		if got.Count != want.Count || fmt.Sprint(got.Answers) != fmt.Sprint(want.Answers) {
+			t.Fatalf("probe %d (%s %s %s): sharded answers diverge:\n  plain   %d %v\n  sharded %d %v",
+				i, pr.lang, pr.algo, pr.text, want.Count, want.Answers, got.Count, got.Answers)
+		}
+	}
+
+	// The sharded server's stats expose the shard layout and exchange work.
+	var st StatsResponse
+	if code := do(t, hs, "GET", "/v1/stats", "alice", nil, &st); code != http.StatusOK {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.Shards != 4 || st.Partition != "hash" {
+		t.Fatalf("stats shards/partition = %d/%q, want 4/hash", st.Shards, st.Partition)
+	}
+	if len(st.ShardBackends) != 1 {
+		t.Fatalf("stats shard_backends = %+v, want one entry", st.ShardBackends)
+	}
+	be := st.ShardBackends[0]
+	if be.Mapping != "m" || be.Graph != "g" || be.Shards != 4 || be.Policy != "hash" {
+		t.Fatalf("backend stats = %+v", be)
+	}
+	if len(be.Fragments) != 4 {
+		t.Fatalf("backend fragments = %+v, want 4", be.Fragments)
+	}
+	var nodes, nulls int
+	for _, f := range be.Fragments {
+		nodes += f.Nodes
+		nulls += f.Nulls
+	}
+	if nodes == 0 {
+		t.Fatal("backend fragments report zero nodes")
+	}
+	if nulls == 0 {
+		t.Fatal("backend fragments report zero nulls; the serving mapping always introduces path nulls")
+	}
+	if be.ExchangeRounds == 0 {
+		t.Fatal("exchange_rounds = 0 after serving navigational queries")
+	}
+
+	// The unsharded server reports no shard section at all.
+	var stp StatsResponse
+	if code := do(t, hp, "GET", "/v1/stats", "alice", nil, &stp); code != http.StatusOK {
+		t.Fatalf("plain stats: status %d", code)
+	}
+	if stp.Shards != 0 || len(stp.ShardBackends) != 0 {
+		t.Fatalf("unsharded stats reports shard fields: %d %+v", stp.Shards, stp.ShardBackends)
+	}
+}

@@ -19,6 +19,12 @@
 #      turns any recovered-content drift into a hard failure, and -verify
 #      re-checks every answer against the embedded session path.
 #
+# The server runs with -shards 4 throughout, so phase 1's verified replay
+# also proves the sharded chase keeps answers byte-identical under injected
+# faults, and phase 1b drills the engine.exchange fault point: an armed
+# one-shot error must fail a navigational query's boundary exchange, and
+# the retry (plan exhausted) must succeed.
+#
 # Usage: scripts/chaos-smoke.sh [requests] (default 200)
 set -eu
 
@@ -34,7 +40,7 @@ go build -o "$TMP/gsmload" ./cmd/gsmload
 start_gsmd() {
     rm -f "$TMP/addr"
     "$TMP/gsmd" -addr 127.0.0.1:0 -addr-file "$TMP/addr" \
-        -state-dir "$TMP/state" -enable-faults "$@" &
+        -state-dir "$TMP/state" -enable-faults -shards 4 "$@" &
     GSMD_PID=$!
     i=0
     while [ ! -s "$TMP/addr" ]; do
@@ -60,6 +66,32 @@ echo "chaos-smoke: phase 1 — verified replay under injected faults"
 # the retrying client and exits 3 on any verification mismatch (2 on a
 # blown error budget) — either fails this script.
 "$TMP/gsmload" -addr "$ADDR" -clients 8 -n "$N" -mode session -verify -chaos
+
+echo "chaos-smoke: phase 1b — injected failure of a boundary-exchange round"
+# Arm a one-shot error on the sharded engine's exchange loop: the next
+# navigational query must fail with the injected fault, and the retry
+# (plan exhausted) must return answers.
+curl -sf -X POST "http://$ADDR/v1/admin/faults" \
+    -d '{"spec":"engine.exchange=error:n=1","seed":7}' > /dev/null
+SID="$(curl -sf -X POST "http://$ADDR/v1/sessions" -H 'X-Tenant: chaos' \
+    -d '{"mapping":"demo","graph":"demo"}' | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+if [ -z "$SID" ]; then
+    echo "chaos-smoke: could not create a session for the exchange drill" >&2
+    exit 1
+fi
+FIRST="$(curl -s -X POST "http://$ADDR/v1/sessions/$SID/query" -H 'X-Tenant: chaos' \
+    -d '{"query":"s t","lang":"rpq"}')"
+if ! echo "$FIRST" | grep -q 'engine.exchange'; then
+    echo "chaos-smoke: armed exchange fault did not surface: $FIRST" >&2
+    exit 1
+fi
+SECOND="$(curl -s -X POST "http://$ADDR/v1/sessions/$SID/query" -H 'X-Tenant: chaos' \
+    -d '{"query":"s t","lang":"rpq"}')"
+if ! echo "$SECOND" | grep -q '"answers"'; then
+    echo "chaos-smoke: exchange retry after fault exhaustion failed: $SECOND" >&2
+    exit 1
+fi
+curl -sf -X POST "http://$ADDR/v1/admin/faults" -d '{"spec":""}' > /dev/null
 
 echo "chaos-smoke: phase 2 — torn WAL append, then SIGKILL"
 # Arm a one-shot partial write on the WAL and attempt a registration: the
