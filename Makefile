@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-json bench-diff bench-shard lint fmt vet api-check api-update serve-smoke chaos-smoke shard-smoke docs-check ci
+.PHONY: build test test-race bench bench-smoke bench-json bench-diff bench-shard lint fmt vet api-check api-update serve-smoke chaos-smoke shard-smoke overload-smoke docs-check ci
 
 build:
 	$(GO) build ./...
@@ -70,6 +70,14 @@ chaos-smoke:
 shard-smoke:
 	sh scripts/shard-smoke.sh
 
+# Overload/fairness drill: boot gsmd with one admission slot, a bounded
+# queue and a memory budget; assert a polite tenant keeps a healthy share
+# of its isolated goodput under a greedy flood (byte-for-byte verified),
+# exercise open-loop Poisson arrivals, and check resident bytes stay within
+# budget. See scripts/overload-smoke.sh.
+overload-smoke:
+	sh scripts/overload-smoke.sh
+
 # Documentation link check: every local markdown link in README.md and
 # docs/*.md must resolve to an existing file.
 docs-check:
@@ -86,4 +94,4 @@ vet:
 
 lint: fmt vet
 
-ci: build lint api-check docs-check test-race serve-smoke shard-smoke chaos-smoke bench-smoke bench-json
+ci: build lint api-check docs-check test-race serve-smoke shard-smoke chaos-smoke overload-smoke bench-smoke bench-json

@@ -43,6 +43,24 @@ import (
 	"repro/internal/workload"
 )
 
+// weightList collects repeatable name=weight flags into a map.
+type weightList map[string]int
+
+func (l *weightList) String() string { return fmt.Sprint(map[string]int(*l)) }
+
+func (l *weightList) Set(v string) error {
+	name, val, ok := strings.Cut(v, "=")
+	var w int
+	if _, err := fmt.Sscanf(val, "%d", &w); !ok || name == "" || err != nil || w < 1 {
+		return fmt.Errorf("want name=weight with weight >= 1, got %q", v)
+	}
+	if *l == nil {
+		*l = weightList{}
+	}
+	(*l)[name] = w
+	return nil
+}
+
 // nameFileList collects repeatable name=path flags.
 type nameFileList []struct{ name, path string }
 
@@ -65,6 +83,12 @@ func main() {
 	flag.Var(&graphs, "graph", "register a source graph at startup as name=path (repeatable)")
 	demo := flag.Bool("demo", false, `register the canonical serving scenario as mapping "demo" and graph "demo"`)
 	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently served requests (0 = default 256)")
+	queueDepth := flag.Int("queue-depth", 0, "per-tenant admission queue bound; excess is shed with 503 (0 = default 64)")
+	tenantRPS := flag.Float64("tenant-rps", 0, "per-tenant token-bucket rate limit in requests/second (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-burst", 0, "per-tenant token-bucket burst (0 = tenant-rps rounded up)")
+	var tenantWeights weightList
+	flag.Var(&tenantWeights, "tenant-weight", "admission weight for a tenant as name=weight (repeatable; unlisted tenants weigh 1)")
+	memBudget := flag.Int64("mem-budget", 0, "resident-bytes budget for shared backends; idle ones are LRU-evicted over it (0 = unlimited)")
 	maxSessions := flag.Int("max-sessions", 0, "cap on open sessions per tenant (0 = default 64)")
 	timeout := flag.Duration("timeout", 0, "default per-request timeout (0 = default 30s)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "grace period for in-flight requests on shutdown")
@@ -87,12 +111,23 @@ func main() {
 
 	srv := server.New(server.Config{
 		MaxInFlight:          *maxInflight,
+		MaxQueueDepth:        *queueDepth,
+		TenantRPS:            *tenantRPS,
+		TenantBurst:          *tenantBurst,
+		TenantWeights:        tenantWeights,
+		MemBudgetBytes:       *memBudget,
 		MaxSessionsPerTenant: *maxSessions,
 		DefaultTimeout:       *timeout,
 		EnableFaultInjection: *enableFaults || *faultSpec != "",
 		Shards:               *shards,
 		Partition:            *partition,
 	})
+	if *memBudget > 0 {
+		log.Printf("memory budget: %d bytes (idle backends LRU-evicted)", *memBudget)
+	}
+	if *tenantRPS > 0 {
+		log.Printf("tenant rate limit: %g req/s", *tenantRPS)
+	}
 	if *shards > 1 {
 		log.Printf("serving sharded: %d shards, %s partition", *shards, *partition)
 	}

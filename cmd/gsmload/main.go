@@ -8,6 +8,15 @@
 //	gsmload -addr $(cat addr.txt) -n 100 -mode oneshot         # baseline
 //	gsmload -addr ... -mode both -verify -json report.json     # the E16 run
 //	gsmload -addr ... -chaos -verify                           # fault drill
+//	gsmload -addr ... -rate 200 -tenant greedy -n 2000         # open-loop overload
+//
+// With -rate N arrivals are open-loop Poisson at N req/s — they do not
+// wait for completions, so offered load is independent of server latency.
+// The report then includes offered load vs goodput and the shed rate;
+// requests the server refuses with a load-shedding kind (overloaded,
+// rate_limited, degraded, draining) are counted as shed, not as errors,
+// and only accepted requests enter the latency percentiles. -tenant pins
+// every client to one tenant, the building block of fairness drills.
 //
 // Modes:
 //
@@ -50,6 +59,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -68,6 +78,7 @@ import (
 // writer). Probabilities are low enough that retries keep the run moving;
 // counts bound the brutal modes.
 const defaultChaosSpec = "server.handler=error:p=0.02;" +
+	"govern.admit=error:p=0.01;" +
 	"server.materialize=error:n=2;" +
 	"core.chase=error:p=0.3:n=6;" +
 	"core.memo=panic:n=2;" +
@@ -87,13 +98,23 @@ type report struct {
 	Requests int    `json:"requests"`
 	// OK counts requests that succeeded (after retries); only their
 	// latencies enter the percentiles.
-	OK         int     `json:"ok"`
+	OK int `json:"ok"`
+	// Shed counts requests the server refused with a load-shedding kind
+	// (overloaded, rate_limited, degraded, draining) after retries — the
+	// governor doing its job, reported separately from Errors (anything
+	// else that failed). Only accepted (OK) requests enter the percentiles.
+	Shed       int     `json:"shed"`
+	ShedRate   float64 `json:"shed_rate"`
 	Errors     int     `json:"errors"`
 	ErrorRate  float64 `json:"error_rate"`
 	Mismatches int     `json:"mismatches"`
 	Answers    int     `json:"answers"`
 	Seconds    float64 `json:"seconds"`
 
+	// OfferedPerSec is the achieved arrival rate (open-loop -rate runs
+	// only); GoodputPerSec is accepted requests per second.
+	OfferedPerSec  float64 `json:"offered_per_sec,omitempty"`
+	GoodputPerSec  float64 `json:"goodput_per_sec,omitempty"`
 	RequestsPerSec float64 `json:"requests_per_sec"`
 	AnswersPerSec  float64 `json:"answers_per_sec"`
 	P50MS          float64 `json:"p50_ms"`
@@ -121,6 +142,8 @@ func main() {
 	nodes := flag.Int("nodes", 0, "scenario graph nodes (0 = default)")
 	seed := flag.Int64("seed", 0, "scenario seed (0 = default)")
 	tenants := flag.Int("tenants", 4, "spread clients across this many tenants")
+	tenantPin := flag.String("tenant", "", "pin every client to this one tenant (overrides -tenants)")
+	rate := flag.Float64("rate", 0, "open-loop Poisson arrival rate in req/s (0 = closed-loop replay)")
 	verify := flag.Bool("verify", false, "check every response byte-for-byte against the embedded session path")
 	jsonPath := flag.String("json", "", "write a JSON report to this file ('-' = stdout)")
 	chaos := flag.Bool("chaos", false, "arm a fault plan on the server before the run (needs gsmd -enable-faults)")
@@ -140,6 +163,9 @@ func main() {
 	}
 	if *clients <= 0 || *tenants <= 0 {
 		log.Fatalf("-clients and -tenants must be positive")
+	}
+	if *tenantPin != "" {
+		*tenants = 1
 	}
 	switch *mode {
 	case "session", "oneshot", "both":
@@ -164,12 +190,17 @@ func main() {
 		clients: *clients,
 		total:   total,
 		tenants: *tenants,
+		rate:    *rate,
+		seed:    *faultSeed,
 	}
 	lg.api = make([]*client.Client, *tenants+1)
 	for t := 0; t <= *tenants; t++ {
 		tenant := ""
 		if t < *tenants {
 			tenant = fmt.Sprintf("load-%d", t)
+			if *tenantPin != "" {
+				tenant = *tenantPin
+			}
 		}
 		lg.api[t] = client.New(client.Config{
 			Base:        *addr,
@@ -205,11 +236,18 @@ func main() {
 		full.Chaos = *faults
 	}
 	run := func(m string) report {
-		r := lg.run(m)
-		log.Printf("%-8s %d clients, %d requests, %d ok: %.0f answers/s, %.0f req/s, p50 %.2fms, p99 %.2fms (%.2fs)",
-			m, r.Clients, r.Requests, r.OK, r.AnswersPerSec, r.RequestsPerSec, r.P50MS, r.P99MS, r.Seconds)
-		log.Printf("%-8s error rate: %d/%d = %.2f%% (%d mismatches)",
-			m, r.Errors, r.Requests, 100*r.ErrorRate, r.Mismatches)
+		var r report
+		if lg.rate > 0 {
+			r = lg.runOpen(m)
+			log.Printf("%-8s open-loop: offered %.1f req/s, goodput %.1f req/s, shed %d/%d = %.2f%%, p50 %.2fms, p99 %.2fms of accepted (%.2fs)",
+				m, r.OfferedPerSec, r.GoodputPerSec, r.Shed, r.Requests, 100*r.ShedRate, r.P50MS, r.P99MS, r.Seconds)
+		} else {
+			r = lg.run(m)
+			log.Printf("%-8s %d clients, %d requests, %d ok: %.0f answers/s, %.0f req/s, p50 %.2fms, p99 %.2fms (%.2fs)",
+				m, r.Clients, r.Requests, r.OK, r.AnswersPerSec, r.RequestsPerSec, r.P50MS, r.P99MS, r.Seconds)
+		}
+		log.Printf("%-8s error rate: %d/%d = %.2f%%, shed %d (%d mismatches)",
+			m, r.Errors, r.Requests, 100*r.ErrorRate, r.Shed, r.Mismatches)
 		full.Runs = append(full.Runs, r)
 		return r
 	}
@@ -289,6 +327,10 @@ type loadgen struct {
 	clients int
 	total   int
 	tenants int
+	// rate, when > 0, selects open-loop Poisson arrivals at this many
+	// requests per second; seed makes the arrival process reproducible.
+	rate float64
+	seed int64
 	// api[t] is the retrying client for tenant t; api[tenants] is the
 	// default tenant used for registration and admin calls.
 	api []*client.Client
@@ -349,6 +391,7 @@ func (lg *loadgen) run(mode string) report {
 	ok := make([]bool, lg.total)
 	answers := make([]int, lg.clients)
 	errs := make([]int, lg.clients)
+	sheds := make([]int, lg.clients)
 	mismatches := make([]int, lg.clients)
 
 	var wg sync.WaitGroup
@@ -386,7 +429,11 @@ func (lg *loadgen) run(mode string) report {
 						Mapping: "demo", Graph: "demo", Query: lg.sc.QueryTexts[qi]})
 				}
 				if err != nil {
-					errs[c]++
+					if isShed(err) {
+						sheds[c]++
+					} else {
+						errs[c]++
+					}
 					continue
 				}
 				latencies[i] = time.Since(t0)
@@ -410,15 +457,139 @@ func (lg *loadgen) run(mode string) report {
 	r := report{Mode: mode, Clients: lg.clients, Requests: lg.total, Seconds: elapsed.Seconds()}
 	for c := 0; c < lg.clients; c++ {
 		r.Errors += errs[c]
+		r.Shed += sheds[c]
 		r.Answers += answers[c]
 		r.Mismatches += mismatches[c]
 	}
-	r.OK = r.Requests - r.Errors
+	r.OK = r.Requests - r.Errors - r.Shed
 	if r.Requests > 0 {
 		r.ErrorRate = float64(r.Errors) / float64(r.Requests)
+		r.ShedRate = float64(r.Shed) / float64(r.Requests)
 	}
 	if elapsed > 0 {
 		r.RequestsPerSec = float64(r.OK) / elapsed.Seconds()
+		r.AnswersPerSec = float64(r.Answers) / elapsed.Seconds()
+	}
+	good := latencies[:0]
+	for i, d := range latencies {
+		if ok[i] {
+			good = append(good, d)
+		}
+	}
+	sort.Slice(good, func(i, j int) bool { return good[i] < good[j] })
+	r.P50MS = ms(percentile(good, 50))
+	r.P99MS = ms(percentile(good, 99))
+	return r
+}
+
+// isShed reports whether a failed request was refused by the server's load
+// shedding (governor, breaker, drain) rather than failing outright: the
+// refusal kinds a well-behaved client treats as "come back later".
+func isShed(err error) bool {
+	for _, kind := range []string{"overloaded", "rate_limited", "busy", "degraded", "draining"} {
+		if client.IsKind(err, kind) {
+			return true
+		}
+	}
+	return false
+}
+
+// runOpen replays the stream with open-loop Poisson arrivals at lg.rate
+// requests per second: arrivals do not wait for completions, so offered
+// load is independent of server latency — exactly the regime that
+// distinguishes a server that sheds crisply from one that collapses.
+// Session mode pre-opens one session per client slot; request i runs
+// through slot i modulo clients.
+func (lg *loadgen) runOpen(mode string) report {
+	latencies := make([]time.Duration, lg.total)
+	ok := make([]bool, lg.total)
+	var answers, errs, sheds, mismatches atomic.Int64
+
+	ctx := context.Background()
+	sessions := make([]string, lg.clients)
+	if mode == "session" {
+		for c := range sessions {
+			api := lg.api[c%lg.tenants]
+			si, err := api.CreateSession(ctx, server.CreateSessionRequest{Mapping: "demo", Graph: "demo"})
+			if err != nil {
+				log.Fatalf("opening session for client slot %d: %v", c, err)
+			}
+			sessions[c] = si.ID
+			defer api.CloseSession(ctx, si.ID)
+		}
+	}
+
+	rng := rand.New(rand.NewSource(lg.seed))
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := start
+	for i := 0; i < lg.total; i++ {
+		next = next.Add(time.Duration(rng.ExpFloat64() / lg.rate * float64(time.Second)))
+		if d := time.Until(next); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := i % lg.clients
+			api := lg.api[c%lg.tenants]
+			qi := i % len(lg.sc.QueryTexts)
+			t0 := time.Now()
+			var resp server.QueryResponse
+			var err error
+			if mode == "session" {
+				resp, err = api.Query(ctx, sessions[c], server.QueryRequest{Query: lg.sc.QueryTexts[qi]})
+			} else {
+				resp, err = api.OneShot(ctx, server.OneShotRequest{
+					Mapping: "demo", Graph: "demo", Query: lg.sc.QueryTexts[qi]})
+			}
+			if err != nil {
+				if isShed(err) {
+					sheds.Add(1)
+				} else {
+					errs.Add(1)
+				}
+				return
+			}
+			latencies[i] = time.Since(t0)
+			ok[i] = true
+			answers.Add(int64(resp.Count))
+			if lg.expected != nil {
+				got, merr := json.Marshal(resp.Answers)
+				if merr != nil || !bytes.Equal(got, lg.expected[qi]) {
+					log.Printf("verify mismatch on query %d (%s mode, open loop)", qi, mode)
+					mismatches.Add(1)
+					return
+				}
+				lg.verified.Add(1)
+			}
+		}(i)
+	}
+	arrivalsDone := time.Since(start)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	r := report{
+		Mode:       mode,
+		Clients:    lg.clients,
+		Requests:   lg.total,
+		Shed:       int(sheds.Load()),
+		Errors:     int(errs.Load()),
+		Answers:    int(answers.Load()),
+		Mismatches: int(mismatches.Load()),
+		Seconds:    elapsed.Seconds(),
+	}
+	r.OK = r.Requests - r.Errors - r.Shed
+	if r.Requests > 0 {
+		r.ErrorRate = float64(r.Errors) / float64(r.Requests)
+		r.ShedRate = float64(r.Shed) / float64(r.Requests)
+	}
+	if arrivalsDone > 0 {
+		r.OfferedPerSec = float64(r.Requests) / arrivalsDone.Seconds()
+	}
+	if elapsed > 0 {
+		r.GoodputPerSec = float64(r.OK) / elapsed.Seconds()
+		r.RequestsPerSec = r.GoodputPerSec
 		r.AnswersPerSec = float64(r.Answers) / elapsed.Seconds()
 	}
 	good := latencies[:0]

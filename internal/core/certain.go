@@ -204,7 +204,7 @@ func (mat *Materialization) CertainExact(ctx context.Context, q Query, opts Exac
 	// per-shard chase counters first: an over-budget search is rejected
 	// without ever building the merged solution.
 	if mat.Sharded() {
-		count, err := mat.UniversalNullCount()
+		count, err := mat.UniversalNullCountCtx(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -213,11 +213,11 @@ func (mat *Materialization) CertainExact(ctx context.Context, q Query, opts Exac
 				count, opts.MaxNulls)
 		}
 	}
-	u, err := mat.Universal()
+	u, err := mat.UniversalCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
-	nulls, err := mat.UniversalNulls()
+	nulls, err := mat.UniversalNullsCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +351,7 @@ func (mat *Materialization) CertainExactPair(ctx context.Context, q Query,
 	if err != nil {
 		return false, err
 	}
-	u, err := mat.Universal()
+	u, err := mat.UniversalCtx(ctx)
 	if err != nil {
 		return false, err
 	}
@@ -362,7 +362,7 @@ func (mat *Materialization) CertainExactPair(ctx context.Context, q Query,
 	if _, ok := dom[to]; !ok {
 		return false, nil
 	}
-	nulls, err := mat.UniversalNulls()
+	nulls, err := mat.UniversalNullsCtx(ctx)
 	if err != nil {
 		return false, err
 	}

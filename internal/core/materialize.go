@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -71,6 +72,9 @@ type Materialization struct {
 	srcPart memo[*datagraph.Partition]
 	uniSh   memo[*ShardedSolution]
 	liSh    memo[*ShardedSolution]
+
+	// size memoizes the SizeBytes walk keyed on the set of built artifacts.
+	size sizeCache
 }
 
 // NewMaterialization builds an empty materialization for a compiled mapping
@@ -156,24 +160,39 @@ func (mat *Materialization) DomIDs() map[datagraph.NodeID]struct{} {
 
 // Universal returns the memoized SQL-null universal solution (Section 7).
 func (mat *Materialization) Universal() (*datagraph.Graph, error) {
+	return mat.UniversalCtx(context.Background())
+}
+
+// UniversalCtx is Universal with a deadline: the chase that builds a
+// missing solution checks ctx between rules, so a canceled request
+// abandons a cold materialization promptly instead of finishing it. The
+// partial build is discarded (errors are never memoized) and the next
+// caller retries under its own deadline.
+func (mat *Materialization) UniversalCtx(ctx context.Context) (*datagraph.Graph, error) {
 	return mat.uni.get(func() (*datagraph.Graph, error) {
 		// Fault point "core.memo": the memoization gate, the moment a
 		// missing artifact commits to being built.
 		if err := fault.Hit("core.memo"); err != nil {
 			return nil, err
 		}
-		return mat.buildSolution(solutionNulls)
+		return mat.buildSolution(ctx, solutionNulls)
 	})
 }
 
 // LeastInformative returns the memoized fresh-value least informative
 // solution (Section 8).
 func (mat *Materialization) LeastInformative() (*datagraph.Graph, error) {
+	return mat.LeastInformativeCtx(context.Background())
+}
+
+// LeastInformativeCtx is LeastInformative with a deadline (see
+// UniversalCtx).
+func (mat *Materialization) LeastInformativeCtx(ctx context.Context) (*datagraph.Graph, error) {
 	return mat.li.get(func() (*datagraph.Graph, error) {
 		if err := fault.Hit("core.memo"); err != nil {
 			return nil, err
 		}
-		return mat.buildSolution(solutionFresh)
+		return mat.buildSolution(ctx, solutionFresh)
 	})
 }
 
@@ -190,22 +209,34 @@ func (mat *Materialization) SourcePartition() *datagraph.Partition {
 // universal solution. Valid for any shard count; with Shards == 1 the
 // single fragment is the whole solution.
 func (mat *Materialization) UniversalSharded() (*ShardedSolution, error) {
+	return mat.UniversalShardedCtx(context.Background())
+}
+
+// UniversalShardedCtx is UniversalSharded with a deadline (see
+// UniversalCtx).
+func (mat *Materialization) UniversalShardedCtx(ctx context.Context) (*ShardedSolution, error) {
 	return mat.uniSh.get(func() (*ShardedSolution, error) {
 		if err := fault.Hit("core.memo"); err != nil {
 			return nil, err
 		}
-		return mat.buildShardedSolution(solutionNulls)
+		return mat.buildShardedSolution(ctx, solutionNulls)
 	})
 }
 
 // LeastInformativeSharded returns the memoized per-shard fragments of the
 // least informative solution.
 func (mat *Materialization) LeastInformativeSharded() (*ShardedSolution, error) {
+	return mat.LeastInformativeShardedCtx(context.Background())
+}
+
+// LeastInformativeShardedCtx is LeastInformativeSharded with a deadline
+// (see UniversalCtx).
+func (mat *Materialization) LeastInformativeShardedCtx(ctx context.Context) (*ShardedSolution, error) {
 	return mat.liSh.get(func() (*ShardedSolution, error) {
 		if err := fault.Hit("core.memo"); err != nil {
 			return nil, err
 		}
-		return mat.buildShardedSolution(solutionFresh)
+		return mat.buildShardedSolution(ctx, solutionFresh)
 	})
 }
 
@@ -225,14 +256,20 @@ func (mat *Materialization) UniversalShardedCached() *ShardedSolution {
 // chase counters, so the exact-search budget check can fire without ever
 // building the merged view.
 func (mat *Materialization) UniversalNullCount() (int, error) {
+	return mat.UniversalNullCountCtx(context.Background())
+}
+
+// UniversalNullCountCtx is UniversalNullCount with a deadline on any chase
+// it triggers.
+func (mat *Materialization) UniversalNullCountCtx(ctx context.Context) (int, error) {
 	if mat.Sharded() {
-		ss, err := mat.UniversalSharded()
+		ss, err := mat.UniversalShardedCtx(ctx)
 		if err != nil {
 			return 0, err
 		}
 		return ss.TotalNulls, nil
 	}
-	nulls, err := mat.UniversalNulls()
+	nulls, err := mat.UniversalNullsCtx(ctx)
 	if err != nil {
 		return 0, err
 	}
@@ -241,8 +278,14 @@ func (mat *Materialization) UniversalNullCount() (int, error) {
 
 // UniversalNulls returns the null-node ids of the universal solution.
 func (mat *Materialization) UniversalNulls() ([]datagraph.NodeID, error) {
+	return mat.UniversalNullsCtx(context.Background())
+}
+
+// UniversalNullsCtx is UniversalNulls with a deadline on any chase it
+// triggers.
+func (mat *Materialization) UniversalNullsCtx(ctx context.Context) ([]datagraph.NodeID, error) {
 	return mat.nulls.get(func() ([]datagraph.NodeID, error) {
-		u, err := mat.Universal()
+		u, err := mat.UniversalCtx(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -259,8 +302,10 @@ func (mat *Materialization) SourceValues() []datagraph.Value {
 }
 
 // buildSolution materialises a solution in either style using the memoized
-// source pairs and the precompiled target words.
-func (mat *Materialization) buildSolution(style solutionStyle) (*datagraph.Graph, error) {
+// source pairs and the precompiled target words. The chase checks ctx once
+// per rule — the same granularity as the core.chase fault point — so a
+// canceled request abandons the partial target graph mid-chase.
+func (mat *Materialization) buildSolution(ctx context.Context, style solutionStyle) (*datagraph.Graph, error) {
 	if !mat.cm.IsRelational() {
 		return nil, fmt.Errorf("core: %w", ErrInfinite)
 	}
@@ -287,6 +332,9 @@ func (mat *Materialization) buildSolution(style solutionStyle) (*datagraph.Graph
 		// is discarded, never published to the memo).
 		if err := fault.Hit("core.chase"); err != nil {
 			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, Canceled(err)
 		}
 		word, _ := mat.cm.TargetWord(ri)
 		pairs := pairsByRule[ri].Sorted()

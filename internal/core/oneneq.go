@@ -75,7 +75,7 @@ func (mat *Materialization) CertainOneInequality(ctx context.Context, q *ree.Que
 	if n := ree.CountNeq(q.Expr()); n > 1 {
 		return false, fmt.Errorf("core: query %s has %d inequalities; at most one allowed", q, n)
 	}
-	u, err := mat.Universal()
+	u, err := mat.UniversalCtx(ctx)
 	if err != nil {
 		return false, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strconv"
@@ -90,7 +91,7 @@ func (ss *ShardedSolution) NumShards() int { return len(ss.Shards) }
 // bins (rule, pair) jobs to shards and reproduces the sequential
 // fault-injection and ε-validation order, then a bounded goroutine pool
 // materialises one fragment per shard.
-func (mat *Materialization) buildShardedSolution(style solutionStyle) (*ShardedSolution, error) {
+func (mat *Materialization) buildShardedSolution(ctx context.Context, style solutionStyle) (*ShardedSolution, error) {
 	if !mat.cm.IsRelational() {
 		return nil, fmt.Errorf("core: %w", ErrInfinite)
 	}
@@ -119,6 +120,9 @@ func (mat *Materialization) buildShardedSolution(style solutionStyle) (*ShardedS
 	for ri, r := range rules {
 		if err := fault.Hit("core.chase"); err != nil {
 			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, Canceled(err)
 		}
 		word := words[ri]
 		pairs := pairsByRule[ri].Sorted()

@@ -97,6 +97,13 @@ func evalExchange(ctx context.Context, q *rpq.Query, views []ShardView, opts Opt
 		}
 	}
 
+	// canceled is the chunk-granularity cancellation hook threaded into
+	// every shard kernel: each worker polls it between entries and (via
+	// rpq.CancelCheckEvery) inside the product BFS, so an expired deadline
+	// or a disconnected client releases all shard workers within one chunk
+	// of expansion work, not at the next exchange-round barrier.
+	canceled := func() bool { return ctx.Err() != nil }
+
 	for len(frontier) > 0 {
 		stats.Rounds++
 		// Fault point "engine.exchange": one per exchange round, the
@@ -113,8 +120,14 @@ func evalExchange(ctx context.Context, q *rpq.Query, views []ShardView, opts Opt
 		}
 		results := make([][]*entrySummary, k)
 		forEachShard(k, opts.workers(), func(s int) {
-			results[s] = evalShardBatch(progs[s], views, s, byShard[s], startStates)
+			results[s] = evalShardBatch(progs[s], views, s, byShard[s], startStates, canceled)
 		})
+		// A mid-round cancellation leaves partial batch results; re-check
+		// before folding them in so a canceled evaluation can never be
+		// mistaken for a converged one.
+		if err := ctx.Err(); err != nil {
+			return nil, stats, core.Canceled(err)
+		}
 		frontier = frontier[:0]
 		for s := range byShard {
 			for i, ek := range byShard[s] {
@@ -137,11 +150,17 @@ func evalExchange(ctx context.Context, q *rpq.Query, views []ShardView, opts Opt
 // evalShardBatch evaluates one shard's entry batch sequentially over the
 // shard's program and scratch. It reads other views only through their
 // frozen fragments (id lookup of exit targets), which is safe concurrently.
-func evalShardBatch(prog *rpq.ShardProg, views []ShardView, s int, batch []entryKey, startStates []int) []*entrySummary {
+// canceled is polled between entries and inside each product BFS; once it
+// fires the rest of the batch is abandoned (the caller re-checks the
+// context before using any results).
+func evalShardBatch(prog *rpq.ShardProg, views []ShardView, s int, batch []entryKey, startStates []int, canceled func() bool) []*entrySummary {
 	v := views[s]
 	out := make([]*entrySummary, len(batch))
 	var seeds []rpq.Seed
 	for i, ek := range batch {
+		if canceled != nil && canceled() {
+			return out
+		}
 		sum := &entrySummary{}
 		out[i] = sum
 		seeds = seeds[:0]
@@ -166,7 +185,8 @@ func evalShardBatch(prog *rpq.ShardProg, views []ShardView, s int, batch []entry
 					return
 				}
 				sum.exits = append(sum.exits, entryKey{owner, int32(ol), int32(st)})
-			})
+			},
+			canceled)
 	}
 	return out
 }
@@ -179,10 +199,14 @@ type shardPair struct {
 
 // collectAnswers walks the exchange summaries from every start entry,
 // unioning the accepts of all entries reachable through exit edges — the
-// second, cheap phase over the boundary summary graph. Starts are chunked
-// over the worker pool; answer order across workers is nondeterministic,
-// so callers must merge into a set keyed on global identity.
-func collectAnswers(views []ShardView, summaries map[entryKey]*entrySummary, opts Options, emit func(p shardPair)) {
+// second phase over the boundary summary graph. Starts are chunked over the
+// worker pool; answer order across workers is nondeterministic, so callers
+// must merge into a set keyed on global identity. On dense closure queries
+// this phase dominates (the pair set can be quadratic), so it honors the
+// same chunk-granularity cancellation as the kernels: workers poll ctx
+// every rpq.CancelCheckEvery accepted pairs and the caller must discard the
+// partial emission when collectAnswers returns a non-nil error.
+func collectAnswers(ctx context.Context, views []ShardView, summaries map[entryKey]*entrySummary, opts Options, emit func(p shardPair)) error {
 	type start struct{ shard, local int32 }
 	var starts []start
 	for s := range views {
@@ -195,11 +219,23 @@ func collectAnswers(views []ShardView, summaries map[entryKey]*entrySummary, opt
 		workers = len(starts)
 	}
 	buffers := make([][]shardPair, max(workers, 1))
+	var canceled atomic.Bool
 	runStart := func(w int, st start) {
 		seen := map[entryKey]struct{}{}
 		stack := []entryKey{{st.shard, st.local, startState}}
 		seen[stack[0]] = struct{}{}
+		work := 0
 		for len(stack) > 0 {
+			work++
+			if work >= rpq.CancelCheckEvery {
+				work = 0
+				if ctx.Err() != nil {
+					canceled.Store(true)
+				}
+			}
+			if canceled.Load() {
+				return
+			}
 			ek := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			sum := summaries[ek]
@@ -209,6 +245,7 @@ func collectAnswers(views []ShardView, summaries map[entryKey]*entrySummary, opt
 			for _, a := range sum.accepts {
 				buffers[w] = append(buffers[w], shardPair{st.shard, st.local, ek.shard, a})
 			}
+			work += len(sum.accepts)
 			for _, x := range sum.exits {
 				if _, ok := seen[x]; !ok {
 					seen[x] = struct{}{}
@@ -220,11 +257,23 @@ func collectAnswers(views []ShardView, summaries map[entryKey]*entrySummary, opt
 	forEachShardRange(len(starts), workers, func(w, i int) {
 		runStart(w, starts[i])
 	})
+	if err := ctx.Err(); err != nil {
+		return core.Canceled(err)
+	}
+	emitted := 0
 	for _, buf := range buffers {
 		for _, p := range buf {
 			emit(p)
+			emitted++
+			if emitted >= rpq.CancelCheckEvery {
+				emitted = 0
+				if err := ctx.Err(); err != nil {
+					return core.Canceled(err)
+				}
+			}
 		}
 	}
+	return nil
 }
 
 // viewsOfSolution adapts a sharded solution's fragments.
@@ -257,7 +306,7 @@ func viewsOfSnapshot(ss *datagraph.ShardedSnapshot) []ShardView {
 // Byte-for-byte equivalent to evaluating q over the merged universal
 // solution and filtering.
 func CertainNullSharded(ctx context.Context, mat *core.Materialization, q *rpq.Query, opts Options) (*core.Answers, ExchangeStats, error) {
-	ss, err := mat.UniversalSharded()
+	ss, err := mat.UniversalShardedCtx(ctx)
 	if err != nil {
 		return nil, ExchangeStats{}, err
 	}
@@ -267,13 +316,15 @@ func CertainNullSharded(ctx context.Context, mat *core.Materialization, q *rpq.Q
 		return nil, stats, err
 	}
 	ans := core.NewAnswers()
-	collectAnswers(views, summaries, opts, func(p shardPair) {
+	if err := collectAnswers(ctx, views, summaries, opts, func(p shardPair) {
 		to := views[p.toShard].G.Node(int(p.to))
 		if to.IsNullNode() {
 			return
 		}
 		ans.Add(core.Answer{From: views[p.fromShard].G.Node(int(p.from)), To: to})
-	})
+	}); err != nil {
+		return nil, stats, err
+	}
 	return ans, stats, nil
 }
 
@@ -281,7 +332,7 @@ func CertainNullSharded(ctx context.Context, mat *core.Materialization, q *rpq.Q
 // 5 procedure over the sharded least informative solution: answers are kept
 // only when both endpoints are dom(M, Gs) nodes.
 func CertainLeastInformativeSharded(ctx context.Context, mat *core.Materialization, q *rpq.Query, opts Options) (*core.Answers, ExchangeStats, error) {
-	ss, err := mat.LeastInformativeSharded()
+	ss, err := mat.LeastInformativeShardedCtx(ctx)
 	if err != nil {
 		return nil, ExchangeStats{}, err
 	}
@@ -292,13 +343,15 @@ func CertainLeastInformativeSharded(ctx context.Context, mat *core.Materializati
 		return nil, stats, err
 	}
 	ans := core.NewAnswers()
-	collectAnswers(views, summaries, opts, func(p shardPair) {
+	if err := collectAnswers(ctx, views, summaries, opts, func(p shardPair) {
 		to := views[p.toShard].G.Node(int(p.to))
 		if _, ok := dom[to.ID]; !ok {
 			return
 		}
 		ans.Add(core.Answer{From: views[p.fromShard].G.Node(int(p.from)), To: to})
-	})
+	}); err != nil {
+		return nil, stats, err
+	}
 	return ans, stats, nil
 }
 
@@ -316,10 +369,12 @@ func EvalSourceSharded(ctx context.Context, ss *datagraph.ShardedSnapshot, q *rp
 		n += ss.Shard(s).NumOwned()
 	}
 	res := datagraph.NewPairSetSized(n)
-	collectAnswers(views, summaries, opts, func(p shardPair) {
+	if err := collectAnswers(ctx, views, summaries, opts, func(p shardPair) {
 		res.Add(ss.Shard(int(p.fromShard)).GlobalOf(int(p.from)),
 			ss.Shard(int(p.toShard)).GlobalOf(int(p.to)))
-	})
+	}); err != nil {
+		return nil, stats, err
+	}
 	return res, stats, nil
 }
 

@@ -58,6 +58,13 @@ func (q *Query) LowerOnto(g *datagraph.Graph) *ShardProg {
 // fragment, a ghost's does not.
 func (sp *ShardProg) CanSkipStart(u int) bool { return sp.q.canSkipStart(sp.p, u) }
 
+// CancelCheckEvery is the chunk granularity of cooperative cancellation
+// inside the product BFS: EvalSeeds polls its cancel hook once per this
+// many popped product pairs, so a canceled query releases a shard worker
+// after at most one chunk of expansion work — milliseconds on any
+// realistic fragment — instead of running its traversal to completion.
+const CancelCheckEvery = 1024
+
 // EvalSeeds runs the product BFS over the fragment from the given seeds.
 // stop marks boundary (ghost) nodes: every product pair reaching one is
 // reported through exit — exactly once per (node, state) — and not expanded
@@ -66,7 +73,12 @@ func (sp *ShardProg) CanSkipStart(u int) bool { return sp.q.canSkipStart(sp.p, u
 // stop nodes (a path may legitimately end on a ghost). Seed states are used
 // verbatim; callers seeding a fresh traversal must pass the closed start
 // states (StartStates).
-func (sp *ShardProg) EvalSeeds(seeds []Seed, stop func(node int) bool, accept func(node int), exit func(node, state int)) {
+//
+// cancel, when non-nil, is polled every CancelCheckEvery popped pairs;
+// once it reports true the traversal stops immediately and EvalSeeds
+// returns false — its partial accept/exit reports must be discarded. A
+// completed traversal returns true.
+func (sp *ShardProg) EvalSeeds(seeds []Seed, stop func(node int) bool, accept func(node int), exit func(node, state int), cancel func() bool) bool {
 	q, p, sc := sp.q, sp.p, sp.scratch
 	numStates := q.nfa.NumStates
 	sc.epoch++
@@ -82,7 +94,17 @@ func (sp *ShardProg) EvalSeeds(seeds []Seed, stop func(node int) bool, accept fu
 	for _, s := range seeds {
 		push(s.Node, int(s.State))
 	}
+	popped := 0
 	for len(sc.queue) > 0 {
+		if cancel != nil {
+			popped++
+			if popped >= CancelCheckEvery {
+				popped = 0
+				if cancel() {
+					return false
+				}
+			}
+		}
 		id := sc.queue[len(sc.queue)-1]
 		sc.queue = sc.queue[:len(sc.queue)-1]
 		node, state := int(id)/numStates, int(id)%numStates
@@ -109,4 +131,5 @@ func (sp *ShardProg) EvalSeeds(seeds []Seed, stop func(node int) bool, accept fu
 			}
 		}
 	}
+	return true
 }

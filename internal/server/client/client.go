@@ -105,7 +105,7 @@ func (c *Client) HTTPErrors() uint64 { return c.httpErrors.Load() }
 // APIError is a non-2xx response decoded from the server's error body.
 type APIError struct {
 	Status int    // HTTP status code
-	Kind   string // stable machine-readable kind ("busy", "degraded", ...)
+	Kind   string // stable machine-readable kind ("overloaded", "degraded", ...)
 	Msg    string // human-readable message
 
 	retryAfter time.Duration // parsed Retry-After hint, 0 if absent

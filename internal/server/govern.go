@@ -1,0 +1,361 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro"
+	"repro/internal/fault"
+)
+
+// This file is the resource governor: the admission layer that replaced the
+// flat in-flight semaphore. Three mechanisms compose, all per tenant:
+//
+//   - a token bucket (-tenant-rps / -tenant-burst) that bounds each
+//     tenant's request *rate* before any queueing — a flooding tenant is
+//     answered 429 rate_limited with the exact refill time, and never
+//     occupies queue space other tenants could use;
+//   - a bounded, deadline-aware wait queue: when the in-flight capacity is
+//     full, requests wait in per-tenant FIFO queues drained by
+//     deficit-weighted round robin, so a tenant with a thousand queued
+//     requests still hands the next free slot to the tenant with one.
+//     Requests are shed immediately (503 overloaded) when their tenant's
+//     queue is full or when the estimated wait — queue depth times the
+//     EWMA service time over capacity — already exceeds the request's
+//     deadline: work that cannot finish in time is refused while it is
+//     still cheap to refuse;
+//   - adaptive Retry-After: every refusal carries a backoff hint computed
+//     from the actual queue state (estimated drain time, or token refill
+//     time) instead of a constant, so well-behaved clients space their
+//     retries to match the real congestion.
+//
+// Degradation is always *crisp*: a request is served exactly or refused
+// with a typed error — never answered approximately.
+
+// errOverloaded marks requests shed by the governor (queue full, deadline
+// unmeetable) and backend creations refused by the memory budget. Mapped to
+// 503 overloaded with an adaptive Retry-After.
+var errOverloaded = errors.New("server overloaded")
+
+// errRateLimited marks requests refused by a tenant's token bucket. Mapped
+// to 429 rate_limited with the token refill time as Retry-After.
+var errRateLimited = errors.New("tenant rate limit exceeded")
+
+// ewmaPrior is the service-time estimate used before the first completion
+// has been observed.
+const ewmaPrior = 50 * time.Millisecond
+
+// govWaiter is one queued request. All fields are guarded by governor.mu;
+// ready is closed exactly once, when the waiter is granted a slot.
+type govWaiter struct {
+	ready    chan struct{}
+	granted  bool
+	canceled bool
+}
+
+// tenantGov is one tenant's admission state.
+type tenantGov struct {
+	name   string
+	weight int
+
+	// credit is the tenant's remaining deficit-round-robin grants in the
+	// current scheduling pass; reset to weight when the round-robin pointer
+	// advances onto the tenant.
+	credit int
+
+	queue    []*govWaiter
+	inflight int
+
+	// tokens is the token-bucket level; lastRefill the time it was last
+	// brought forward. Unused when the governor has no rate limit.
+	tokens     float64
+	lastRefill time.Time
+
+	admitted    uint64
+	shed        uint64
+	rateLimited uint64
+}
+
+// governor is the admission controller. One per server; all mutable state
+// behind mu.
+type governor struct {
+	capacity   int
+	queueDepth int
+	rps        float64
+	burst      float64
+	weights    map[string]int
+	now        func() time.Time
+
+	mu       sync.Mutex
+	inflight int
+	queued   int // live (non-canceled) waiters across all tenants
+	tenants  map[string]*tenantGov
+	order    []*tenantGov
+	rrIndex  int
+	// ewmaNS is the exponentially weighted moving average of observed
+	// service times, in nanoseconds; 0 until the first completion.
+	ewmaNS float64
+}
+
+func newGovernor(cfg Config) *governor {
+	burst := float64(cfg.TenantBurst)
+	if burst < 1 {
+		burst = 1
+	}
+	return &governor{
+		capacity:   cfg.MaxInFlight,
+		queueDepth: cfg.MaxQueueDepth,
+		rps:        cfg.TenantRPS,
+		burst:      burst,
+		weights:    cfg.TenantWeights,
+		now:        time.Now,
+		tenants:    make(map[string]*tenantGov),
+	}
+}
+
+func (g *governor) weightOf(name string) int {
+	if w, ok := g.weights[name]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// tenantLocked returns (creating on first use) the tenant's state.
+func (g *governor) tenantLocked(name string) *tenantGov {
+	ts, ok := g.tenants[name]
+	if !ok {
+		ts = &tenantGov{
+			name:       name,
+			weight:     g.weightOf(name),
+			tokens:     g.burst,
+			lastRefill: g.now(),
+		}
+		g.tenants[name] = ts
+		g.order = append(g.order, ts)
+	}
+	return ts
+}
+
+// ewmaLocked returns the service-time estimate, falling back to the prior.
+func (g *governor) ewmaLocked() time.Duration {
+	if g.ewmaNS <= 0 {
+		return ewmaPrior
+	}
+	return time.Duration(g.ewmaNS)
+}
+
+// estWaitLocked estimates how long a request arriving now would wait for a
+// slot: the live queue ahead of it, drained capacity-wide at one EWMA
+// service time per slot.
+func (g *governor) estWaitLocked() time.Duration {
+	return time.Duration(float64(g.queued+1) * float64(g.ewmaLocked()) / float64(g.capacity))
+}
+
+// observe folds one completed request's service time into the EWMA.
+// Exported within the package so tests can seed the estimate.
+func (g *governor) observe(d time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.ewmaNS <= 0 {
+		g.ewmaNS = float64(d)
+		return
+	}
+	g.ewmaNS = 0.9*g.ewmaNS + 0.1*float64(d)
+}
+
+// drainHint estimates how long until the server is idle — the Retry-After
+// for requests refused while draining.
+func (g *governor) drainHint() time.Duration {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return time.Duration(float64(g.inflight+g.queued+1) * float64(g.ewmaLocked()) / float64(g.capacity))
+}
+
+// admit gates one request for tenant. It returns a release function to be
+// called (exactly once) when the request completes, or a typed refusal:
+// errRateLimited (token bucket), errOverloaded (queue full / deadline
+// unmeetable) or repro.ErrCanceled (ctx done while queued). Refusals carry
+// an adaptive Retry-After hint.
+func (g *governor) admit(ctx context.Context, tenant string) (release func(), err error) {
+	// Fault point "govern.admit": the admission decision, before any
+	// accounting — an injected error here sheds the request.
+	if err := fault.Hit("govern.admit"); err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	ts := g.tenantLocked(tenant)
+
+	// Rate limit first: a tenant over its rate never consumes a slot or
+	// queue entry, whatever the server-wide load.
+	if g.rps > 0 {
+		now := g.now()
+		ts.tokens += g.rps * now.Sub(ts.lastRefill).Seconds()
+		if ts.tokens > g.burst {
+			ts.tokens = g.burst
+		}
+		ts.lastRefill = now
+		if ts.tokens < 1 {
+			wait := time.Duration((1 - ts.tokens) / g.rps * float64(time.Second))
+			ts.rateLimited++
+			g.mu.Unlock()
+			return nil, retryAfter(fmt.Errorf("%w: tenant %q over %g req/s", errRateLimited, tenant, g.rps), wait)
+		}
+		ts.tokens--
+	}
+
+	// Fast path: free capacity and an empty queue — no reordering hazard.
+	if g.inflight < g.capacity && g.queued == 0 {
+		g.grantLocked(ts)
+		start := g.now()
+		g.mu.Unlock()
+		return g.releaseFunc(ts, start), nil
+	}
+
+	// Shed before queueing when waiting is pointless: tenant queue full,
+	// or the estimated wait already blows the request's deadline.
+	est := g.estWaitLocked()
+	if g.liveQueueLenLocked(ts) >= g.queueDepth {
+		ts.shed++
+		g.mu.Unlock()
+		return nil, retryAfter(fmt.Errorf("%w: tenant %q admission queue full", errOverloaded, tenant), est)
+	}
+	if dl, ok := ctx.Deadline(); ok && g.now().Add(est).After(dl) {
+		ts.shed++
+		g.mu.Unlock()
+		return nil, retryAfter(fmt.Errorf("%w: estimated wait %s exceeds request deadline",
+			errOverloaded, est.Round(time.Millisecond)), est)
+	}
+
+	w := &govWaiter{ready: make(chan struct{})}
+	ts.queue = append(ts.queue, w)
+	g.queued++
+	g.dispatchLocked() // capacity may be free with a non-empty queue
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		start := g.now()
+		return g.releaseFunc(ts, start), nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// Lost the race: a slot was granted concurrently with the
+			// cancellation. Return it and hand it to the next waiter.
+			g.inflight--
+			ts.inflight--
+			g.dispatchLocked()
+			g.mu.Unlock()
+			return nil, fmt.Errorf("%w: canceled while queued for admission", repro.ErrCanceled)
+		}
+		w.canceled = true
+		g.queued--
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w: canceled while queued for admission", repro.ErrCanceled)
+	}
+}
+
+// liveQueueLenLocked counts the tenant's non-canceled waiters.
+func (g *governor) liveQueueLenLocked(ts *tenantGov) int {
+	n := 0
+	for _, w := range ts.queue {
+		if !w.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// grantLocked accounts one admission for ts.
+func (g *governor) grantLocked(ts *tenantGov) {
+	g.inflight++
+	ts.inflight++
+	ts.admitted++
+}
+
+// releaseFunc returns the idempotent completion callback for one admitted
+// request: record the service time, free the slot, wake the next waiter.
+func (g *governor) releaseFunc(ts *tenantGov, start time.Time) func() {
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			elapsed := g.now().Sub(start)
+			g.mu.Lock()
+			if g.ewmaNS <= 0 {
+				g.ewmaNS = float64(elapsed)
+			} else {
+				g.ewmaNS = 0.9*g.ewmaNS + 0.1*float64(elapsed)
+			}
+			g.inflight--
+			ts.inflight--
+			g.dispatchLocked()
+			g.mu.Unlock()
+		})
+	}
+}
+
+// dispatchLocked hands free slots to queued waiters by deficit-weighted
+// round robin: the rotating pointer gives each tenant `weight` grants per
+// pass, so slot share under contention is proportional to weight, not to
+// queue length — a flooding tenant cannot starve a polite one.
+func (g *governor) dispatchLocked() {
+	if len(g.order) == 0 {
+		return
+	}
+	// Each advance of the pointer resets the next tenant's credit; after a
+	// full cycle every tenant has fresh credit, so 2·len(order) advances
+	// without a grant means nothing is grantable.
+	idle := 0
+	for g.inflight < g.capacity && g.queued > 0 && idle <= 2*len(g.order) {
+		ts := g.order[g.rrIndex%len(g.order)]
+		for len(ts.queue) > 0 && ts.queue[0].canceled {
+			ts.queue = ts.queue[1:]
+		}
+		if len(ts.queue) == 0 || ts.credit <= 0 {
+			g.rrIndex++
+			g.order[g.rrIndex%len(g.order)].credit = g.weightOf(g.order[g.rrIndex%len(g.order)].name)
+			idle++
+			continue
+		}
+		w := ts.queue[0]
+		ts.queue = ts.queue[1:]
+		ts.credit--
+		w.granted = true
+		close(w.ready)
+		g.queued--
+		g.grantLocked(ts)
+		idle = 0
+	}
+}
+
+// TenantStats is one tenant's admission counters on the wire.
+type TenantStats struct {
+	Tenant      string `json:"tenant"`
+	InFlight    int    `json:"in_flight"`
+	QueueDepth  int    `json:"queue_depth"`
+	Admitted    uint64 `json:"admitted"`
+	Shed        uint64 `json:"shed"`
+	RateLimited uint64 `json:"rate_limited"`
+}
+
+// snapshot reports the governor's state for /v1/stats: global in-flight and
+// queued counts plus per-tenant counters, sorted by tenant name.
+func (g *governor) snapshot() (inflight, queued int, tenants []TenantStats) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	for _, ts := range g.order {
+		tenants = append(tenants, TenantStats{
+			Tenant:      ts.name,
+			InFlight:    ts.inflight,
+			QueueDepth:  g.liveQueueLenLocked(ts),
+			Admitted:    ts.admitted,
+			Shed:        ts.shed,
+			RateLimited: ts.rateLimited,
+		})
+	}
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Tenant < tenants[j].Tenant })
+	return g.inflight, g.queued, tenants
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// doRec runs one request through the handler and returns the raw recorder,
+// for tests that need headers (Retry-After) as well as the body.
+func doRec(t testing.TB, h http.Handler, method, path, tenant string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var r *http.Request
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r = httptest.NewRequest(method, path, bytes.NewReader(b))
+	} else {
+		r = httptest.NewRequest(method, path, nil)
+	}
+	if tenant != "" {
+		r.Header.Set("X-Tenant", tenant)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// tenantStats pulls one tenant's counters out of the governor snapshot.
+func tenantStats(t testing.TB, s *Server, name string) TenantStats {
+	t.Helper()
+	_, _, tenants := s.gov.snapshot()
+	for _, ts := range tenants {
+		if ts.Tenant == name {
+			return ts
+		}
+	}
+	return TenantStats{Tenant: name}
+}
+
+// TestTenantFairness floods the server from a greedy tenant while a polite
+// tenant issues sequential requests, and verifies the deficit-weighted
+// round robin isolates the polite tenant: every polite request succeeds
+// with bounded latency, only the greedy tenant is shed. Run with -race.
+func TestTenantFairness(t *testing.T) {
+	s, sc := newTestServer(t, Config{MaxInFlight: 2, MaxQueueDepth: 4})
+	// Stretch every request so admission actually contends.
+	s.testHookStarted = func(r *http.Request) { time.Sleep(2 * time.Millisecond) }
+	h := s.Handler()
+
+	var greedySess, politeSess SessionInfo
+	if code := do(t, h, "POST", "/v1/sessions", "greedy", CreateSessionRequest{Mapping: "m", Graph: "g"}, &greedySess); code != 200 {
+		t.Fatalf("create greedy session: status %d", code)
+	}
+	if code := do(t, h, "POST", "/v1/sessions", "polite", CreateSessionRequest{Mapping: "m", Graph: "g"}, &politeSess); code != 200 {
+		t.Fatalf("create polite session: status %d", code)
+	}
+	q := QueryRequest{Query: sc.QueryTexts[0]}
+
+	// Greedy: 8 concurrent workers, far over capacity (2) plus its queue
+	// bound (4), so some of its requests must be shed.
+	const workers, perWorker = 8, 25
+	var wg sync.WaitGroup
+	var greedyOK, greedyShed atomic.Uint64
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				w := doRec(t, h, "POST", "/v1/sessions/"+greedySess.ID+"/query", "greedy", q)
+				switch w.Code {
+				case 200:
+					greedyOK.Add(1)
+				case 503:
+					greedyShed.Add(1)
+				default:
+					t.Errorf("greedy query: unexpected status %d: %s", w.Code, w.Body.String())
+				}
+			}
+		}()
+	}
+
+	// Polite: strictly sequential, never more than one queued request, so
+	// the governor must admit every one — and quickly, because round robin
+	// hands it a slot each scheduling pass regardless of greedy's backlog.
+	const politeN = 20
+	for i := 0; i < politeN; i++ {
+		begin := time.Now()
+		w := doRec(t, h, "POST", "/v1/sessions/"+politeSess.ID+"/query", "polite", q)
+		if w.Code != 200 {
+			t.Fatalf("polite query %d under flood: status %d: %s", i, w.Code, w.Body.String())
+		}
+		if d := time.Since(begin); d > 5*time.Second {
+			t.Fatalf("polite query %d took %s under flood; fairness is broken", i, d)
+		}
+	}
+	wg.Wait()
+	s.WaitIdle()
+
+	gs, ps := tenantStats(t, s, "greedy"), tenantStats(t, s, "polite")
+	if ps.Shed != 0 || ps.Admitted < politeN {
+		t.Errorf("polite tenant: admitted %d shed %d, want >= %d admitted and 0 shed", ps.Admitted, ps.Shed, politeN)
+	}
+	if greedyShed.Load() == 0 || gs.Shed != greedyShed.Load() {
+		t.Errorf("greedy tenant: observed %d sheds, stats say %d; want > 0 and equal", greedyShed.Load(), gs.Shed)
+	}
+	if greedyOK.Load() == 0 {
+		t.Error("greedy tenant made no progress at all; shedding should bound, not starve")
+	}
+}
+
+// TestRetryAfterScalesWithLoad verifies the adaptive backoff hint: shed
+// responses carry a Retry-After derived from the actual queue state, so the
+// hint grows as the queue deepens.
+func TestRetryAfterScalesWithLoad(t *testing.T) {
+	s, _ := newTestServer(t, Config{MaxInFlight: 1, MaxQueueDepth: 2})
+	// Seed the service-time estimate: 2s per request, capacity 1.
+	s.gov.observe(2 * time.Second)
+
+	block := make(chan struct{})
+	parked := make(chan struct{}, 1)
+	s.testHookStarted = func(r *http.Request) {
+		if r.Header.Get("X-Tenant") == "parker" {
+			parked <- struct{}{}
+			<-block
+		}
+	}
+	h := s.Handler()
+
+	var wg sync.WaitGroup
+	enqueue := func(tenant string) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			doRec(t, h, "GET", "/v1/stats", tenant, nil)
+		}()
+	}
+	waitQueued := func(n int) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			if _, queued, _ := s.gov.snapshot(); queued == n {
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("governor never reached %d queued waiters", n)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	shedHint := func() int {
+		t.Helper()
+		w := doRec(t, h, "GET", "/v1/stats", "x", nil)
+		if w.Code != 503 {
+			t.Fatalf("over-queue request: status %d, want 503", w.Code)
+		}
+		var eb ErrorBody
+		if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Kind != "overloaded" {
+			t.Fatalf("over-queue request: kind %q (err %v), want overloaded", eb.Kind, err)
+		}
+		sec, err := strconv.Atoi(w.Header().Get("Retry-After"))
+		if err != nil || sec < 1 {
+			t.Fatalf("Retry-After %q: %v, want integer >= 1", w.Header().Get("Retry-After"), err)
+		}
+		return sec
+	}
+
+	// Occupy the single slot, then fill tenant x's queue.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		doRec(t, h, "GET", "/v1/stats", "parker", nil)
+	}()
+	<-parked
+	enqueue("x")
+	enqueue("x")
+	waitQueued(2)
+	light := shedHint() // 2 queued ahead → est (2+1)·2s/1
+
+	// Deepen the global queue from another tenant; x's next shed must see
+	// a larger drain estimate.
+	enqueue("y")
+	enqueue("y")
+	waitQueued(4)
+	heavy := shedHint() // 4 queued ahead → est (4+1)·2s/1
+
+	if heavy <= light {
+		t.Errorf("Retry-After did not scale with queue depth: light=%ds heavy=%ds", light, heavy)
+	}
+	close(block)
+	wg.Wait()
+	s.WaitIdle()
+}
+
+// TestTenantRateLimit verifies the token bucket: a tenant over its rate is
+// refused 429 rate_limited with the refill time as Retry-After, before it
+// can occupy a slot or queue entry, and other tenants are unaffected.
+func TestTenantRateLimit(t *testing.T) {
+	s, _ := newTestServer(t, Config{TenantRPS: 0.2, TenantBurst: 1})
+	h := s.Handler()
+
+	if w := doRec(t, h, "GET", "/v1/stats", "alice", nil); w.Code != 200 {
+		t.Fatalf("first request within burst: status %d", w.Code)
+	}
+	w := doRec(t, h, "GET", "/v1/stats", "alice", nil)
+	if w.Code != 429 {
+		t.Fatalf("second request over rate: status %d, want 429", w.Code)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Kind != "rate_limited" {
+		t.Fatalf("over-rate kind %q (err %v), want rate_limited", eb.Kind, err)
+	}
+	if sec, err := strconv.Atoi(w.Header().Get("Retry-After")); err != nil || sec < 1 {
+		t.Fatalf("over-rate Retry-After %q, want >= 1s refill hint", w.Header().Get("Retry-After"))
+	}
+	// Buckets are per tenant: bob is not affected by alice's flood.
+	if w := doRec(t, h, "GET", "/v1/stats", "bob", nil); w.Code != 200 {
+		t.Fatalf("other tenant: status %d, want 200", w.Code)
+	}
+	if ts := tenantStats(t, s, "alice"); ts.RateLimited != 1 {
+		t.Errorf("alice rate_limited counter = %d, want 1", ts.RateLimited)
+	}
+	s.WaitIdle()
+}
+
+// TestEvictionRematerializes verifies the memory governor end to end: with
+// a budget too small to retain anything, an idle backend is LRU-evicted on
+// last close, a new backend for a fresh pair is refused 503 overloaded
+// while resident non-idle backends exceed the budget, and a re-created
+// backend lazily re-materializes to byte-for-byte identical answers.
+func TestEvictionRematerializes(t *testing.T) {
+	s, sc := newTestServer(t, Config{MemBudgetBytes: 1})
+	h := s.Handler()
+	// A second, distinct graph so a second backend can be requested.
+	if _, err := s.RegisterGraphText("g2", "node a 1\nnode b 2\nedge a p b\n"); err != nil {
+		t.Fatalf("register g2: %v", err)
+	}
+
+	var si SessionInfo
+	if code := do(t, h, "POST", "/v1/sessions", "alice", CreateSessionRequest{Mapping: "m", Graph: "g"}, &si); code != 200 {
+		t.Fatalf("create session: status %d", code)
+	}
+	// First pass: record every query's canonical answer bytes.
+	before := make([][]byte, len(sc.QueryTexts))
+	for i, text := range sc.QueryTexts {
+		var qr QueryResponse
+		if code := do(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "alice", QueryRequest{Query: text}, &qr); code != 200 {
+			t.Fatalf("query %d: status %d", i, code)
+		}
+		b, err := json.Marshal(qr.Answers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = b
+	}
+
+	// While the backend is live (refcount 1) it cannot be evicted, so a
+	// new pair must be refused: the budget cannot be met.
+	w := doRec(t, h, "POST", "/v1/sessions", "alice", CreateSessionRequest{Mapping: "m", Graph: "g2"})
+	if w.Code != 503 {
+		t.Fatalf("new pair over budget: status %d, want 503", w.Code)
+	}
+	var eb ErrorBody
+	if err := json.Unmarshal(w.Body.Bytes(), &eb); err != nil || eb.Kind != "overloaded" {
+		t.Fatalf("new pair over budget: kind %q (err %v), want overloaded", eb.Kind, err)
+	}
+
+	// Last close: the backend goes idle and the budget (1 byte) evicts it.
+	if code := do(t, h, "DELETE", "/v1/sessions/"+si.ID, "alice", nil, nil); code != 200 {
+		t.Fatalf("close session: status %d", code)
+	}
+	var st StatsResponse
+	if code := do(t, h, "GET", "/v1/stats", "alice", nil, &st); code != 200 {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("evictions = 0 after last close over budget, want > 0")
+	}
+	if st.IdleBackends != 0 || st.ResidentBytes != 0 {
+		t.Fatalf("after eviction: %d idle backends, %d resident bytes, want 0/0", st.IdleBackends, st.ResidentBytes)
+	}
+
+	// Re-open the evicted pair: the backend re-materializes lazily and
+	// every answer must be byte-for-byte what it was before eviction.
+	if code := do(t, h, "POST", "/v1/sessions", "alice", CreateSessionRequest{Mapping: "m", Graph: "g"}, &si); code != 200 {
+		t.Fatalf("re-create session after eviction: status %d", code)
+	}
+	for i, text := range sc.QueryTexts {
+		var qr QueryResponse
+		if code := do(t, h, "POST", "/v1/sessions/"+si.ID+"/query", "alice", QueryRequest{Query: text}, &qr); code != 200 {
+			t.Fatalf("re-query %d: status %d", i, code)
+		}
+		b, err := json.Marshal(qr.Answers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(before[i], b) {
+			t.Errorf("query %d answers changed across eviction:\n before: %s\n after:  %s", i, before[i], b)
+		}
+	}
+	s.WaitIdle()
+}
+
+// TestGovernFaultPoints verifies the chaos hooks: an injected error at
+// govern.admit sheds exactly the next request, and an injected error at
+// govern.evict stops eviction (degrading to an over-budget cache, never a
+// crash) while leaving serving intact.
+func TestGovernFaultPoints(t *testing.T) {
+	s, _ := newTestServer(t, Config{MemBudgetBytes: 1})
+	h := s.Handler()
+	defer fault.Arm("", 0)
+
+	if err := fault.Arm("govern.admit=error:n=1", 1); err != nil {
+		t.Fatalf("arming govern.admit: %v", err)
+	}
+	if w := doRec(t, h, "GET", "/v1/stats", "alice", nil); w.Code/100 == 2 {
+		t.Fatalf("request with govern.admit armed: status %d, want an error", w.Code)
+	}
+	if w := doRec(t, h, "GET", "/v1/stats", "alice", nil); w.Code != 200 {
+		t.Fatalf("request after one-shot fault: status %d, want 200", w.Code)
+	}
+
+	// Eviction fault: the last close would evict, the injected error makes
+	// the governor keep the backend instead.
+	var si SessionInfo
+	if code := do(t, h, "POST", "/v1/sessions", "alice", CreateSessionRequest{Mapping: "m", Graph: "g"}, &si); code != 200 {
+		t.Fatalf("create session: status %d", code)
+	}
+	if err := fault.Arm("govern.evict=error:n=1", 1); err != nil {
+		t.Fatalf("arming govern.evict: %v", err)
+	}
+	if code := do(t, h, "DELETE", "/v1/sessions/"+si.ID, "alice", nil, nil); code != 200 {
+		t.Fatalf("close session with govern.evict armed: status %d", code)
+	}
+	var st StatsResponse
+	if code := do(t, h, "GET", "/v1/stats", "alice", nil, &st); code != 200 {
+		t.Fatalf("stats: status %d", code)
+	}
+	if st.IdleBackends != 1 {
+		t.Fatalf("idle backends = %d after failed eviction, want 1 (kept, not crashed)", st.IdleBackends)
+	}
+	s.WaitIdle()
+}

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"runtime/debug"
@@ -70,9 +71,11 @@ func (sw *statusWriter) Flush() {
 }
 
 // wrap is the admission and isolation middleware: counts the request,
-// refuses new work while draining (503) or at the in-flight cap (429,
-// immediate — overload sheds rather than queues, both with a Retry-After
-// hint), tracks in-flight requests for WaitIdle, and converts a handler
+// refuses new work while draining (503, Retry-After derived from the
+// estimated drain time), admits it through the resource governor —
+// per-tenant rate limits, weighted-fair queueing under the in-flight cap,
+// deadline-aware shedding, all refusals carrying adaptive Retry-After
+// hints — tracks in-flight requests for WaitIdle, and converts a handler
 // panic into a logged 500 so one request's crash never takes down the
 // process or any other tenant's in-flight work.
 func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
@@ -80,18 +83,30 @@ func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
 		s.stats.requests.Add(1)
 		if s.draining.Load() {
 			s.stats.rejectedDraining.Add(1)
-			w.Header().Set("Retry-After", "2")
+			w.Header().Set("Retry-After", strconv.Itoa(ceilSeconds(s.gov.drainHint())))
 			writeJSON(w, http.StatusServiceUnavailable,
 				ErrorBody{Error: "server is draining", Kind: "draining"})
 			return
 		}
-		select {
-		case s.inflight <- struct{}{}:
-		default:
-			s.stats.rejectedBusy.Add(1)
-			w.Header().Set("Retry-After", "1")
-			writeJSON(w, http.StatusTooManyRequests,
-				ErrorBody{Error: "too many in-flight requests", Kind: "busy"})
+		ten, err := tenant(r)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		// The admission wait is bounded by the server's default timeout —
+		// the same budget the request's execution gets — so the governor
+		// can shed requests whose estimated queue wait already exceeds it.
+		actx, acancel := context.WithTimeout(r.Context(), s.cfg.DefaultTimeout)
+		release, err := s.gov.admit(actx, ten)
+		acancel()
+		if err != nil {
+			switch {
+			case errors.Is(err, errRateLimited):
+				s.stats.rejectedRateLimited.Add(1)
+			case errors.Is(err, errOverloaded):
+				s.stats.rejectedOverloaded.Add(1)
+			}
+			s.writeError(w, err)
 			return
 		}
 		s.reqWG.Add(1)
@@ -106,7 +121,7 @@ func (s *Server) wrap(h http.HandlerFunc) http.HandlerFunc {
 						ErrorBody{Error: fmt.Sprintf("internal panic: %v", rec), Kind: "panic"})
 				}
 			}
-			<-s.inflight
+			release()
 			s.reqWG.Done()
 		}()
 		if hook := s.testHookStarted; hook != nil {
@@ -316,6 +331,7 @@ func (s *Server) handlePrepare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	as.be.warmed.Store(true)
+	s.noteBackendUsage(as.be)
 	as.mu.Lock()
 	as.nextPrep++
 	id := fmt.Sprintf("p-%d", as.nextPrep)
@@ -437,6 +453,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	as.be.warmed.Store(true)
+	s.noteBackendUsage(as.be)
 	as.queries.Add(1)
 	as.answers.Add(uint64(ans.Len()))
 	s.stats.queries.Add(1)
@@ -553,6 +570,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	as.be.brk.onSuccess()
 	as.be.warmed.Store(true)
+	s.noteBackendUsage(as.be)
 	as.queries.Add(1)
 	as.answers.Add(uint64(count))
 	s.stats.streams.Add(1)
@@ -721,4 +739,14 @@ func orDefault(s, def string) string {
 		return def
 	}
 	return s
+}
+
+// ceilSeconds rounds a duration up to whole seconds, minimum 1 — the
+// resolution of the Retry-After header.
+func ceilSeconds(d time.Duration) int {
+	sec := int((d + time.Second - 1) / time.Second)
+	if sec < 1 {
+		sec = 1
+	}
+	return sec
 }

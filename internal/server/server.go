@@ -40,10 +40,36 @@ import (
 
 // Config tunes the server; the zero value means the documented defaults.
 type Config struct {
-	// MaxInFlight caps concurrently served requests; excess requests are
-	// refused immediately with 429/busy rather than queued, so overload
-	// degrades crisply. Default 256.
+	// MaxInFlight caps concurrently served requests. Excess requests wait
+	// in per-tenant queues drained fairly by the resource governor; see
+	// MaxQueueDepth. Default 256.
 	MaxInFlight int
+	// MaxQueueDepth caps each tenant's admission queue: requests beyond it
+	// are shed immediately with 503 overloaded and an adaptive Retry-After.
+	// Default 64.
+	MaxQueueDepth int
+	// TenantRPS, when > 0, rate-limits each tenant with a token bucket of
+	// TenantRPS tokens per second. Requests over the rate are refused with
+	// 429 rate_limited and the refill time as Retry-After, before they can
+	// occupy a slot or queue entry. 0 disables rate limiting.
+	TenantRPS float64
+	// TenantBurst is the token-bucket capacity — how many requests a tenant
+	// may issue back-to-back after an idle period. Defaults to TenantRPS
+	// rounded up (minimum 1) when rate limiting is on.
+	TenantBurst int
+	// TenantWeights sets per-tenant admission weights for the governor's
+	// deficit-weighted round robin; unlisted tenants weigh 1. Under
+	// contention a tenant's slot share is proportional to its weight.
+	TenantWeights map[string]int
+	// MemBudgetBytes, when > 0, bounds the total estimated resident bytes
+	// of shared backends (graphs, materialized solutions, answer caches).
+	// Idle backends — those whose sessions have all closed — are retained
+	// for reuse and evicted least-recently-used when the budget is
+	// exceeded; creating a backend for a NEW (mapping, graph) pair is
+	// refused with 503 overloaded when eviction cannot make room, while
+	// existing backends keep serving. 0 means unlimited (idle backends are
+	// dropped as soon as their last session closes).
+	MemBudgetBytes int64
 	// MaxSessionsPerTenant caps open sessions per tenant (429/busy on
 	// excess). Default 64.
 	MaxSessionsPerTenant int
@@ -81,6 +107,15 @@ func (c Config) withDefaults() Config {
 	if c.MaxInFlight <= 0 {
 		c.MaxInFlight = 256
 	}
+	if c.MaxQueueDepth <= 0 {
+		c.MaxQueueDepth = 64
+	}
+	if c.TenantRPS > 0 && c.TenantBurst <= 0 {
+		c.TenantBurst = int(c.TenantRPS + 0.999)
+		if c.TenantBurst < 1 {
+			c.TenantBurst = 1
+		}
+	}
 	if c.MaxSessionsPerTenant <= 0 {
 		c.MaxSessionsPerTenant = 64
 	}
@@ -107,7 +142,7 @@ func (c Config) withDefaults() Config {
 // Handler.
 type Server struct {
 	cfg      Config
-	inflight chan struct{}
+	gov      *governor
 	draining atomic.Bool
 	reqWG    sync.WaitGroup
 
@@ -122,17 +157,19 @@ type Server struct {
 	persist *persister
 
 	stats struct {
-		requests         atomic.Uint64
-		rejectedBusy     atomic.Uint64
-		rejectedDraining atomic.Uint64
-		rejectedDegraded atomic.Uint64
-		queries          atomic.Uint64
-		answers          atomic.Uint64
-		streams          atomic.Uint64
-		oneShots         atomic.Uint64
-		errors           atomic.Uint64
-		panics           atomic.Uint64
-		sessionsCreated  atomic.Uint64
+		requests            atomic.Uint64
+		rejectedOverloaded  atomic.Uint64
+		rejectedRateLimited atomic.Uint64
+		rejectedDraining    atomic.Uint64
+		rejectedDegraded    atomic.Uint64
+		evictions           atomic.Uint64
+		queries             atomic.Uint64
+		answers             atomic.Uint64
+		streams             atomic.Uint64
+		oneShots            atomic.Uint64
+		errors              atomic.Uint64
+		panics              atomic.Uint64
+		sessionsCreated     atomic.Uint64
 	}
 
 	// testHookStarted, when set by tests, runs after a request passes
@@ -159,11 +196,19 @@ type backendKey struct{ mapping, graph string }
 
 // backend owns the base session of one (mapping, graph) pair — and
 // therefore the pair's memoized solutions. API sessions derive from it and
-// hold a reference; the backend is dropped when the last one closes.
+// hold a reference. When the last reference closes, the backend is dropped
+// immediately without a memory budget; with one it is retained idle — its
+// warm materialization serves the pair's next session for free — until the
+// governor's LRU eviction reclaims its bytes.
 type backend struct {
 	key  backendKey
 	sess *repro.Session
 	refs int
+	// bytes is the last estimate of the backend's resident size (source
+	// graph plus every memoized artifact); lastUsed is when it last served
+	// or was created. Both guarded by Server.mu.
+	bytes    int64
+	lastUsed time.Time
 	// warmed flips once any derived session has run a query, so
 	// SessionInfo can report whether a new session joins an already-warm
 	// materialization.
@@ -233,7 +278,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:      cfg,
-		inflight: make(chan struct{}, cfg.MaxInFlight),
+		gov:      newGovernor(cfg),
 		mappings: make(map[string]*mappingEntry),
 		graphs:   make(map[string]*graphEntry),
 		backends: make(map[backendKey]*backend),
@@ -355,10 +400,15 @@ func (s *Server) DeleteMapping(name string) (MappingInfo, error) {
 	if !ok {
 		return MappingInfo{}, fmt.Errorf("mapping %q: %w", name, errNotFound)
 	}
-	for key := range s.backends {
-		if key.mapping == name {
+	for key, be := range s.backends {
+		if key.mapping != name {
+			continue
+		}
+		if be.refs > 0 {
 			return MappingInfo{}, fmt.Errorf("%w: mapping %q has open sessions", errInUse, name)
 		}
+		// Idle backend retained for warmth only: drop it with its mapping.
+		delete(s.backends, key)
 	}
 	if s.persist != nil {
 		if _, err := s.persist.append(opDeleteMapping, name, ""); err != nil {
@@ -377,10 +427,14 @@ func (s *Server) DeleteGraph(name string) (GraphInfo, error) {
 	if !ok {
 		return GraphInfo{}, fmt.Errorf("graph %q: %w", name, errNotFound)
 	}
-	for key := range s.backends {
-		if key.graph == name {
+	for key, be := range s.backends {
+		if key.graph != name {
+			continue
+		}
+		if be.refs > 0 {
 			return GraphInfo{}, fmt.Errorf("%w: graph %q has open sessions", errInUse, name)
 		}
+		delete(s.backends, key)
 	}
 	if s.persist != nil {
 		if _, err := s.persist.append(opDeleteGraph, name, ""); err != nil {
@@ -498,6 +552,17 @@ func (s *Server) createSession(tenant string, req CreateSessionRequest) (Session
 	key := backendKey{mapping: req.Mapping, graph: req.Graph}
 	be, ok := s.backends[key]
 	if !ok {
+		// A new pair must fit the memory budget: evict idle backends LRU
+		// first, and refuse (503 overloaded) if the resident set is still
+		// at the budget — existing backends keep serving untouched.
+		if s.cfg.MemBudgetBytes > 0 {
+			s.evictForBudgetLocked()
+			if resident := s.residentBytesLocked(); resident >= s.cfg.MemBudgetBytes {
+				return SessionInfo{}, fmt.Errorf(
+					"%w: resident backends hold %d of %d budget bytes and none are idle",
+					errOverloaded, resident, s.cfg.MemBudgetBytes)
+			}
+		}
 		// Fault point "server.materialize": backend construction, the
 		// moment a (mapping, graph) pair's serving state comes to life.
 		if err := fault.Hit("server.materialize"); err != nil {
@@ -514,10 +579,11 @@ func (s *Server) createSession(tenant string, req CreateSessionRequest) (Session
 		if err != nil {
 			return SessionInfo{}, err
 		}
-		be = &backend{key: key, sess: base}
+		be = &backend{key: key, sess: base, bytes: base.MemoryBytes()}
 		be.brk.init(s.cfg.BreakerThreshold, s.cfg.BreakerCooldown)
 		s.backends[key] = be
 	}
+	be.lastUsed = time.Now()
 	derived, err := be.sess.Derive(req.Options.options()...)
 	if err != nil {
 		return SessionInfo{}, err
@@ -552,8 +618,10 @@ func (s *Server) session(tenant, id string) (*apiSession, error) {
 	return as, nil
 }
 
-// closeSession removes a tenant's session and drops the shared backend
-// when its last session closes.
+// closeSession removes a tenant's session. Without a memory budget the
+// shared backend is dropped when its last session closes (the historical
+// behavior); with one it is kept idle — warm for the pair's next session —
+// and reclaimed by LRU eviction when the budget needs the room.
 func (s *Server) closeSession(tenant, id string) (SessionInfo, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -564,9 +632,69 @@ func (s *Server) closeSession(tenant, id string) (SessionInfo, error) {
 	delete(s.sessions, id)
 	as.be.refs--
 	if as.be.refs == 0 {
-		delete(s.backends, as.be.key)
+		if s.cfg.MemBudgetBytes <= 0 {
+			delete(s.backends, as.be.key)
+		} else {
+			s.evictForBudgetLocked()
+		}
 	}
 	return as.info(), nil
+}
+
+// noteBackendUsage refreshes a backend's byte estimate and LRU stamp after
+// it served a request, then re-enforces the budget: artifacts materialized
+// by the request (solutions, shards, answer caches) may have grown the
+// resident set past it, in which case idle backends are evicted.
+func (s *Server) noteBackendUsage(be *backend) {
+	bytes := be.sess.MemoryBytes()
+	s.mu.Lock()
+	be.bytes = bytes
+	be.lastUsed = time.Now()
+	s.evictForBudgetLocked()
+	s.mu.Unlock()
+}
+
+// residentBytesLocked sums the byte estimates of all resident backends.
+func (s *Server) residentBytesLocked() int64 {
+	var total int64
+	for _, be := range s.backends {
+		total += be.bytes
+	}
+	return total
+}
+
+// evictForBudgetLocked evicts idle (refcount-zero) backends least recently
+// used first until the resident set fits the budget or no idle backend
+// remains. Each eviction passes the "govern.evict" fault point; an injected
+// failure there stops evicting — the server degrades to refusing new pairs
+// rather than corrupting live ones. Evicted pairs re-materialize lazily on
+// their next session.
+func (s *Server) evictForBudgetLocked() {
+	if s.cfg.MemBudgetBytes <= 0 {
+		return
+	}
+	for s.residentBytesLocked() > s.cfg.MemBudgetBytes {
+		var victim *backend
+		for _, be := range s.backends {
+			if be.refs > 0 {
+				continue
+			}
+			if victim == nil || be.lastUsed.Before(victim.lastUsed) {
+				victim = be
+			}
+		}
+		if victim == nil {
+			return
+		}
+		// Fault point "govern.evict": one per eviction decision.
+		if err := fault.Hit("govern.evict"); err != nil {
+			s.cfg.Logf("eviction of backend %s/%s failed: %v", victim.key.mapping, victim.key.graph, err)
+			return
+		}
+		delete(s.backends, victim.key)
+		s.stats.evictions.Add(1)
+		s.cfg.Logf("evicted idle backend %s/%s (%d bytes)", victim.key.mapping, victim.key.graph, victim.bytes)
+	}
 }
 
 // listSessions returns the tenant's open sessions sorted by id.
@@ -588,6 +716,13 @@ func (s *Server) statsSnapshot() StatsResponse {
 	s.mu.RLock()
 	mappings, graphs := len(s.mappings), len(s.graphs)
 	sessions, backends := len(s.sessions), len(s.backends)
+	residentBytes := s.residentBytesLocked()
+	idleBackends := 0
+	for _, be := range s.backends {
+		if be.refs == 0 {
+			idleBackends++
+		}
+	}
 	p := s.persist
 	var shardBackends []ShardBackendStats
 	if s.cfg.Shards > 1 {
@@ -616,23 +751,32 @@ func (s *Server) statsSnapshot() StatsResponse {
 		})
 	}
 	s.mu.RUnlock()
+	inflight, queued, tenants := s.gov.snapshot()
 	resp := StatsResponse{
-		Draining:         s.draining.Load(),
-		Mappings:         mappings,
-		Graphs:           graphs,
-		SessionsOpen:     sessions,
-		SessionsCreated:  s.stats.sessionsCreated.Load(),
-		SharedBackends:   backends,
-		Requests:         s.stats.requests.Load(),
-		RejectedBusy:     s.stats.rejectedBusy.Load(),
-		RejectedDraining: s.stats.rejectedDraining.Load(),
-		RejectedDegraded: s.stats.rejectedDegraded.Load(),
-		Queries:          s.stats.queries.Load(),
-		Answers:          s.stats.answers.Load(),
-		Streams:          s.stats.streams.Load(),
-		OneShots:         s.stats.oneShots.Load(),
-		Errors:           s.stats.errors.Load(),
-		Panics:           s.stats.panics.Load(),
+		Draining:            s.draining.Load(),
+		Mappings:            mappings,
+		Graphs:              graphs,
+		SessionsOpen:        sessions,
+		SessionsCreated:     s.stats.sessionsCreated.Load(),
+		SharedBackends:      backends,
+		IdleBackends:        idleBackends,
+		ResidentBytes:       residentBytes,
+		MemBudgetBytes:      s.cfg.MemBudgetBytes,
+		Evictions:           s.stats.evictions.Load(),
+		InFlight:            inflight,
+		Queued:              queued,
+		Tenants:             tenants,
+		Requests:            s.stats.requests.Load(),
+		RejectedOverloaded:  s.stats.rejectedOverloaded.Load(),
+		RejectedRateLimited: s.stats.rejectedRateLimited.Load(),
+		RejectedDraining:    s.stats.rejectedDraining.Load(),
+		RejectedDegraded:    s.stats.rejectedDegraded.Load(),
+		Queries:             s.stats.queries.Load(),
+		Answers:             s.stats.answers.Load(),
+		Streams:             s.stats.streams.Load(),
+		OneShots:            s.stats.oneShots.Load(),
+		Errors:              s.stats.errors.Load(),
+		Panics:              s.stats.panics.Load(),
 	}
 	if s.cfg.Shards > 1 {
 		resp.Shards = s.cfg.Shards

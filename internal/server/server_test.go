@@ -12,6 +12,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 	"repro/internal/workload"
@@ -493,11 +494,12 @@ func TestGracefulDrain(t *testing.T) {
 	s.WaitIdle()
 }
 
-// TestInflightCap verifies the admission cap: with MaxInFlight=1 and one
-// request parked in a handler, the next request is refused with 429/busy
-// instead of queueing.
+// TestInflightCap verifies the governed admission path: with MaxInFlight=1
+// and one request parked in a handler, the next request queues fairly (and
+// completes once the slot frees) while a request beyond the tenant's queue
+// bound is shed immediately with 503/overloaded and a Retry-After hint.
 func TestInflightCap(t *testing.T) {
-	s, _ := newTestServer(t, Config{MaxInFlight: 1})
+	s, _ := newTestServer(t, Config{MaxInFlight: 1, MaxQueueDepth: 1})
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var once sync.Once
@@ -517,6 +519,31 @@ func TestInflightCap(t *testing.T) {
 		}
 	}()
 	<-started
+
+	// Second request: occupies the single queue slot and completes after
+	// the parked request releases.
+	queuedCode := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/v1/mappings")
+		if err != nil {
+			queuedCode <- -1
+			return
+		}
+		resp.Body.Close()
+		queuedCode <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, queued, _ := s.gov.snapshot(); queued == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Third request: the tenant's queue is full — shed, not queued.
 	resp, err := http.Get(ts.URL + "/v1/mappings")
 	if err != nil {
 		t.Fatal(err)
@@ -524,9 +551,16 @@ func TestInflightCap(t *testing.T) {
 	var eb ErrorBody
 	json.NewDecoder(resp.Body).Decode(&eb)
 	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || eb.Kind != "overloaded" {
+		t.Fatalf("over-queue request: %d/%s, want 503/overloaded", resp.StatusCode, eb.Kind)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After hint")
+	}
+
 	close(release)
-	if resp.StatusCode != http.StatusTooManyRequests || eb.Kind != "busy" {
-		t.Fatalf("over-cap request: %d/%s, want 429/busy", resp.StatusCode, eb.Kind)
+	if code := <-queuedCode; code != http.StatusOK {
+		t.Fatalf("queued request completed with %d, want 200", code)
 	}
 	s.WaitIdle()
 }

@@ -217,22 +217,40 @@ type StreamChunk struct {
 
 // StatsResponse is the body of GET /v1/stats.
 type StatsResponse struct {
-	Draining         bool   `json:"draining"`
-	Mappings         int    `json:"mappings"`
-	Graphs           int    `json:"graphs"`
-	SessionsOpen     int    `json:"sessions_open"`
-	SessionsCreated  uint64 `json:"sessions_created"`
-	SharedBackends   int    `json:"shared_backends"`
-	Requests         uint64 `json:"requests"`
-	RejectedBusy     uint64 `json:"rejected_busy"`
-	RejectedDraining uint64 `json:"rejected_draining"`
-	RejectedDegraded uint64 `json:"rejected_degraded"`
-	Queries          uint64 `json:"queries"`
-	Answers          uint64 `json:"answers"`
-	Streams          uint64 `json:"streams"`
-	OneShots         uint64 `json:"one_shots"`
-	Errors           uint64 `json:"errors"`
-	Panics           uint64 `json:"panics"`
+	Draining        bool   `json:"draining"`
+	Mappings        int    `json:"mappings"`
+	Graphs          int    `json:"graphs"`
+	SessionsOpen    int    `json:"sessions_open"`
+	SessionsCreated uint64 `json:"sessions_created"`
+	SharedBackends  int    `json:"shared_backends"`
+	// IdleBackends counts resident backends with no open sessions — warm
+	// state retained for reuse, eligible for LRU eviction under the memory
+	// budget. ResidentBytes is the summed byte estimate of all resident
+	// backends; MemBudgetBytes echoes the configured budget (0 unlimited)
+	// and Evictions counts idle backends reclaimed so far.
+	IdleBackends   int    `json:"idle_backends"`
+	ResidentBytes  int64  `json:"resident_bytes"`
+	MemBudgetBytes int64  `json:"mem_budget_bytes,omitempty"`
+	Evictions      uint64 `json:"evictions"`
+	// InFlight and Queued are the governor's current admitted and waiting
+	// request counts; Tenants breaks admission down per tenant.
+	InFlight int           `json:"in_flight"`
+	Queued   int           `json:"queued"`
+	Tenants  []TenantStats `json:"tenants,omitempty"`
+	Requests uint64        `json:"requests"`
+	// RejectedOverloaded counts requests shed by the governor (queue full
+	// or deadline unmeetable) plus backend creations refused by the memory
+	// budget; RejectedRateLimited counts token-bucket refusals.
+	RejectedOverloaded  uint64 `json:"rejected_overloaded"`
+	RejectedRateLimited uint64 `json:"rejected_rate_limited"`
+	RejectedDraining    uint64 `json:"rejected_draining"`
+	RejectedDegraded    uint64 `json:"rejected_degraded"`
+	Queries             uint64 `json:"queries"`
+	Answers             uint64 `json:"answers"`
+	Streams             uint64 `json:"streams"`
+	OneShots            uint64 `json:"one_shots"`
+	Errors              uint64 `json:"errors"`
+	Panics              uint64 `json:"panics"`
 	// Persistent reports whether a state directory is attached; WALSeq is
 	// the last durable registry sequence number and WALWedged whether the
 	// log is refusing appends pending a checkpoint or restart.
@@ -328,6 +346,10 @@ func statusKind(err error) (status int, kind string) {
 		return http.StatusForbidden, "forbidden"
 	case errors.Is(err, errDegraded):
 		return http.StatusServiceUnavailable, "degraded"
+	case errors.Is(err, errOverloaded):
+		return http.StatusServiceUnavailable, "overloaded"
+	case errors.Is(err, errRateLimited):
+		return http.StatusTooManyRequests, "rate_limited"
 	case errors.Is(err, errStorage):
 		return http.StatusServiceUnavailable, "storage_failed"
 	case errors.Is(err, repro.ErrBadOptions):

@@ -93,6 +93,26 @@ if ! echo "$SECOND" | grep -q '"answers"'; then
 fi
 curl -sf -X POST "http://$ADDR/v1/admin/faults" -d '{"spec":""}' > /dev/null
 
+echo "chaos-smoke: phase 1c — injected shed at the admission governor"
+# Arm a one-shot error on the governor's admission decision: the next
+# request must be refused with the injected fault before any work is done,
+# and the one after (plan exhausted) must be admitted and answer normally.
+curl -sf -X POST "http://$ADDR/v1/admin/faults" \
+    -d '{"spec":"govern.admit=error:n=1","seed":11}' > /dev/null
+FIRST="$(curl -s -X POST "http://$ADDR/v1/sessions/$SID/query" -H 'X-Tenant: chaos' \
+    -d '{"query":"s t","lang":"rpq"}')"
+if ! echo "$FIRST" | grep -q 'govern.admit'; then
+    echo "chaos-smoke: armed admission fault did not surface: $FIRST" >&2
+    exit 1
+fi
+SECOND="$(curl -s -X POST "http://$ADDR/v1/sessions/$SID/query" -H 'X-Tenant: chaos' \
+    -d '{"query":"s t","lang":"rpq"}')"
+if ! echo "$SECOND" | grep -q '"answers"'; then
+    echo "chaos-smoke: admission retry after fault exhaustion failed: $SECOND" >&2
+    exit 1
+fi
+curl -sf -X POST "http://$ADDR/v1/admin/faults" -d '{"spec":""}' > /dev/null
+
 echo "chaos-smoke: phase 2 — torn WAL append, then SIGKILL"
 # Arm a one-shot partial write on the WAL and attempt a registration: the
 # append must fail (storage_failed) leaving a torn tail on disk.

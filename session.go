@@ -358,23 +358,23 @@ func (s *Session) exactOpts() ExactOptions {
 // (Section 7). The first call builds and freezes it; later calls — from any
 // goroutine — share it. Callers must not mutate the returned graph.
 func (s *Session) UniversalSolution(ctx context.Context) (*Graph, error) {
-	_, cancel, err := s.begin(ctx)
+	ctx, cancel, err := s.begin(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	return s.mat.Universal()
+	return s.mat.UniversalCtx(ctx)
 }
 
 // LeastInformativeSolution returns the memoized fresh-value least
 // informative solution (Section 8). Callers must not mutate it.
 func (s *Session) LeastInformativeSolution(ctx context.Context) (*Graph, error) {
-	_, cancel, err := s.begin(ctx)
+	ctx, cancel, err := s.begin(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer cancel()
-	return s.mat.LeastInformative()
+	return s.mat.LeastInformativeCtx(ctx)
 }
 
 // CertainNull computes 2ⁿ_M(Q, Gs) (Theorem 4) over the memoized universal
@@ -393,7 +393,7 @@ func (s *Session) CertainNull(ctx context.Context, q Query) (*Answers, error) {
 		s.metrics.record(st)
 		return ans, nil
 	}
-	u, err := s.mat.Universal()
+	u, err := s.mat.UniversalCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -420,7 +420,7 @@ func (s *Session) CertainLeastInformative(ctx context.Context, q Query) (*Answer
 		s.metrics.record(st)
 		return ans, nil
 	}
-	li, err := s.mat.LeastInformative()
+	li, err := s.mat.LeastInformativeCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -504,7 +504,7 @@ func (s *Session) Eval(ctx context.Context, queries ...Query) ([]*Answers, error
 	if s.cfg.shards > 1 {
 		return s.evalSharded(ctx, queries)
 	}
-	u, err := s.mat.Universal()
+	u, err := s.mat.UniversalCtx(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -534,7 +534,7 @@ func (s *Session) evalSharded(ctx context.Context, queries []Query) ([]*Answers,
 		out[i] = ans
 	}
 	if len(rest) > 0 {
-		u, err := s.mat.Universal()
+		u, err := s.mat.UniversalCtx(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -585,7 +585,7 @@ func (s *Session) CertainNullSeq(ctx context.Context, q Query) iter.Seq2[Answer,
 			return
 		}
 		defer cancel()
-		u, err := s.mat.Universal()
+		u, err := s.mat.UniversalCtx(ctx)
 		if err != nil {
 			yield(Answer{}, err)
 			return
@@ -611,7 +611,7 @@ func (s *Session) CertainLeastInformativeSeq(ctx context.Context, q Query) iter.
 			return
 		}
 		defer cancel()
-		li, err := s.mat.LeastInformative()
+		li, err := s.mat.LeastInformativeCtx(ctx)
 		if err != nil {
 			yield(Answer{}, err)
 			return
@@ -728,6 +728,16 @@ func (s *Session) ShardStats() ShardStats {
 	}
 	return st
 }
+
+// MemoryBytes estimates the resident footprint of the session's memoized
+// artifacts — solutions, sharded fragments, source pair sets, interned
+// snapshots — in bytes. The estimate is deterministic and approximate
+// (allocator overhead is folded into flat per-entry constants), never
+// triggers materialization, and is shared by every session derived from
+// the same base: Derive reuses the materialization, so the bytes are the
+// pair's, not the handle's. Serving layers use it to enforce a global
+// memory budget across backends.
+func (s *Session) MemoryBytes() int64 { return s.mat.SizeBytes() }
 
 // PreparedQuery is a reusable query handle for sessions. Preparation pins
 // the parsed form once; the per-snapshot lowered program (interned labels,
