@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke bench-json bench-diff bench-shard lint fmt vet api-check api-update serve-smoke chaos-smoke shard-smoke overload-smoke docs-check ci
+.PHONY: build test test-race bench bench-smoke bench-json bench-diff bench-shard lint fmt vet api-check api-update serve-smoke chaos-smoke shard-smoke overload-smoke ingest-smoke docs-check ci
 
 build:
 	$(GO) build ./...
@@ -64,6 +64,14 @@ serve-smoke:
 chaos-smoke:
 	sh scripts/chaos-smoke.sh
 
+# Relational bulk-ingestion smoke: generate a CSV+SQLite dataset with
+# `gsm genrel`, ingest both with `gsm ingest` (byte-for-byte equal), then
+# stream the same payloads through gsmd's POST /v1/graphs/{name}/ingest
+# and verify the NDJSON contract, idempotent replay and a certain-answer
+# query over the landed graph. See scripts/ingest-smoke.sh.
+ingest-smoke:
+	sh scripts/ingest-smoke.sh
+
 # Sharded serving smoke: boot gsmd -demo -shards 4 and verify every
 # response byte-for-byte against the embedded unsharded session path, then
 # assert /v1/stats exposes the shard layout. See scripts/shard-smoke.sh.
@@ -94,4 +102,4 @@ vet:
 
 lint: fmt vet
 
-ci: build lint api-check docs-check test-race serve-smoke shard-smoke chaos-smoke overload-smoke bench-smoke bench-json
+ci: build lint api-check docs-check test-race serve-smoke shard-smoke chaos-smoke overload-smoke ingest-smoke bench-smoke bench-json

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/ingest"
+	"repro/internal/workload"
+)
+
+const testSchemaText = `table customer file=customer.csv
+col customer id int pk
+col customer name text
+col customer city text null
+table orders file=orders.csv
+col orders id int pk
+col orders customer_id int
+col orders total float null
+fk orders customer_id customer.id
+`
+
+const testCustomersCSV = "id,name,city\n1,alice,paris\n2,bob,\n"
+const testOrdersCSV = "id,customer_id,total\n10,1,19.50\n11,2,\n"
+
+func writeIngestFixture(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	writeFile(t, dir, "schema.txt", testSchemaText)
+	writeFile(t, dir, "customer.csv", testCustomersCSV)
+	writeFile(t, dir, "orders.csv", testOrdersCSV)
+	return dir
+}
+
+// expectedGraphText loads the same fixture in-process — the CLI output
+// must match it byte for byte.
+func expectedGraphText(t *testing.T) string {
+	t.Helper()
+	s, err := ingest.ParseSchema(testSchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, err := ingest.Load(context.Background(), s, ingest.Options{},
+		ingest.CSVString("customer", testCustomersCSV), ingest.CSVString("orders", testOrdersCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g.String()
+}
+
+func TestIngestCSVToStdout(t *testing.T) {
+	dir := writeIngestFixture(t)
+	got, err := runCLI(t, "ingest", "-schema", filepath.Join(dir, "schema.txt"))
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if want := expectedGraphText(t); got != want {
+		t.Fatalf("CLI graph diverged from in-process ingest:\n--- got\n%s--- want\n%s", got, want)
+	}
+}
+
+func TestIngestExplicitSourceAndOutputFile(t *testing.T) {
+	dir := writeIngestFixture(t)
+	alt := writeFile(t, dir, "alt-orders.csv", testOrdersCSV)
+	outPath := filepath.Join(dir, "g.txt")
+	report, err := runCLI(t, "ingest",
+		"-schema", filepath.Join(dir, "schema.txt"),
+		"-o", outPath, "-batch", "2",
+		"orders="+alt)
+	if err != nil {
+		t.Fatalf("ingest: %v", err)
+	}
+	if !strings.Contains(report, "ingested 4 rows") {
+		t.Fatalf("report missing row count: %q", report)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != expectedGraphText(t) {
+		t.Fatalf("-o graph diverged from in-process ingest")
+	}
+}
+
+func TestIngestStrictVsSkipBadRows(t *testing.T) {
+	dir := writeIngestFixture(t)
+	writeFile(t, dir, "customer.csv", "id,name,city\n1,alice,paris\nbad,bob,\n")
+	schema := filepath.Join(dir, "schema.txt")
+	if _, err := runCLI(t, "ingest", "-schema", schema); err == nil {
+		t.Fatal("strict policy must fail on an uncoercible key")
+	} else if !strings.Contains(err.Error(), "row 2") {
+		t.Fatalf("error lost the row coordinate: %v", err)
+	}
+	// Lenient: the bad customer is skipped, which dangles order 11's FK —
+	// also skipped under the same policy.
+	out, err := runCLI(t, "ingest", "-schema", schema, "-skip-bad-rows", "-o", filepath.Join(dir, "g.txt"))
+	if err != nil {
+		t.Fatalf("skip-bad-rows: %v", err)
+	}
+	if !strings.Contains(out, "1 skipped") || !strings.Contains(out, "1 dangling FKs dropped") {
+		t.Fatalf("report missing skip accounting: %q", out)
+	}
+}
+
+func TestGenRelRoundTripsThroughIngest(t *testing.T) {
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "data.sqlite")
+	out, err := runCLI(t, "genrel", "-dir", dir, "-customers", "30", "-products", "10",
+		"-orders", "120", "-seed", "9", "-sqlite", dbPath)
+	if err != nil {
+		t.Fatalf("genrel: %v", err)
+	}
+	if !strings.Contains(out, "160 rows") {
+		t.Fatalf("genrel summary wrong: %q", out)
+	}
+
+	fromCSV, err := runCLI(t, "ingest", "-schema", filepath.Join(dir, "schema.txt"))
+	if err != nil {
+		t.Fatalf("ingest CSV: %v", err)
+	}
+	fromSQLite, err := runCLI(t, "ingest", "-sqlite", dbPath)
+	if err != nil {
+		t.Fatalf("ingest SQLite: %v", err)
+	}
+	if fromCSV != fromSQLite {
+		t.Fatalf("CSV and SQLite ingests of the same dataset diverged")
+	}
+
+	d := workload.Relational(workload.RelationalSpec{Customers: 30, Products: 10, Orders: 120, Seed: 9})
+	g, _, err := ingest.Load(context.Background(), d.Schema, ingest.Options{}, d.Sources()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromCSV != g.String() {
+		t.Fatalf("CLI round trip diverged from in-process load")
+	}
+}
+
+func TestIngestUsageErrors(t *testing.T) {
+	dir := writeIngestFixture(t)
+	schema := filepath.Join(dir, "schema.txt")
+	cases := [][]string{
+		{"ingest"},
+		{"ingest", "-schema", schema, "notatablepath"},
+		{"ingest", "-schema", schema, "ghosts=x.csv"},
+		{"ingest", "-sqlite", filepath.Join(dir, "missing.db")},
+		{"ingest", "-sqlite", schema}, // not a SQLite file
+		{"genrel"},
+	}
+	for _, args := range cases {
+		if _, err := runCLI(t, args...); err == nil {
+			t.Errorf("args %v should fail", args)
+		}
+	}
+}

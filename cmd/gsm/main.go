@@ -16,6 +16,11 @@
 //	gsm check    -source gs.txt -target gt.txt -mapping m.txt
 //	gsm conj     -graph g.txt -query "ans(x,y) :- x -[a]-> z, z -[b=]-> y"
 //	             [-mapping m.txt]   (certain-answer mode when given)
+//	gsm ingest   -schema s.txt [-dir d] [table=file.csv ...] [-o g.txt]
+//	             | -sqlite db.sqlite [-schema s.txt] [-o g.txt]
+//	             [-batch N] [-skip-bad-rows] [-progress]
+//	gsm genrel   -dir out [-customers N -products N -orders N -seed S]
+//	             [-sqlite out.sqlite]
 //
 // Errors exit with distinct codes by kind, dispatched on the facade's typed
 // sentinels: 2 invalid options, 3 search budget exceeded, 4 no/infinite
@@ -63,7 +68,7 @@ func exitCode(err error) int {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: gsm <eval|solve|certain|classify|check|conj> [flags]")
+		return fmt.Errorf("usage: gsm <eval|solve|certain|classify|check|conj|nonempty|ingest|genrel> [flags]")
 	}
 	switch args[0] {
 	case "eval":
@@ -80,6 +85,10 @@ func run(args []string, out io.Writer) error {
 		return cmdConj(args[1:], out)
 	case "nonempty":
 		return cmdNonempty(args[1:], out)
+	case "ingest":
+		return cmdIngest(args[1:], out)
+	case "genrel":
+		return cmdGenRel(args[1:], out)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}

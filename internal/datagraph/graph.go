@@ -82,6 +82,11 @@ type Graph struct {
 	// sharded caches the partitioned freeze (see FreezeSharded), keyed by
 	// the version counters plus its (shards, policy) configuration.
 	sharded atomic.Pointer[ShardedSnapshot]
+
+	// snapFull/snapDelta count snapshot constructions by kind (full rebuild
+	// vs delta merge) over the graph's lifetime; see SnapshotBuilds.
+	snapFull  atomic.Uint64
+	snapDelta atomic.Uint64
 }
 
 // adjIndex is the lazily built flat adjacency form behind Out/In: per-node
@@ -393,6 +398,17 @@ func (g *Graph) Snapshot() *Snapshot {
 		return s
 	}
 	return nil
+}
+
+// SnapshotBuilds returns how many snapshot constructions the graph has
+// paid for, split by kind: full is O(V+E) from-scratch rebuilds (including
+// the first Freeze and every FreezeFull), delta is incremental merges of an
+// append burst into the cached snapshot. Bulk ingestion asserts its batched
+// appends amortize — full stays at 1 while delta grows — instead of
+// tripping the rebuild cliff on every batch. Value-only refreshes (SetValue
+// with unchanged topology) count as neither.
+func (g *Graph) SnapshotBuilds() (full, delta uint64) {
+	return g.snapFull.Load(), g.snapDelta.Load()
 }
 
 // Versions returns the graph's monotonic mutation counters: topology counts

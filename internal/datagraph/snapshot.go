@@ -117,6 +117,15 @@ type labelPairList struct {
 // NumNodes returns the number of nodes.
 func (s *Snapshot) NumNodes() int { return s.n }
 
+// Watermark returns the prefix of the graph's append-only node list and
+// edge log this snapshot was built from. Together with
+// Graph.SnapshotBuilds it lets bulk loaders assert that batched appends
+// take the delta-merge path: after each batch's Freeze the watermark must
+// advance while the full-rebuild counter stays put.
+func (s *Snapshot) Watermark() (nodes, edges int) {
+	return s.frozenNodes, s.frozenEdges
+}
+
 // NumLabels returns the number of distinct edge labels.
 func (s *Snapshot) NumLabels() int { return len(s.labels) }
 
@@ -294,6 +303,7 @@ func buildSnapshot(g *Graph, prev *Snapshot) *Snapshot {
 // buildFull compiles the graph from scratch: one CSR segment per direction,
 // one span per label, fresh interners.
 func buildFull(g *Graph) *Snapshot {
+	g.snapFull.Add(1)
 	n := len(g.nodes)
 	s := &Snapshot{
 		g: g, n: n,
@@ -357,6 +367,7 @@ func buildFull(g *Graph) *Snapshot {
 // row table and value-id array are copied, but none of the label slots,
 // targets or pair spans of untouched nodes are.
 func buildDelta(g *Graph, prev *Snapshot) *Snapshot {
+	g.snapDelta.Add(1)
 	n0, e0 := prev.frozenNodes, prev.frozenEdges
 	n1, e1 := len(g.nodes), len(g.seq)
 	delta := g.seq[e0:e1]

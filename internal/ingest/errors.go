@@ -1,0 +1,54 @@
+package ingest
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Typed sentinel errors, in the spirit of the facade's ErrBadOptions
+// family: callers (the CLI, the server, tests) dispatch with errors.Is
+// instead of parsing messages. Row-scoped sentinels are always delivered
+// wrapped in a *RowError carrying the table and 1-based data row number.
+var (
+	// ErrBadSchema reports a malformed or inconsistent schema: unparseable
+	// text, duplicate tables or columns, a foreign key referencing a
+	// missing table or a non-key column, a nullable primary key.
+	ErrBadSchema = errors.New("ingest: bad schema")
+	// ErrBadHeader reports a CSV header that does not cover the table's
+	// declared columns.
+	ErrBadHeader = errors.New("ingest: bad header")
+	// ErrBadRow reports a row the reader could not parse: ragged width,
+	// broken quoting, an undecodable SQLite record.
+	ErrBadRow = errors.New("ingest: bad row")
+	// ErrCoerce reports a cell that failed type coercion against the
+	// column's declared type.
+	ErrCoerce = errors.New("ingest: type coercion failed")
+	// ErrDuplicatePK reports a second row with an already-loaded primary
+	// key.
+	ErrDuplicatePK = errors.New("ingest: duplicate primary key")
+	// ErrNullPK reports a row whose primary-key cell is NULL.
+	ErrNullPK = errors.New("ingest: null primary key")
+	// ErrDanglingFK reports a foreign-key cell whose referenced row never
+	// appeared in the referenced table.
+	ErrDanglingFK = errors.New("ingest: dangling foreign key")
+)
+
+// RowError is a row-scoped ingestion failure: a typed sentinel plus where
+// it happened. Under the skip-bad-rows policy the pipeline counts these
+// and moves on; under the strict policy the first one aborts the load.
+type RowError struct {
+	Table string
+	Row   int // 1-based data row number (header excluded)
+	Err   error
+}
+
+func (e *RowError) Error() string {
+	return fmt.Sprintf("table %s row %d: %v", e.Table, e.Row, e.Err)
+}
+
+func (e *RowError) Unwrap() error { return e.Err }
+
+// rowErr wraps a sentinel-based error with its row coordinates.
+func rowErr(table string, row int, err error) *RowError {
+	return &RowError{Table: table, Row: row, Err: err}
+}

@@ -1,0 +1,119 @@
+package ingest
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/datagraph"
+)
+
+// The direct mapping, per row. mapRow runs in the parallel map stage of
+// the pipeline: it coerces cells against declared types and lays the row
+// out as the graph operations the single writer will apply. All errors it
+// returns are row-scoped (*RowError).
+
+// cell is one non-key, non-reference column value of a mapped row.
+type cell struct {
+	col  string // declared column name
+	val  string // canonical rendering; meaningless when null
+	null bool
+}
+
+// ref is one foreign-key reference of a mapped row. NULL foreign keys emit
+// no ref (the direct mapping drops the edge entirely).
+type ref struct {
+	label    string
+	refTable string
+	refKey   string // canonical rendering of the referenced primary key
+}
+
+// mappedRow is a coerced row ready for the writer.
+type mappedRow struct {
+	table *Table
+	num   int    // 1-based data row number, for error reporting
+	key   string // canonical primary key (or ordinal for keyless tables)
+	cells []cell
+	refs  []ref
+}
+
+// nodes returns how many graph nodes the row materializes (the row node
+// plus one cell node per property column).
+func (m *mappedRow) nodes() int { return 1 + len(m.cells) }
+
+// edges returns how many edges the row materializes, counting reference
+// edges optimistically (a dangling one is dropped or aborts later).
+func (m *mappedRow) edges() int { return len(m.cells) + len(m.refs) }
+
+// mapRow coerces one raw row into its graph operations.
+func mapRow(t *Table, row Row) (mappedRow, error) {
+	m := mappedRow{table: t, num: row.Num}
+	pki := t.PKIndex()
+	if pki >= 0 {
+		if row.Nulls[pki] {
+			return m, rowErr(t.Name, row.Num, fmt.Errorf("%w: column %q", ErrNullPK, t.Columns[pki].Name))
+		}
+		key, err := Coerce(t.Columns[pki].Type, row.Cells[pki])
+		if err != nil {
+			return m, rowErr(t.Name, row.Num, fmt.Errorf("column %q: %w", t.Columns[pki].Name, err))
+		}
+		m.key = key
+	} else {
+		// Keyless table: rows are identified by ordinal, mirroring the
+		// direct mapping's fresh row IRIs.
+		m.key = strconv.Itoa(row.Num)
+	}
+	for ci := range t.Columns {
+		if ci == pki {
+			continue
+		}
+		c := &t.Columns[ci]
+		if fk, ok := t.fk(c.Name); ok {
+			if row.Nulls[ci] {
+				continue // NULL foreign key: no edge
+			}
+			refKey, err := Coerce(c.Type, row.Cells[ci])
+			if err != nil {
+				return m, rowErr(t.Name, row.Num, fmt.Errorf("column %q: %w", c.Name, err))
+			}
+			m.refs = append(m.refs, ref{label: t.RefLabel(fk), refTable: fk.RefTable, refKey: refKey})
+			continue
+		}
+		out := cell{col: c.Name, null: row.Nulls[ci]}
+		if !out.null {
+			val, err := Coerce(c.Type, row.Cells[ci])
+			if err != nil {
+				return m, rowErr(t.Name, row.Num, fmt.Errorf("column %q: %w", c.Name, err))
+			}
+			out.val = val
+		} else if !c.Nullable {
+			return m, rowErr(t.Name, row.Num, fmt.Errorf("%w: NULL in non-nullable column %q", ErrCoerce, c.Name))
+		}
+		m.cells = append(m.cells, out)
+	}
+	return m, nil
+}
+
+// apply materializes the mapped row into the graph. The caller (the
+// single writer goroutine) has already rejected duplicate keys, so node
+// inserts cannot collide except across tables sharing a name prefix —
+// which Validate rules out by forbidding ':' in identifiers.
+func (m *mappedRow) apply(g *datagraph.Graph) error {
+	rowID := rowNodeID(m.table.Name, m.key)
+	if err := g.AddNode(rowID, datagraph.V(m.key)); err != nil {
+		return rowErr(m.table.Name, m.num, fmt.Errorf("%w: %v", ErrBadRow, err))
+	}
+	for _, c := range m.cells {
+		cid := cellNodeID(m.table.Name, m.key, c.col)
+		v := datagraph.V(c.val)
+		if c.null {
+			v = datagraph.Null()
+		}
+		if err := g.AddNode(cid, v); err != nil {
+			return rowErr(m.table.Name, m.num, fmt.Errorf("%w: %v", ErrBadRow, err))
+		}
+		if err := g.AddEdge(rowID, m.table.EdgeLabel(c.col), cid); err != nil {
+			return rowErr(m.table.Name, m.num, fmt.Errorf("%w: %v", ErrBadRow, err))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/datagraph"
+	"repro/internal/fault"
+)
+
+// Pipeline stage layout. Three stages run concurrently per load:
+//
+//	parse (1 goroutine)  →  map (N workers, order-preserving)  →  append (1 writer)
+//
+// The parse stage streams raw rows off the sources in order; the map
+// stage coerces cells and lays out graph operations in parallel, with a
+// future per row so the writer consumes results in source order; the
+// single writer goroutine owns the graph, applies rows, resolves
+// foreign-key references, and commits batches — publishing a fresh
+// snapshot on a geometric schedule tuned to always take the delta-merge
+// freeze path after the initial full build.
+//
+// Fault points: "ingest.row" fires per applied row (row-scoped, so the
+// skip-bad-rows policy applies); "ingest.commit" fires per batch commit
+// and is fatal.
+
+// Options tunes a load.
+type Options struct {
+	// BatchSize is the number of rows per commit batch (progress report,
+	// commit fault point, freeze-schedule check). Default 4096.
+	BatchSize int
+	// SkipBadRows selects the lenient policy: row-scoped errors (ragged
+	// rows, coercion failures, duplicate keys, dangling foreign keys) are
+	// counted and skipped instead of aborting the load.
+	SkipBadRows bool
+	// Progress, when set, is called after every committed batch and once
+	// at the end, from the writer goroutine.
+	Progress func(Progress)
+	// Graph, when set, receives the load; by default a fresh graph is
+	// built. The graph must not be read concurrently except through
+	// Loader.Snapshot.
+	Graph *datagraph.Graph
+}
+
+// Progress is a per-batch progress report.
+type Progress struct {
+	Table   string `json:"table"`             // table the batch ended in
+	Rows    int64  `json:"rows"`              // cumulative rows applied
+	Skipped int64  `json:"skipped,omitempty"` // cumulative rows skipped
+	Nodes   int    `json:"nodes"`
+	Edges   int    `json:"edges"`
+}
+
+// Report summarizes a completed load.
+type Report struct {
+	Rows        int64         `json:"rows"`    // rows applied
+	Skipped     int64         `json:"skipped"` // rows skipped (skip-bad-rows policy)
+	DroppedFKs  int64         `json:"dropped_fks"`
+	Nodes       int           `json:"nodes"`
+	Edges       int           `json:"edges"`
+	Batches     int           `json:"batches"`
+	FullBuilds  uint64        `json:"full_builds"`  // snapshot full rebuilds during the load
+	DeltaBuilds uint64        `json:"delta_builds"` // snapshot delta merges during the load
+	Elapsed     time.Duration `json:"elapsed_ns"`
+}
+
+// Loader runs loads against one graph and publishes immutable snapshots
+// for concurrent readers. The zero value is not usable; see New.
+type Loader struct {
+	schema *Schema
+	opts   Options
+	g      *datagraph.Graph
+	snap   atomic.Pointer[datagraph.Snapshot]
+}
+
+// New prepares a loader for the schema. The schema must already validate.
+func New(schema *Schema, opts Options) *Loader {
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = 4096
+	}
+	g := opts.Graph
+	if g == nil {
+		g = &datagraph.Graph{}
+	}
+	return &Loader{schema: schema, opts: opts, g: g}
+}
+
+// Graph returns the loader's graph. Not safe to use concurrently with
+// Run; mid-load readers must go through Snapshot.
+func (l *Loader) Graph() *datagraph.Graph { return l.g }
+
+// Snapshot returns the most recently committed snapshot, or nil before
+// the first commit. Safe to call concurrently with Run: snapshots are
+// immutable and published atomically at batch boundaries, so readers see
+// a consistent frozen prefix of the load.
+func (l *Loader) Snapshot() *datagraph.Snapshot { return l.snap.Load() }
+
+// Load is the one-call entry point: build a fresh graph from the schema
+// and sources, freeze it, and return it with the load report.
+func Load(ctx context.Context, schema *Schema, opts Options, srcs ...Source) (*datagraph.Graph, *Report, error) {
+	l := New(schema, opts)
+	rep, err := l.Run(ctx, srcs...)
+	if err != nil {
+		return nil, rep, err
+	}
+	return l.g, rep, nil
+}
+
+// parseItem is one unit flowing from the parse stage to the writer: a
+// future the map workers complete out of band.
+type parseItem struct {
+	t    *Table
+	row  Row
+	err  error // row-scoped parse error, pre-empting the map stage
+	m    mappedRow
+	done chan struct{} // closed by the map worker
+}
+
+// Run streams every source through the pipeline. Sources load in the
+// given order; rows within a source keep their order. On a fatal error
+// (bad schema reference, strict-policy row error, commit fault, context
+// cancellation) the partial report is returned alongside the error.
+func (l *Loader) Run(ctx context.Context, srcs ...Source) (*Report, error) {
+	start := time.Now()
+	full0, delta0 := l.g.SnapshotBuilds()
+	rep := &Report{}
+	finish := func(err error) (*Report, error) {
+		full1, delta1 := l.g.SnapshotBuilds()
+		rep.FullBuilds, rep.DeltaBuilds = full1-full0, delta1-delta0
+		rep.Nodes, rep.Edges = l.g.NumNodes(), l.g.NumEdges()
+		rep.Elapsed = time.Since(start)
+		return rep, err
+	}
+
+	for _, src := range srcs {
+		if _, ok := l.schema.Table(src.Table); !ok {
+			return finish(fmt.Errorf("%w: source for undeclared table %q", ErrBadSchema, src.Table))
+		}
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Stage 1 → 2 plumbing: the parse goroutine emits items both to the
+	// work channel (consumed by map workers in any order) and the ordered
+	// channel (consumed by the writer in source order).
+	work := make(chan *parseItem, 256)
+	ordered := make(chan *parseItem, 256)
+	parseErr := make(chan error, 1)
+
+	go func() {
+		defer close(work)
+		defer close(ordered)
+		for _, src := range srcs {
+			t, _ := l.schema.Table(src.Table)
+			if err := l.parseSource(ctx, t, src, work, ordered); err != nil {
+				parseErr <- err
+				return
+			}
+		}
+		parseErr <- nil
+	}()
+
+	// Stage 2: map workers.
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 4 {
+		workers = 4
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for it := range work {
+				if it.err == nil {
+					it.m, it.err = mapRow(it.t, it.row)
+				}
+				close(it.done)
+			}
+		}()
+	}
+	defer wg.Wait()
+
+	// Stage 3: the writer loop, on this goroutine.
+	w := &writer{l: l, rep: rep, seen: make(map[string]map[string]struct{}), pending: make(map[string]map[string][]pendingEdge)}
+	for it := range ordered {
+		<-it.done
+		if err := w.row(ctx, it); err != nil {
+			cancel()
+			drain(ordered)
+			return finish(err)
+		}
+	}
+	if err := <-parseErr; err != nil && !errors.Is(err, context.Canceled) {
+		return finish(err)
+	}
+	if err := ctx.Err(); err != nil {
+		return finish(err)
+	}
+	if err := w.finishFKs(); err != nil {
+		return finish(err)
+	}
+	if err := w.commit(true); err != nil {
+		return finish(err)
+	}
+	return finish(nil)
+}
+
+// parseSource streams one source's rows into the pipeline.
+func (l *Loader) parseSource(ctx context.Context, t *Table, src Source, work, ordered chan<- *parseItem) error {
+	r, err := src.Open(t)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	for {
+		row, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		it := &parseItem{t: t, row: row, err: err, done: make(chan struct{})}
+		select {
+		case work <- it:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		select {
+		case ordered <- it:
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if err != nil {
+			var re *RowError
+			if !errors.As(err, &re) {
+				return err // fatal reader error; writer also sees it
+			}
+		}
+	}
+}
+
+// drain discards the remaining ordered items after an abort so the map
+// workers and parse goroutine can exit.
+func drain(ordered <-chan *parseItem) {
+	for it := range ordered {
+		<-it.done
+	}
+}
+
+// pendingEdge is a foreign-key edge buffered until its target row node
+// appears (forward and self references are legal in relational data).
+type pendingEdge struct {
+	from  datagraph.NodeID
+	label string
+	table string // referencing table, for dangling diagnostics
+	row   int
+}
+
+// writer is the single goroutine that owns the graph during a load.
+type writer struct {
+	l   *Loader
+	rep *Report
+
+	seen    map[string]map[string]struct{}      // table → loaded keys
+	pending map[string]map[string][]pendingEdge // ref table → ref key → buffered edges
+
+	batchRows    int // rows in the current batch
+	batchOps     int // graph ops (nodes+edges) in the current batch
+	maxBatchOps  int
+	frozenOps    int // ops covered by the last published snapshot
+	currentTable string
+}
+
+// skippable decides a row-scoped error's fate under the active policy.
+func (w *writer) skippable(err error) error {
+	var re *RowError
+	if errors.As(err, &re) && w.l.opts.SkipBadRows {
+		w.rep.Skipped++
+		return nil
+	}
+	return err
+}
+
+// row applies one pipeline item.
+func (w *writer) row(ctx context.Context, it *parseItem) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if it.err != nil {
+		return w.skippable(it.err)
+	}
+	if err := fault.Hit("ingest.row"); err != nil {
+		return w.skippable(rowErr(it.t.Name, it.m.num, err))
+	}
+	m := &it.m
+	keys := w.seen[it.t.Name]
+	if keys == nil {
+		keys = make(map[string]struct{})
+		w.seen[it.t.Name] = keys
+	}
+	if _, dup := keys[m.key]; dup {
+		return w.skippable(rowErr(it.t.Name, m.num, fmt.Errorf("%w: %q", ErrDuplicatePK, m.key)))
+	}
+	if err := m.apply(w.l.g); err != nil {
+		return w.skippable(err)
+	}
+	keys[m.key] = struct{}{}
+	w.currentTable = it.t.Name
+
+	// Resolve references: edges out of this row, and buffered edges into it.
+	rowID := rowNodeID(it.t.Name, m.key)
+	for _, r := range m.refs {
+		if _, ok := w.seen[r.refTable][r.refKey]; ok {
+			w.l.g.MustAddEdge(rowID, r.label, rowNodeID(r.refTable, r.refKey))
+			w.batchOps++
+			continue
+		}
+		byKey := w.pending[r.refTable]
+		if byKey == nil {
+			byKey = make(map[string][]pendingEdge)
+			w.pending[r.refTable] = byKey
+		}
+		byKey[r.refKey] = append(byKey[r.refKey], pendingEdge{from: rowID, label: r.label, table: it.t.Name, row: m.num})
+	}
+	for _, pe := range w.pending[it.t.Name][m.key] {
+		w.l.g.MustAddEdge(pe.from, pe.label, rowID)
+		w.batchOps++
+	}
+	delete(w.pending[it.t.Name], m.key)
+
+	w.rep.Rows++
+	w.batchRows++
+	w.batchOps += m.nodes() + len(m.cells)
+	if w.batchRows >= w.l.opts.BatchSize {
+		return w.commit(false)
+	}
+	return nil
+}
+
+// finishFKs settles the pending buffer at end of input: anything left is
+// a dangling foreign key — dropped under the lenient policy, fatal under
+// strict.
+func (w *writer) finishFKs() error {
+	for refTable, byKey := range w.pending {
+		for refKey, edges := range byKey {
+			for _, pe := range edges {
+				err := rowErr(pe.table, pe.row, fmt.Errorf("%w: no row %s:%s", ErrDanglingFK, refTable, refKey))
+				if !w.l.opts.SkipBadRows {
+					return err
+				}
+				w.rep.DroppedFKs++
+			}
+		}
+	}
+	return nil
+}
+
+// commit ends a batch: the commit fault point, the freeze schedule, and
+// the progress callback. Commit errors are always fatal.
+//
+// Freeze schedule: the first snapshot is deferred until the graph has
+// outgrown any single batch by a wide margin (20× the largest batch seen),
+// then refreshed whenever the un-frozen delta grows past a quarter of the
+// frozen prefix while still within the delta-merge window (3·delta ≤
+// frozen, the exact canDeltaFreeze bound). Growing the snapshot by ~1.3×
+// per freeze keeps the whole load to O(log n) freezes — every one of them
+// a delta merge — and well under the snapshot's segment-chain cap.
+func (w *writer) commit(final bool) error {
+	if w.batchRows == 0 && !final {
+		return nil
+	}
+	if err := fault.Hit("ingest.commit"); err != nil {
+		return fmt.Errorf("ingest: commit: %w", err)
+	}
+	if w.batchOps > w.maxBatchOps {
+		w.maxBatchOps = w.batchOps
+	}
+	w.batchRows, w.batchOps = 0, 0
+	w.rep.Batches++
+
+	totalOps := w.l.g.NumNodes() + w.l.g.NumEdges()
+	delta := totalOps - w.frozenOps
+	freeze := final
+	if w.frozenOps == 0 {
+		freeze = freeze || totalOps >= 20*w.maxBatchOps
+	} else {
+		freeze = freeze || (4*delta >= w.frozenOps && 3*delta <= w.frozenOps)
+	}
+	if freeze && delta > 0 {
+		w.l.snap.Store(w.l.g.Freeze())
+		w.frozenOps = totalOps
+	}
+	if final && w.l.snap.Load() == nil {
+		w.l.snap.Store(w.l.g.Freeze())
+	}
+	if p := w.l.opts.Progress; p != nil {
+		p(Progress{Table: w.currentTable, Rows: w.rep.Rows, Skipped: w.rep.Skipped,
+			Nodes: w.l.g.NumNodes(), Edges: w.l.g.NumEdges()})
+	}
+	return nil
+}

@@ -1,0 +1,277 @@
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/datagraph"
+	"repro/internal/fault"
+)
+
+const (
+	custCSV   = "id,name,city\n1,alice,paris\n2,bob,\n3,carol,lyon\n"
+	ordersCSV = "id,customer_id,total\n10,1,19.50\n11,2,\n12,1,5\n"
+)
+
+func loadFixture(t *testing.T, opts Options, srcs ...Source) (*datagraph.Graph, *Report) {
+	t.Helper()
+	s := mustSchema(t, fixtureSchema)
+	g, rep, err := Load(context.Background(), s, opts, srcs...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return g, rep
+}
+
+func fixtureSources() []Source {
+	return []Source{CSVString("customer", custCSV), CSVString("orders", ordersCSV)}
+}
+
+func TestDirectMappingCSV(t *testing.T) {
+	g, rep := loadFixture(t, Options{}, fixtureSources()...)
+	if rep.Rows != 6 || rep.Skipped != 0 || rep.DroppedFKs != 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	// customer: 3 rows × (row node + name cell + city cell, 2 property
+	// edges); orders: 3 rows × (row node + total cell, 1 property edge +
+	// 1 reference edge).
+	if g.NumNodes() != 15 || g.NumEdges() != 12 {
+		t.Fatalf("graph = %d nodes %d edges, want 15/12", g.NumNodes(), g.NumEdges())
+	}
+	checkValue := func(id, want string) {
+		t.Helper()
+		n, ok := g.NodeByID(datagraph.NodeID(id))
+		if !ok {
+			t.Fatalf("node %s missing", id)
+		}
+		if want == "null" {
+			if !n.Value.IsNull() {
+				t.Fatalf("node %s = %v, want null", id, n.Value)
+			}
+			return
+		}
+		if n.Value.IsNull() || n.Value.Raw() != want {
+			t.Fatalf("node %s = %v, want %q", id, n.Value, want)
+		}
+	}
+	checkValue("customer:1", "1")
+	checkValue("customer:1:name", "alice")
+	checkValue("customer:2:city", "null") // empty CSV cell is SQL NULL
+	checkValue("orders:10:total", "19.5") // canonical float rendering
+	if !g.HasEdge("customer:1", "customer#name", "customer:1:name") {
+		t.Fatalf("property edge missing")
+	}
+	if !g.HasEdge("orders:10", "orders#customer", "customer:1") {
+		t.Fatalf("reference edge missing")
+	}
+	if !g.HasEdge("orders:11", "orders#customer", "customer:2") {
+		// NULL total still maps (a null cell node), but row 11's FK is 2,
+		// not NULL — its reference edge must exist.
+		t.Fatalf("reference edge for orders:11 missing")
+	}
+}
+
+// sortedLines normalizes a graph rendering for order-insensitive
+// comparison.
+func sortedLines(s string) string {
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+func TestForwardReferences(t *testing.T) {
+	// Loading orders before customers exercises the pending-FK buffer:
+	// the same graph must come out, up to edge-log order.
+	fwd, _ := loadFixture(t, Options{}, CSVString("orders", ordersCSV), CSVString("customer", custCSV))
+	ref, _ := loadFixture(t, Options{}, fixtureSources()...)
+	if sortedLines(fwd.String()) != sortedLines(ref.String()) {
+		t.Fatalf("forward-reference load diverged:\n%s\nvs\n%s", fwd.String(), ref.String())
+	}
+}
+
+func TestRowsSourceMatchesCSV(t *testing.T) {
+	rows := map[string][][]string{
+		"customer": {{"1", "alice", "paris"}, {"2", "bob", ""}, {"3", "carol", "lyon"}},
+		"orders":   {{"10", "1", "19.50"}, {"11", "2", ""}, {"12", "1", "5"}},
+	}
+	byRows, _ := loadFixture(t, Options{}, Rows("customer", rows["customer"]), Rows("orders", rows["orders"]))
+	byCSV, _ := loadFixture(t, Options{}, fixtureSources()...)
+	if byRows.String() != byCSV.String() {
+		t.Fatalf("Rows and CSV loads diverged")
+	}
+}
+
+// synthRows builds a two-table synthetic dataset big enough to exercise
+// batching: n parents, 3n children with FKs back to the parents.
+func synthRows(n int) (parent, child [][]string) {
+	for i := 1; i <= n; i++ {
+		parent = append(parent, []string{strconv.Itoa(i), "p" + strconv.Itoa(i)})
+	}
+	for i := 1; i <= 3*n; i++ {
+		child = append(child, []string{strconv.Itoa(i), strconv.Itoa((i % n) + 1), strconv.Itoa(i * 2)})
+	}
+	return parent, child
+}
+
+const synthSchema = `
+table parent
+col parent id int pk
+col parent name text
+table child
+col child id int pk
+col child parent_id int
+col child score int
+fk child parent_id parent.id
+`
+
+// TestBatchedIngestTakesDeltaPath is the delta-freeze interaction test:
+// a batched load must pay exactly one full snapshot build (the first
+// freeze) and amortize the rest as delta merges, with the final snapshot's
+// watermark covering the whole graph.
+func TestBatchedIngestTakesDeltaPath(t *testing.T) {
+	s := mustSchema(t, synthSchema)
+	parent, child := synthRows(600)
+	l := New(s, Options{BatchSize: 64})
+	rep, err := l.Run(context.Background(), Rows("parent", parent), Rows("child", child))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.FullBuilds != 1 {
+		t.Fatalf("full snapshot builds = %d, want exactly 1 (batched ingest must not trip rebuilds); report %+v", rep.FullBuilds, rep)
+	}
+	if rep.DeltaBuilds < 3 {
+		t.Fatalf("delta merges = %d, want several; report %+v", rep.DeltaBuilds, rep)
+	}
+	snap := l.Snapshot()
+	if snap == nil {
+		t.Fatalf("no final snapshot published")
+	}
+	wn, we := snap.Watermark()
+	if wn != l.Graph().NumNodes() || we != l.Graph().NumEdges() {
+		t.Fatalf("final watermark (%d, %d) does not cover graph (%d, %d)",
+			wn, we, l.Graph().NumNodes(), l.Graph().NumEdges())
+	}
+}
+
+// TestConcurrentQueriesMidIngest races readers against the writer: every
+// published snapshot must be internally consistent (edges only between
+// frozen nodes, interned values resolvable) while the load is appending.
+// Run under -race.
+func TestConcurrentQueriesMidIngest(t *testing.T) {
+	s := mustSchema(t, synthSchema)
+	parent, child := synthRows(400)
+	l := New(s, Options{BatchSize: 32})
+
+	done := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				snap := l.Snapshot()
+				if snap == nil {
+					continue
+				}
+				wn, _ := snap.Watermark()
+				if snap.NumNodes() != wn {
+					panic(fmt.Sprintf("snapshot covers %d nodes, watermark %d", snap.NumNodes(), wn))
+				}
+				// Touch the interned surface only: CSR traversal and value
+				// ids are frozen; Graph methods race with the writer.
+				edges := 0
+				for u := 0; u < snap.NumNodes(); u++ {
+					for _, v := range snap.OutAll(u) {
+						if int(v) >= snap.NumNodes() {
+							panic("edge to unfrozen node escaped a snapshot")
+						}
+						edges++
+					}
+					_ = snap.ValueID(u)
+				}
+				_ = edges
+			}
+		}()
+	}
+	_, err := l.Run(context.Background(), Rows("parent", parent), Rows("child", child))
+	close(done)
+	readers.Wait()
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+}
+
+func TestIngestRowFaultSkipPolicy(t *testing.T) {
+	if err := fault.Arm("ingest.row=error:n=3", 1); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	defer fault.Disarm()
+	s := mustSchema(t, synthSchema)
+	parent, child := synthRows(50)
+	l := New(s, Options{SkipBadRows: true})
+	rep, err := l.Run(context.Background(), Rows("parent", parent), Rows("child", child))
+	if err != nil {
+		t.Fatalf("Run under skip policy: %v", err)
+	}
+	if rep.Skipped != 3 {
+		t.Fatalf("skipped = %d, want 3 injected row faults", rep.Skipped)
+	}
+}
+
+func TestIngestCommitFaultIsFatal(t *testing.T) {
+	if err := fault.Arm("ingest.commit=error:n=1", 1); err != nil {
+		t.Fatalf("arm: %v", err)
+	}
+	defer fault.Disarm()
+	s := mustSchema(t, synthSchema)
+	parent, child := synthRows(200)
+	// Even under the lenient row policy, a commit fault aborts the load.
+	l := New(s, Options{BatchSize: 32, SkipBadRows: true})
+	_, err := l.Run(context.Background(), Rows("parent", parent), Rows("child", child))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("err = %v, want injected commit fault", err)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s := mustSchema(t, synthSchema)
+	parent, child := synthRows(100)
+	if _, _, err := Load(ctx, s, Options{}, Rows("parent", parent), Rows("child", child)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	s := mustSchema(t, synthSchema)
+	parent, child := synthRows(100)
+	var calls []Progress
+	opts := Options{BatchSize: 64, Progress: func(p Progress) { calls = append(calls, p) }}
+	if _, _, err := Load(context.Background(), s, opts, Rows("parent", parent), Rows("child", child)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(calls) < 2 {
+		t.Fatalf("progress calls = %d, want per-batch reports", len(calls))
+	}
+	last := calls[len(calls)-1]
+	if last.Rows != 400 {
+		t.Fatalf("final progress rows = %d, want 400", last.Rows)
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i].Rows < calls[i-1].Rows {
+			t.Fatalf("progress went backwards: %+v", calls)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package ingest
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+const fixtureSchema = `
+# two-table fixture: customers and their orders
+table customer
+col customer id int pk
+col customer name text
+col customer city text null
+table orders
+col orders id int pk
+col orders customer_id int
+col orders total float null
+fk orders customer_id customer.id
+`
+
+func mustSchema(t *testing.T, text string) *Schema {
+	t.Helper()
+	s, err := ParseSchema(text)
+	if err != nil {
+		t.Fatalf("ParseSchema: %v", err)
+	}
+	return s
+}
+
+func TestParseSchemaRoundTrip(t *testing.T) {
+	s := mustSchema(t, fixtureSchema)
+	if len(s.Tables) != 2 {
+		t.Fatalf("tables = %d, want 2", len(s.Tables))
+	}
+	cust, _ := s.Table("customer")
+	if pki := cust.PKIndex(); pki != 0 || cust.Columns[pki].Name != "id" {
+		t.Fatalf("customer pk = %d, want id at 0", pki)
+	}
+	ord, _ := s.Table("orders")
+	if len(ord.FKs) != 1 || ord.FKs[0].RefTable != "customer" {
+		t.Fatalf("orders fks = %+v", ord.FKs)
+	}
+	// String must re-parse to the same rendering.
+	again, err := ParseSchema(s.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if again.String() != s.String() {
+		t.Fatalf("round trip drifted:\n%s\nvs\n%s", s.String(), again.String())
+	}
+}
+
+func TestSchemaLabels(t *testing.T) {
+	s := mustSchema(t, fixtureSchema)
+	got := strings.Join(s.Labels(), " ")
+	want := "customer#city customer#name orders#customer orders#total"
+	if got != want {
+		t.Fatalf("labels = %q, want %q", got, want)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+	}{
+		{"empty", ""},
+		{"unknown directive", "tabel t\n"},
+		{"col before table", "col t a int\n"},
+		{"bad type", "table t\ncol t a blob\n"},
+		{"dup table", "table t\ncol t a int\ntable t\ncol t a int\n"},
+		{"dup column", "table t\ncol t a int\ncol t a int\n"},
+		{"two pks", "table t\ncol t a int pk\ncol t b int pk\n"},
+		{"nullable pk", "table t\ncol t a int pk null\n"},
+		{"fk unknown table", "table t\ncol t a int\nfk t a u.id\n"},
+		{"fk unknown column", "table t\ncol t a int pk\nfk t b t.a\n"},
+		{"fk non-pk target", "table t\ncol t a int pk\ncol t b int\ntable u\ncol u c int pk\nfk t b u.d\n"},
+		{"bad identifier", "table t:x\ncol t:x a int\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSchema(tc.text); !errors.Is(err, ErrBadSchema) {
+				t.Fatalf("err = %v, want ErrBadSchema", err)
+			}
+		})
+	}
+}
+
+func TestMapDeclaredType(t *testing.T) {
+	cases := map[string]Type{
+		"INTEGER": TypeInt, "int": TypeInt, "BIGINT": TypeInt, "VARCHAR(255)": TypeText,
+		"DOUBLE PRECISION": TypeFloat, "NUMERIC(10,2)": TypeFloat, "BOOLEAN": TypeBool,
+		"DATE": TypeDate, "TIMESTAMP": TypeText, "geometry": TypeText,
+	}
+	for decl, want := range cases {
+		if got := MapDeclaredType(decl); got != want {
+			t.Errorf("MapDeclaredType(%q) = %v, want %v", decl, got, want)
+		}
+	}
+}
+
+func TestCoerce(t *testing.T) {
+	ok := []struct {
+		typ  Type
+		in   string
+		want string
+	}{
+		{TypeInt, " 42 ", "42"}, {TypeInt, "007", "7"},
+		{TypeFloat, "1.50", "1.5"}, {TypeFloat, "2", "2"},
+		{TypeBool, "T", "true"}, {TypeBool, "0", "false"},
+		{TypeDate, "2024-02-29", "2024-02-29"},
+		{TypeText, " keep as is ", " keep as is "},
+	}
+	for _, tc := range ok {
+		got, err := Coerce(tc.typ, tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("Coerce(%v, %q) = %q, %v; want %q", tc.typ, tc.in, got, err, tc.want)
+		}
+	}
+	bad := []struct {
+		typ Type
+		in  string
+	}{
+		{TypeInt, "12.5"}, {TypeFloat, "abc"}, {TypeBool, "yes"}, {TypeDate, "2024-13-01"},
+	}
+	for _, tc := range bad {
+		if _, err := Coerce(tc.typ, tc.in); !errors.Is(err, ErrCoerce) {
+			t.Errorf("Coerce(%v, %q) err = %v, want ErrCoerce", tc.typ, tc.in, err)
+		}
+	}
+}
+
+func TestInferTable(t *testing.T) {
+	header := []string{"id", "name", "score", "customer_id", "born"}
+	sample := [][]string{
+		{"1", "alice", "3.5", "7", "1990-01-02"},
+		{"2", "bob", "4", "", "1985-11-30"},
+		{"3", "carol", "2.25", "9", "2001-06-15"},
+	}
+	tab, err := InferTable("player", header, sample, []string{"customer", "player"})
+	if err != nil {
+		t.Fatalf("InferTable: %v", err)
+	}
+	wantTypes := []Type{TypeInt, TypeText, TypeFloat, TypeInt, TypeDate}
+	for i, c := range tab.Columns {
+		if c.Type != wantTypes[i] {
+			t.Errorf("column %s type = %v, want %v", c.Name, c.Type, wantTypes[i])
+		}
+	}
+	if !tab.Columns[0].PK {
+		t.Errorf("id not inferred as pk")
+	}
+	if !tab.Columns[3].Nullable {
+		t.Errorf("customer_id not inferred nullable")
+	}
+	if len(tab.FKs) != 1 || tab.FKs[0].RefTable != "customer" {
+		t.Errorf("fks = %+v, want customer_id -> customer", tab.FKs)
+	}
+}

@@ -1,0 +1,144 @@
+package ingest
+
+import (
+	"context"
+	"strconv"
+	"testing"
+)
+
+func fixtureRows() map[string][][]string {
+	return map[string][][]string{
+		"customer": {{"1", "alice", "paris"}, {"2", "bob", ""}, {"3", "carol", "lyon"}},
+		"orders":   {{"10", "1", "19.5"}, {"11", "2", ""}, {"12", "1", "5"}},
+	}
+}
+
+// TestSQLiteRoundTrip drives the full loop: schema + rows → database
+// image (sqlitegen) → catalog + scan (the driver-less reader) → graph,
+// which must be byte-for-byte the CSV load of the same data.
+func TestSQLiteRoundTrip(t *testing.T) {
+	s := mustSchema(t, fixtureSchema)
+	img, err := BuildSQLite(s, fixtureRows())
+	if err != nil {
+		t.Fatalf("BuildSQLite: %v", err)
+	}
+	db, err := ParseSQLite(img)
+	if err != nil {
+		t.Fatalf("ParseSQLite: %v", err)
+	}
+
+	// The catalog's derived schema must agree with the source schema.
+	derived, err := db.Schema()
+	if err != nil {
+		t.Fatalf("db.Schema: %v", err)
+	}
+	if derived.String() != s.String() {
+		t.Fatalf("derived schema drifted:\n%s\nvs\n%s", derived.String(), s.String())
+	}
+
+	gSQL, _, err := Load(context.Background(), s, Options{}, db.Sources()...)
+	if err != nil {
+		t.Fatalf("Load from sqlite: %v", err)
+	}
+	gCSV, _, err := Load(context.Background(), s, Options{},
+		CSVString("customer", custCSV), CSVString("orders", ordersCSV))
+	if err != nil {
+		t.Fatalf("Load from csv: %v", err)
+	}
+	if gSQL.String() != gCSV.String() {
+		t.Fatalf("SQLite and CSV loads diverged:\n%s\nvs\n%s", gSQL.String(), gCSV.String())
+	}
+}
+
+// TestSQLiteMultiPage forces interior pages: enough rows that the b-tree
+// needs at least two levels, read back and counted.
+func TestSQLiteMultiPage(t *testing.T) {
+	const n = 5000
+	s := mustSchema(t, `
+table item
+col item id int pk
+col item label text
+col item weight float null
+`)
+	rows := map[string][][]string{"item": nil}
+	for i := 1; i <= n; i++ {
+		w := ""
+		if i%7 != 0 {
+			w = strconv.FormatFloat(float64(i)/4, 'g', -1, 64)
+		}
+		rows["item"] = append(rows["item"], []string{strconv.Itoa(i), "label-" + strconv.Itoa(i), w})
+	}
+	img, err := BuildSQLite(s, rows)
+	if err != nil {
+		t.Fatalf("BuildSQLite: %v", err)
+	}
+	if len(img) < 3*genPageSize {
+		t.Fatalf("image only %d bytes; multi-page layout expected", len(img))
+	}
+	db, err := ParseSQLite(img)
+	if err != nil {
+		t.Fatalf("ParseSQLite: %v", err)
+	}
+	g, rep, err := Load(context.Background(), s, Options{}, db.Sources()...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if rep.Rows != n {
+		t.Fatalf("rows = %d, want %d", rep.Rows, n)
+	}
+	// Row i maps to a row node + label cell + weight cell, even when the
+	// weight is NULL (shared null cell value).
+	if got, want := g.NumNodes(), 3*n; got != want {
+		t.Fatalf("nodes = %d, want %d", got, want)
+	}
+	nd, ok := g.NodeByID("item:4999:weight")
+	if !ok || nd.Value.IsNull() || nd.Value.Raw() != "1249.75" {
+		t.Fatalf("item:4999:weight = %+v, want 1249.75", nd)
+	}
+	nd, ok = g.NodeByID("item:4998:weight") // 4998 % 7 == 0 → NULL
+	if !ok || !nd.Value.IsNull() {
+		t.Fatalf("item:4998:weight = %+v, want null", nd)
+	}
+}
+
+// TestSQLiteDDLParsing exercises the CREATE TABLE parser against common
+// real-dump shapes beyond what sqlitegen emits.
+func TestSQLiteDDLParsing(t *testing.T) {
+	tab, err := parseCreateTable(
+		"CREATE TABLE \"users\" (\n  [user_id] INTEGER PRIMARY KEY,\n  `name` VARCHAR(40) NOT NULL,\n" +
+			"  balance NUMERIC(10,2) DEFAULT 0,\n  team_id INT REFERENCES teams(id),\n" +
+			"  UNIQUE(name),\n  FOREIGN KEY(balance) REFERENCES ledger(id)\n)")
+	if err != nil {
+		t.Fatalf("parseCreateTable: %v", err)
+	}
+	if len(tab.Columns) != 4 {
+		t.Fatalf("columns = %+v, want 4", tab.Columns)
+	}
+	if !tab.Columns[0].PK || tab.Columns[0].Type != TypeInt || tab.Columns[0].Name != "user_id" {
+		t.Fatalf("pk column = %+v", tab.Columns[0])
+	}
+	if tab.Columns[1].Nullable || tab.Columns[1].Type != TypeText {
+		t.Fatalf("name column = %+v", tab.Columns[1])
+	}
+	if tab.Columns[2].Type != TypeFloat {
+		t.Fatalf("balance column = %+v", tab.Columns[2])
+	}
+	if len(tab.FKs) != 2 || tab.FKs[0].Column != "team_id" || tab.FKs[0].RefTable != "teams" ||
+		tab.FKs[1].Column != "balance" || tab.FKs[1].RefTable != "ledger" {
+		t.Fatalf("fks = %+v", tab.FKs)
+	}
+}
+
+func TestSQLiteRejectsGarbage(t *testing.T) {
+	if _, err := ParseSQLite([]byte("not a database")); err == nil {
+		t.Fatalf("garbage accepted")
+	}
+	img, err := BuildSQLite(mustSchema(t, "table t\ncol t id int pk\n"), map[string][][]string{"t": {{"1"}}})
+	if err != nil {
+		t.Fatalf("BuildSQLite: %v", err)
+	}
+	img[18] = 2 // mark as WAL mode
+	if _, err := ParseSQLite(img); err == nil {
+		t.Fatalf("WAL-mode database accepted")
+	}
+}

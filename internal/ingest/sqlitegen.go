@@ -1,0 +1,411 @@
+package ingest
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// A minimal SQLite database writer: just enough of the file format to
+// round-trip fixtures through the driver-less reader — table b-trees with
+// leaf and interior pages, the record format, and a single-page
+// sqlite_master catalog. Payloads that would need overflow chains are
+// rejected rather than spilled; the workload generator's rows are far
+// below the threshold. Custom foreign-key edge labels are not expressible
+// in DDL, so they do not survive a schema round-trip through a database
+// file.
+
+const genPageSize = 4096
+
+// WriteSQLiteFile renders the schema and per-table rows (canonical cells
+// aligned to each table's declared columns, "" meaning NULL — the same
+// convention as CSV) into a SQLite database file.
+func WriteSQLiteFile(path string, s *Schema, rows map[string][][]string) error {
+	img, err := BuildSQLite(s, rows)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, img, 0o644)
+}
+
+// BuildSQLite renders an in-memory database image.
+func BuildSQLite(s *Schema, rows map[string][][]string) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	b := &sqliteBuilder{pages: make([][]byte, 1)} // slot 0 = page 1, filled last
+	var masters []masterRow
+	for i := range s.Tables {
+		t := &s.Tables[i]
+		cells, err := encodeTableCells(t, rows[t.Name])
+		if err != nil {
+			return nil, err
+		}
+		root := b.packBTree(cells)
+		masters = append(masters, masterRow{name: t.Name, rootpage: root, sql: createTableSQL(t)})
+	}
+	if err := b.packMaster(masters); err != nil {
+		return nil, err
+	}
+	return b.assemble(), nil
+}
+
+// CreateTableSQL renders a table's DDL, the statement the reader's
+// parseCreateTable understands.
+func createTableSQL(t *Table) string {
+	var parts []string
+	for _, c := range t.Columns {
+		p := c.Name + " " + sqlTypeName(c.Type)
+		if c.PK {
+			p += " PRIMARY KEY"
+		} else if !c.Nullable {
+			p += " NOT NULL"
+		}
+		parts = append(parts, p)
+	}
+	for i := range t.FKs {
+		fk := &t.FKs[i]
+		parts = append(parts, fmt.Sprintf("FOREIGN KEY(%s) REFERENCES %s(%s)", fk.Column, fk.RefTable, fk.RefColumn))
+	}
+	return fmt.Sprintf("CREATE TABLE %s (%s)", t.Name, strings.Join(parts, ", "))
+}
+
+func sqlTypeName(t Type) string {
+	switch t {
+	case TypeInt:
+		return "INTEGER"
+	case TypeFloat:
+		return "REAL"
+	case TypeBool:
+		return "BOOLEAN"
+	case TypeDate:
+		return "DATE"
+	}
+	return "TEXT"
+}
+
+// leafCellImage is one encoded table-leaf cell plus its rowid (the
+// interior-page key).
+type leafCellImage struct {
+	rowid int64
+	data  []byte
+}
+
+// encodeTableCells encodes every row as a leaf cell, rowids 1..n in input
+// order.
+func encodeTableCells(t *Table, rows [][]string) ([]leafCellImage, error) {
+	cells := make([]leafCellImage, 0, len(rows))
+	for ri, row := range rows {
+		if len(row) != len(t.Columns) {
+			return nil, fmt.Errorf("%w: table %s row %d: %d cells, want %d",
+				ErrBadRow, t.Name, ri+1, len(row), len(t.Columns))
+		}
+		rowid := int64(ri + 1)
+		rec, err := encodeRecord(t, row)
+		if err != nil {
+			return nil, fmt.Errorf("table %s row %d: %w", t.Name, ri+1, err)
+		}
+		if len(rec) > genPageSize-35 {
+			return nil, fmt.Errorf("%w: table %s row %d: %d-byte record needs an overflow chain (unsupported by the fixture writer)",
+				ErrBadRow, t.Name, ri+1, len(rec))
+		}
+		cell := appendVarint(nil, int64(len(rec)))
+		cell = appendVarint(cell, rowid)
+		cell = append(cell, rec...)
+		cells = append(cells, leafCellImage{rowid: rowid, data: cell})
+	}
+	return cells, nil
+}
+
+// encodeRecord encodes one row in the record format, typed per column:
+// NULL, integers (smallest width), float64, or text.
+func encodeRecord(t *Table, row []string) ([]byte, error) {
+	serials := make([]int64, len(row))
+	bodies := make([][]byte, len(row))
+	for ci, cell := range row {
+		if cell == "" {
+			serials[ci] = 0
+			continue
+		}
+		switch t.Columns[ci].Type {
+		case TypeInt:
+			n, err := strconv.ParseInt(cell, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %q is not an int", ErrCoerce, cell)
+			}
+			serials[ci], bodies[ci] = encodeInt(n)
+		case TypeBool:
+			switch cell {
+			case "true", "1", "t":
+				serials[ci] = 9
+			case "false", "0", "f":
+				serials[ci] = 8
+			default:
+				return nil, fmt.Errorf("%w: %q is not a bool", ErrCoerce, cell)
+			}
+		case TypeFloat:
+			f, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%w: %q is not a float", ErrCoerce, cell)
+			}
+			var buf [8]byte
+			binary.BigEndian.PutUint64(buf[:], math.Float64bits(f))
+			serials[ci], bodies[ci] = 7, buf[:]
+		default: // text, date
+			serials[ci], bodies[ci] = int64(13+2*len(cell)), []byte(cell)
+		}
+	}
+	return assembleRecord(serials, bodies), nil
+}
+
+// assembleRecord lays out header varints and bodies, solving the
+// header-length-includes-itself fixpoint.
+func assembleRecord(serials []int64, bodies [][]byte) []byte {
+	stLen := 0
+	for _, st := range serials {
+		stLen += varintLen(st)
+	}
+	hlen := stLen + 1
+	for varintLen(int64(hlen))+stLen != hlen {
+		hlen = stLen + varintLen(int64(hlen))
+	}
+	rec := appendVarint(nil, int64(hlen))
+	for _, st := range serials {
+		rec = appendVarint(rec, st)
+	}
+	for _, b := range bodies {
+		rec = append(rec, b...)
+	}
+	return rec
+}
+
+// encodeInt picks the narrowest integer serial type.
+func encodeInt(n int64) (int64, []byte) {
+	switch {
+	case n == 0:
+		return 8, nil
+	case n == 1:
+		return 9, nil
+	}
+	var width int
+	switch {
+	case n >= math.MinInt8 && n <= math.MaxInt8:
+		width = 1
+	case n >= math.MinInt16 && n <= math.MaxInt16:
+		width = 2
+	case n >= -(1<<23) && n < 1<<23:
+		width = 3
+	case n >= math.MinInt32 && n <= math.MaxInt32:
+		width = 4
+	case n >= -(1<<47) && n < 1<<47:
+		width = 6
+	default:
+		width = 8
+	}
+	buf := make([]byte, width)
+	for i := width - 1; i >= 0; i-- {
+		buf[i] = byte(n)
+		n >>= 8
+	}
+	serial := int64(width)
+	if width == 6 {
+		serial = 5
+	}
+	if width == 8 {
+		serial = 6
+	}
+	return serial, buf
+}
+
+// sqliteBuilder accumulates finished page images; a page's number is its
+// slice index + 1.
+type sqliteBuilder struct {
+	pages [][]byte
+}
+
+func (b *sqliteBuilder) addPage(p []byte) int {
+	b.pages = append(b.pages, p)
+	return len(b.pages)
+}
+
+// packBTree packs leaf cells into a b-tree and returns its root page.
+func (b *sqliteBuilder) packBTree(cells []leafCellImage) int {
+	type child struct {
+		page   int
+		maxKey int64
+	}
+	var level []child
+	// Leaves: greedy fill under the page budget (8-byte header + 2-byte
+	// pointer per cell + cell bytes).
+	for start := 0; start < len(cells) || len(level) == 0; {
+		used := 8
+		end := start
+		for end < len(cells) && used+2+len(cells[end].data) <= genPageSize {
+			used += 2 + len(cells[end].data)
+			end++
+		}
+		if end == start && start < len(cells) {
+			end++ // a single cell always fits: records are capped below page size
+		}
+		page := buildPage(13, 8, cellData(cells[start:end]), 0)
+		maxKey := int64(0)
+		if end > start {
+			maxKey = cells[end-1].rowid
+		}
+		level = append(level, child{page: b.addPage(page), maxKey: maxKey})
+		start = end
+		if start >= len(cells) {
+			break
+		}
+	}
+	// Interior levels until a single root remains. An interior cell is a
+	// 4-byte child pointer plus the subtree's max-rowid varint; the last
+	// child of each page becomes its right-most pointer.
+	for len(level) > 1 {
+		var next []child
+		for start := 0; start < len(level); {
+			used := 12
+			end := start
+			for end < len(level)-1 && end-start < 400 && used+2+4+varintLen(level[end].maxKey) <= genPageSize {
+				used += 2 + 4 + varintLen(level[end].maxKey)
+				end++
+			}
+			// end indexes the right-most child; at least one cell plus the
+			// right-most pointer unless only one child remains.
+			if end == start && end < len(level)-1 {
+				end++
+			}
+			var ic [][]byte
+			for _, c := range level[start:end] {
+				cell := binary.BigEndian.AppendUint32(nil, uint32(c.page))
+				ic = append(ic, appendVarint(cell, c.maxKey))
+			}
+			page := buildPage(5, 12, ic, uint32(level[end].page))
+			next = append(next, child{page: b.addPage(page), maxKey: level[end].maxKey})
+			start = end + 1
+		}
+		level = next
+	}
+	return level[0].page
+}
+
+func cellData(cells []leafCellImage) [][]byte {
+	out := make([][]byte, len(cells))
+	for i := range cells {
+		out[i] = cells[i].data
+	}
+	return out
+}
+
+// buildPage lays out one b-tree page: header, cell pointer array growing
+// down from the header, cell content growing up from the end.
+func buildPage(typ byte, hdrLen int, cells [][]byte, rightMost uint32) []byte {
+	p := make([]byte, genPageSize)
+	p[0] = typ
+	binary.BigEndian.PutUint16(p[3:5], uint16(len(cells)))
+	if hdrLen == 12 {
+		binary.BigEndian.PutUint32(p[8:12], rightMost)
+	}
+	content := genPageSize
+	for i, c := range cells {
+		content -= len(c)
+		copy(p[content:], c)
+		binary.BigEndian.PutUint16(p[hdrLen+2*i:], uint16(content))
+	}
+	binary.BigEndian.PutUint16(p[5:7], uint16(content%65536))
+	return p
+}
+
+// packMaster lays out the sqlite_master catalog as a single leaf rooted at
+// page 1. The rootpage column is always encoded as a 4-byte integer
+// (serial type 4): catalog record sizes then do not depend on page
+// numbering, which was fixed before the catalog was built.
+func (b *sqliteBuilder) packMaster(masters []masterRow) error {
+	var cells [][]byte
+	used := 100 + 8
+	for i, m := range masters {
+		serials := []int64{
+			int64(13 + 2*len("table")),
+			int64(13 + 2*len(m.name)),
+			int64(13 + 2*len(m.name)),
+			4,
+			int64(13 + 2*len(m.sql)),
+		}
+		var root [4]byte
+		binary.BigEndian.PutUint32(root[:], uint32(m.rootpage))
+		rec := assembleRecord(serials, [][]byte{[]byte("table"), []byte(m.name), []byte(m.name), root[:], []byte(m.sql)})
+		cell := appendVarint(nil, int64(len(rec)))
+		cell = appendVarint(cell, int64(i+1))
+		cell = append(cell, rec...)
+		used += 2 + len(cell)
+		if used > genPageSize {
+			return fmt.Errorf("ingest: catalog overflows page 1 (%d tables; shorten DDL or reduce tables)", len(masters))
+		}
+		cells = append(cells, cell)
+	}
+	// Page 1 is a leaf page shifted past the 100-byte file header.
+	p1 := make([]byte, genPageSize)
+	p1[100] = 13
+	binary.BigEndian.PutUint16(p1[103:105], uint16(len(cells)))
+	content := genPageSize
+	for i, c := range cells {
+		content -= len(c)
+		copy(p1[content:], c)
+		binary.BigEndian.PutUint16(p1[100+8+2*i:], uint16(content))
+	}
+	binary.BigEndian.PutUint16(p1[105:107], uint16(content%65536))
+	b.pages[0] = p1
+	return nil
+}
+
+// assemble concatenates pages and stamps the file header into page 1.
+func (b *sqliteBuilder) assemble() []byte {
+	img := make([]byte, 0, len(b.pages)*genPageSize)
+	for _, p := range b.pages {
+		img = append(img, p...)
+	}
+	copy(img, sqliteMagic)
+	binary.BigEndian.PutUint16(img[16:18], genPageSize)
+	img[18], img[19] = 1, 1                                      // legacy journal read/write versions
+	img[21], img[22], img[23] = 64, 32, 32                       // payload fractions (fixed by format)
+	binary.BigEndian.PutUint32(img[28:32], uint32(len(b.pages))) // database size in pages
+	binary.BigEndian.PutUint32(img[44:48], 4)                    // schema format number
+	binary.BigEndian.PutUint32(img[56:60], 1)                    // text encoding: UTF-8
+	binary.BigEndian.PutUint32(img[96:100], 3045000)             // library version stamp
+	return img
+}
+
+// appendVarint appends SQLite's 7-bit big-endian varint.
+func appendVarint(dst []byte, v int64) []byte {
+	if v >= 0 && v < 0x80 {
+		return append(dst, byte(v))
+	}
+	n := varintLen(v)
+	if n == 9 {
+		dst = append(dst, byte(v>>56)|0x80, byte(v>>49)|0x80, byte(v>>42)|0x80, byte(v>>35)|0x80,
+			byte(v>>28)|0x80, byte(v>>21)|0x80, byte(v>>14)|0x80, byte(v>>7)|0x80, byte(v))
+		return dst
+	}
+	for i := n - 1; i >= 1; i-- {
+		dst = append(dst, byte(v>>(7*uint(i)))|0x80)
+	}
+	return append(dst, byte(v)&0x7f)
+}
+
+// varintLen returns the encoded size of v.
+func varintLen(v int64) int {
+	if v < 0 {
+		return 9
+	}
+	n := 1
+	for x := v >> 7; x != 0; x >>= 7 {
+		n++
+	}
+	if n > 9 {
+		n = 9
+	}
+	return n
+}

@@ -1,0 +1,123 @@
+package relational
+
+import (
+	"fmt"
+
+	"repro/internal/datagraph"
+	"repro/internal/ingest"
+)
+
+// Bridge to internal/ingest: the bulk-ingestion subsystem streams the
+// Boudaoud-style direct mapping into a datagraph.Graph; this file gives
+// the same mapping a reference implementation at the relational level —
+// rows straight into an Instance's N and E_a relations, no pipeline, no
+// batching — so tests can pin the two against each other byte-for-byte
+// (via each side's D_G), and so Proposition 1 fixtures can be stated as
+// relational data instead of hand-built graphs.
+
+// DirectInstance applies the direct mapping to relational rows (canonical
+// cells aligned to each table's declared columns, "" meaning NULL — the
+// convention shared with ingest fixtures), producing the relational view
+// D_G of the mapped graph directly:
+//
+//   - row with key k in table T      → N(T:k, k)
+//   - property column c with value v → N(T:k:c, v) and E_{T#c}(T:k, T:k:c)
+//   - NULL property cell             → N(T:k:c, null)
+//   - foreign key to S(pk) = v       → E_label(T:k, S:v); NULL emits nothing
+//
+// It is deliberately the naive O(rows) two-pass construction: correctness
+// reference, not a competitor to the streaming pipeline.
+func DirectInstance(s *ingest.Schema, rows map[string][][]string) (*Instance, error) {
+	in := NewInstance()
+	for ti := range s.Tables {
+		t := &s.Tables[ti]
+		pki := t.PKIndex()
+		for ri, row := range rows[t.Name] {
+			if len(row) != len(t.Columns) {
+				return nil, fmt.Errorf("relational: table %s row %d: %d cells, want %d",
+					t.Name, ri+1, len(row), len(t.Columns))
+			}
+			key := fmt.Sprintf("%d", ri+1)
+			if pki >= 0 {
+				k, err := ingest.Coerce(t.Columns[pki].Type, row[pki])
+				if err != nil {
+					return nil, fmt.Errorf("relational: table %s row %d: %v", t.Name, ri+1, err)
+				}
+				key = k
+			}
+			rowID := t.Name + ":" + key
+			in.AddNode(rowID, datagraph.V(key))
+			for ci := range t.Columns {
+				if ci == pki {
+					continue
+				}
+				c := &t.Columns[ci]
+				if fk, ok := foreignKeyOn(t, c.Name); ok {
+					if row[ci] == "" {
+						continue
+					}
+					refKey, err := ingest.Coerce(c.Type, row[ci])
+					if err != nil {
+						return nil, fmt.Errorf("relational: table %s row %d: %v", t.Name, ri+1, err)
+					}
+					in.AddEdge(rowID, t.RefLabel(fk), fk.RefTable+":"+refKey)
+					continue
+				}
+				cellID := rowID + ":" + c.Name
+				if row[ci] == "" {
+					in.AddNode(cellID, datagraph.Null())
+				} else {
+					v, err := ingest.Coerce(c.Type, row[ci])
+					if err != nil {
+						return nil, fmt.Errorf("relational: table %s row %d: %v", t.Name, ri+1, err)
+					}
+					in.AddNode(cellID, datagraph.V(v))
+				}
+				in.AddEdge(rowID, t.EdgeLabel(c.Name), cellID)
+			}
+		}
+	}
+	return in, nil
+}
+
+// foreignKeyOn resolves the foreign key declared on a column, if any.
+func foreignKeyOn(t *ingest.Table, col string) (*ingest.ForeignKey, bool) {
+	for i := range t.FKs {
+		if t.FKs[i].Column == col {
+			return &t.FKs[i], true
+		}
+	}
+	return nil, false
+}
+
+// Prop1Fixture is the Proposition 1 fixture re-expressed as relational
+// data on the ingest schema model: a two-table source whose direct
+// mapping yields the source graph, plus per-table rows. The companion
+// mapping over the direct-mapped labels lives in the tests.
+func Prop1Fixture() (*ingest.Schema, map[string][][]string, error) {
+	s, err := ingest.ParseSchema(`
+table person
+col person id int pk
+col person name text
+col person mentor_id int null
+fk person mentor_id person.id label=mentor
+table city
+col city id int pk
+col city name text
+`)
+	if err != nil {
+		return nil, nil, err
+	}
+	rows := map[string][][]string{
+		"person": {
+			{"1", "ada", "2"},
+			{"2", "erwin", "3"},
+			{"3", "grace", ""},
+		},
+		"city": {
+			{"10", "paris"},
+			{"11", "turing-town"},
+		},
+	}
+	return s, rows, nil
+}

@@ -13,6 +13,7 @@ import (
 
 	"repro"
 	"repro/internal/fault"
+	"repro/internal/ingest"
 )
 
 // Handler builds the HTTP API. Every endpoint except /healthz runs behind
@@ -30,6 +31,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/graphs", s.wrap(s.handleRegisterGraph))
 	mux.HandleFunc("GET /v1/graphs", s.wrap(s.handleListGraphs))
 	mux.HandleFunc("GET /v1/graphs/{name}", s.wrap(s.handleGetGraph))
+	mux.HandleFunc("POST /v1/graphs/{name}/ingest", s.wrap(s.handleIngest))
 	mux.HandleFunc("POST /v1/sessions", s.wrap(s.handleCreateSession))
 	mux.HandleFunc("GET /v1/sessions", s.wrap(s.handleListSessions))
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.wrap(s.handleCloseSession))
@@ -256,6 +258,112 @@ func (s *Server) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, e.info)
+}
+
+// handleIngest streams a relational bulk load into the graph registry:
+// the request carries an ingest schema plus per-table CSV payloads, the
+// response is NDJSON — one progress chunk per committed batch, then a
+// terminal done chunk with the registered GraphInfo and load report, or a
+// terminal error chunk. The graph lands (WAL-logged, same durability rule
+// as POST /v1/graphs) only after the whole load succeeds; any failure —
+// bad data under the strict policy, an injected ingest.commit fault, a
+// timeout — leaves the registry untouched.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if err := validName(name); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	var req IngestRequest
+	if !s.decode(w, r, &req) {
+		return
+	}
+	schema, err := ingest.ParseSchema(req.Schema)
+	if err != nil {
+		s.writeError(w, fmt.Errorf("%w: ingest schema: %v", repro.ErrBadOptions, err))
+		return
+	}
+	if len(req.Tables) == 0 {
+		s.writeError(w, fmt.Errorf("%w: ingest request carries no table payloads", repro.ErrBadOptions))
+		return
+	}
+	// Sources assemble in schema order so a load is deterministic
+	// regardless of JSON map order; a payload table the schema doesn't
+	// declare is a caller mistake surfaced before the stream commits.
+	srcs := make([]ingest.Source, 0, len(req.Tables))
+	for i := range schema.Tables {
+		tab := schema.Tables[i].Name
+		if text, ok := req.Tables[tab]; ok {
+			srcs = append(srcs, ingest.CSVString(tab, text))
+		}
+	}
+	if len(srcs) != len(req.Tables) {
+		for tab := range req.Tables {
+			if _, ok := schema.Table(tab); !ok {
+				s.writeError(w, fmt.Errorf("%w: payload table %q is not in the schema", repro.ErrBadOptions, tab))
+				return
+			}
+		}
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMS)
+	defer cancel()
+
+	// From here on the 200 header is committed; failures travel in-band
+	// as a terminal NDJSON error chunk, the handleStream contract.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		bw.Flush()
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			enc.Encode(IngestChunk{Error: fmt.Sprintf("internal panic: %v", rec), Kind: "panic"})
+			flush()
+			panic(rec)
+		}
+	}()
+	fail := func(err error) {
+		s.stats.errors.Add(1)
+		_, kind := statusKind(err)
+		enc.Encode(IngestChunk{Error: err.Error(), Kind: kind})
+		flush()
+	}
+	opts := ingest.Options{
+		BatchSize:   req.BatchSize,
+		SkipBadRows: req.SkipBadRows,
+		// The pipeline invokes Progress from its writer loop, which Load
+		// runs on this goroutine — writing to the response here is safe.
+		Progress: func(p ingest.Progress) {
+			enc.Encode(IngestChunk{Table: p.Table, Rows: p.Rows, Skipped: p.Skipped, Nodes: p.Nodes, Edges: p.Edges})
+			flush()
+		},
+	}
+	g, rep, err := ingest.Load(ctx, schema, opts, srcs...)
+	if err != nil {
+		fail(fmt.Errorf("ingest: %w", err))
+		return
+	}
+	info, err := s.registerGraphObject(name, g)
+	if err != nil {
+		fail(err)
+		return
+	}
+	enc.Encode(IngestChunk{Done: true, Graph: &info, Report: &IngestReport{
+		Rows:        rep.Rows,
+		Skipped:     rep.Skipped,
+		DroppedFKs:  rep.DroppedFKs,
+		Batches:     rep.Batches,
+		FullBuilds:  rep.FullBuilds,
+		DeltaBuilds: rep.DeltaBuilds,
+		ElapsedMS:   float64(rep.Elapsed) / float64(time.Millisecond),
+	}})
+	flush()
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {

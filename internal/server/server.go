@@ -390,6 +390,35 @@ func (s *Server) registerGraph(name, text string, persist bool) (GraphInfo, erro
 	return info, nil
 }
 
+// registerGraphObject registers an already-built graph under name — the
+// landing step of the ingest endpoint. The graph is rendered to its
+// canonical text once, serving both the WAL record (recovery replays it
+// through the same parser as client-registered graphs) and the
+// idempotence comparison: re-ingesting identical source data lands on the
+// identical text and short-circuits, anything else is a 409.
+func (s *Server) registerGraphObject(name string, g *repro.Graph) (GraphInfo, error) {
+	if err := validName(name); err != nil {
+		return GraphInfo{}, err
+	}
+	text := g.String()
+	info := GraphInfo{Name: name, Nodes: g.NumNodes(), Edges: g.NumEdges()}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if prev, ok := s.graphs[name]; ok {
+		if prev.text == text {
+			return prev.info, nil
+		}
+		return GraphInfo{}, fmt.Errorf("graph %q: %w", name, errExists)
+	}
+	if s.persist != nil {
+		if _, err := s.persist.append(opGraph, name, text); err != nil {
+			return GraphInfo{}, err
+		}
+	}
+	s.graphs[name] = &graphEntry{info: info, text: text, g: g}
+	return info, nil
+}
+
 // DeleteMapping removes a registered mapping. A mapping serving any live
 // backend (open sessions reference it) is refused with a conflict; the
 // deletion is WAL-logged before it is applied.

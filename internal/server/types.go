@@ -6,6 +6,7 @@ import (
 
 	"repro"
 	"repro/internal/fault"
+	"repro/internal/ingest"
 )
 
 // This file is the wire schema of the gsmd HTTP/JSON API, single-sourced so
@@ -204,6 +205,54 @@ type OneShotRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
+// IngestRequest is the body of POST /v1/graphs/{name}/ingest: a
+// relational bulk load that lands as a registered graph. Schema is the
+// ingest schema text (table/col/fk directives); Tables maps declared
+// table names to CSV payloads, header row first. docs/INGEST.md documents
+// the schema format and the direct mapping.
+type IngestRequest struct {
+	Schema string            `json:"schema"`
+	Tables map[string]string `json:"tables"`
+	// BatchSize is rows per commit batch — the progress-report and
+	// snapshot-publication granularity; 0 uses the pipeline default.
+	BatchSize int `json:"batch_size,omitempty"`
+	// SkipBadRows selects the lenient policy: malformed rows (ragged,
+	// uncoercible, duplicate-key, dangling-FK) are counted and skipped
+	// instead of aborting the load.
+	SkipBadRows bool `json:"skip_bad_rows,omitempty"`
+	// TimeoutMS bounds the load; 0 uses the server default.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// IngestReport is the wire form of a completed load's summary.
+type IngestReport struct {
+	Rows        int64   `json:"rows"`
+	Skipped     int64   `json:"skipped"`
+	DroppedFKs  int64   `json:"dropped_fks"`
+	Batches     int     `json:"batches"`
+	FullBuilds  uint64  `json:"full_builds"`
+	DeltaBuilds uint64  `json:"delta_builds"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// IngestChunk is one NDJSON line of POST /v1/graphs/{name}/ingest: a
+// per-batch progress report (Table..Edges), a terminal error, or the
+// final done marker carrying the registered graph and the load report.
+// Like the query stream, a reader always sees either {"done":true} or
+// {"error":...} — never a silent truncation.
+type IngestChunk struct {
+	Table   string        `json:"table,omitempty"`
+	Rows    int64         `json:"rows,omitempty"`
+	Skipped int64         `json:"skipped,omitempty"`
+	Nodes   int           `json:"nodes,omitempty"`
+	Edges   int           `json:"edges,omitempty"`
+	Error   string        `json:"error,omitempty"`
+	Kind    string        `json:"kind,omitempty"`
+	Done    bool          `json:"done,omitempty"`
+	Graph   *GraphInfo    `json:"graph,omitempty"`
+	Report  *IngestReport `json:"report,omitempty"`
+}
+
 // StreamChunk is one NDJSON line of POST /v1/sessions/{id}/stream: either
 // an answer, a terminal error, or the final done marker with the total
 // count.
@@ -352,6 +401,8 @@ func statusKind(err error) (status int, kind string) {
 		return http.StatusTooManyRequests, "rate_limited"
 	case errors.Is(err, errStorage):
 		return http.StatusServiceUnavailable, "storage_failed"
+	case isIngestDataError(err):
+		return http.StatusUnprocessableEntity, "bad_data"
 	case errors.Is(err, repro.ErrBadOptions):
 		return http.StatusBadRequest, "bad_options"
 	case errors.Is(err, repro.ErrInfinite):
@@ -367,4 +418,21 @@ func statusKind(err error) (status int, kind string) {
 	default:
 		return http.StatusInternalServerError, "internal"
 	}
+}
+
+// isIngestDataError reports whether err is one of internal/ingest's typed
+// input errors: malformed source data is the caller's mistake (422
+// bad_data), not a server failure, so it must neither 500 nor trip any
+// breaker accounting that keys off backend failures.
+func isIngestDataError(err error) bool {
+	for _, sentinel := range []error{
+		ingest.ErrBadSchema, ingest.ErrBadHeader, ingest.ErrBadRow,
+		ingest.ErrCoerce, ingest.ErrDuplicatePK, ingest.ErrNullPK,
+		ingest.ErrDanglingFK,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/ingest"
+)
+
+// RelationalSpec parameterises Relational: a synthetic three-table
+// customer/product/orders source with foreign keys from orders into both
+// dimension tables — the realistic bulk-ingestion shape (two small
+// dimension tables, one large fact table) at 10⁵–10⁶ total rows in full
+// experiment runs.
+type RelationalSpec struct {
+	Customers int
+	Products  int
+	Orders    int
+	Seed      int64
+}
+
+// Rows returns the total row count of the spec.
+func (s RelationalSpec) Rows() int { return s.Customers + s.Products + s.Orders }
+
+// RelationalDataset is a generated relational source: the ingest schema
+// plus per-table rows in canonical cell form ("" = NULL), ready to feed
+// the pipeline directly, to render as CSV files, or to pack into a SQLite
+// image.
+type RelationalDataset struct {
+	Schema *ingest.Schema
+	Rows   map[string][][]string
+}
+
+var relationalSchemaText = `table customer file=customer.csv
+col customer id int pk
+col customer name text
+col customer city text null
+col customer since date
+table product file=product.csv
+col product id int pk
+col product sku text
+col product price float
+table orders file=orders.csv
+col orders id int pk
+col orders customer_id int
+col orders product_id int null
+col orders qty int
+fk orders customer_id customer.id
+fk orders product_id product.id
+`
+
+var cities = []string{"paris", "lyon", "nantes", "lille", "brest", "nice", "metz", "dijon"}
+
+// Relational generates the dataset; a pure function of the spec.
+func Relational(spec RelationalSpec) *RelationalDataset {
+	rng := rand.New(rand.NewSource(spec.Seed))
+	s, err := ingest.ParseSchema(relationalSchemaText)
+	if err != nil {
+		panic("workload: relational schema invalid: " + err.Error()) // programming error
+	}
+	d := &RelationalDataset{Schema: s, Rows: make(map[string][][]string, 3)}
+	for i := 1; i <= spec.Customers; i++ {
+		city := ""
+		if rng.Intn(10) != 0 { // ~10% NULL city
+			city = cities[rng.Intn(len(cities))]
+		}
+		since := fmt.Sprintf("%04d-%02d-%02d", 2000+rng.Intn(25), 1+rng.Intn(12), 1+rng.Intn(28))
+		d.Rows["customer"] = append(d.Rows["customer"],
+			[]string{strconv.Itoa(i), fmt.Sprintf("cust-%d", i), city, since})
+	}
+	for i := 1; i <= spec.Products; i++ {
+		price := strconv.FormatFloat(float64(rng.Intn(100000))/100, 'g', -1, 64)
+		d.Rows["product"] = append(d.Rows["product"],
+			[]string{strconv.Itoa(i), fmt.Sprintf("sku-%d", i), price})
+	}
+	for i := 1; i <= spec.Orders; i++ {
+		cust := strconv.Itoa(1 + skewed(rng, spec.Customers))
+		prod := ""
+		if rng.Intn(20) != 0 { // ~5% NULL product (service orders)
+			prod = strconv.Itoa(1 + rng.Intn(spec.Products))
+		}
+		d.Rows["orders"] = append(d.Rows["orders"],
+			[]string{strconv.Itoa(i), cust, prod, strconv.Itoa(1 + rng.Intn(9))})
+	}
+	return d
+}
+
+// Sources returns in-memory pipeline sources in schema order.
+func (d *RelationalDataset) Sources() []ingest.Source {
+	srcs := make([]ingest.Source, 0, len(d.Schema.Tables))
+	for i := range d.Schema.Tables {
+		name := d.Schema.Tables[i].Name
+		srcs = append(srcs, ingest.Rows(name, d.Rows[name]))
+	}
+	return srcs
+}
+
+// WriteCSV renders the dataset into dir: schema.txt plus one CSV file per
+// table, named by the schema's file= attributes.
+func (d *RelationalDataset) WriteCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "schema.txt"), []byte(d.Schema.String()), 0o644); err != nil {
+		return err
+	}
+	for i := range d.Schema.Tables {
+		t := &d.Schema.Tables[i]
+		file := t.File
+		if file == "" {
+			file = t.Name + ".csv"
+		}
+		var b strings.Builder
+		cols := make([]string, len(t.Columns))
+		for ci, c := range t.Columns {
+			cols[ci] = c.Name
+		}
+		b.WriteString(strings.Join(cols, ","))
+		b.WriteByte('\n')
+		for _, row := range d.Rows[t.Name] {
+			b.WriteString(strings.Join(row, ","))
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(b.String()), 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSQLite packs the dataset into a SQLite database file.
+func (d *RelationalDataset) WriteSQLite(path string) error {
+	return ingest.WriteSQLiteFile(path, d.Schema, d.Rows)
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ingest"
+)
+
+func TestRelationalDeterministic(t *testing.T) {
+	spec := RelationalSpec{Customers: 50, Products: 20, Orders: 200, Seed: 7}
+	a := Relational(spec)
+	b := Relational(spec)
+	for _, table := range []string{"customer", "product", "orders"} {
+		if len(a.Rows[table]) != len(b.Rows[table]) {
+			t.Fatalf("%s: %d vs %d rows", table, len(a.Rows[table]), len(b.Rows[table]))
+		}
+		for i := range a.Rows[table] {
+			for j := range a.Rows[table][i] {
+				if a.Rows[table][i][j] != b.Rows[table][i][j] {
+					t.Fatalf("%s row %d differs: %v vs %v", table, i, a.Rows[table][i], b.Rows[table][i])
+				}
+			}
+		}
+	}
+	if Relational(RelationalSpec{Customers: 50, Products: 20, Orders: 200, Seed: 8}).Rows["orders"][0][1] == a.Rows["orders"][0][1] &&
+		Relational(RelationalSpec{Customers: 50, Products: 20, Orders: 200, Seed: 8}).Rows["customer"][0][3] == a.Rows["customer"][0][3] {
+		t.Fatalf("different seeds generated identical data")
+	}
+}
+
+// TestRelationalAllPathsAgree loads the same dataset three ways — in-memory
+// rows, CSV files on disk, and a SQLite image — and demands one graph.
+func TestRelationalAllPathsAgree(t *testing.T) {
+	d := Relational(RelationalSpec{Customers: 40, Products: 10, Orders: 150, Seed: 3})
+	ctx := context.Background()
+
+	gMem, _, err := ingest.Load(ctx, d.Schema, ingest.Options{}, d.Sources()...)
+	if err != nil {
+		t.Fatalf("load from rows: %v", err)
+	}
+
+	dir := t.TempDir()
+	if err := d.WriteCSV(dir); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	schemaText, err := os.ReadFile(filepath.Join(dir, "schema.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := ingest.ParseSchema(string(schemaText))
+	if err != nil {
+		t.Fatalf("reparse written schema: %v", err)
+	}
+	var csvSrcs []ingest.Source
+	for i := range s.Tables {
+		tab := &s.Tables[i]
+		csvSrcs = append(csvSrcs, ingest.CSVFile(tab.Name, filepath.Join(dir, tab.File)))
+	}
+	gCSV, _, err := ingest.Load(ctx, s, ingest.Options{}, csvSrcs...)
+	if err != nil {
+		t.Fatalf("load from csv: %v", err)
+	}
+	if gCSV.String() != gMem.String() {
+		t.Fatalf("CSV load diverged from in-memory load")
+	}
+
+	dbPath := filepath.Join(dir, "data.sqlite")
+	if err := d.WriteSQLite(dbPath); err != nil {
+		t.Fatalf("WriteSQLite: %v", err)
+	}
+	db, err := ingest.OpenSQLite(dbPath)
+	if err != nil {
+		t.Fatalf("OpenSQLite: %v", err)
+	}
+	gSQL, _, err := ingest.Load(ctx, d.Schema, ingest.Options{}, db.Sources()...)
+	if err != nil {
+		t.Fatalf("load from sqlite: %v", err)
+	}
+	if gSQL.String() != gMem.String() {
+		t.Fatalf("SQLite load diverged from in-memory load")
+	}
+}

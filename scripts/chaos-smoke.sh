@@ -23,7 +23,9 @@
 # also proves the sharded chase keeps answers byte-identical under injected
 # faults, and phase 1b drills the engine.exchange fault point: an armed
 # one-shot error must fail a navigational query's boundary exchange, and
-# the retry (plan exhausted) must succeed.
+# the retry (plan exhausted) must succeed. Phase 1d drills ingest.commit:
+# a commit fault mid bulk load must fail without landing anything in the
+# registry, and the retried load's landing must survive the phase-2 crash.
 #
 # Usage: scripts/chaos-smoke.sh [requests] (default 200)
 set -eu
@@ -113,6 +115,31 @@ if ! echo "$SECOND" | grep -q '"answers"'; then
 fi
 curl -sf -X POST "http://$ADDR/v1/admin/faults" -d '{"spec":""}' > /dev/null
 
+echo "chaos-smoke: phase 1d — injected commit fault mid bulk ingest"
+# Arm a one-shot error on the ingest pipeline's batch commit: the bulk
+# load must fail in-band (terminal NDJSON error chunk), nothing may land
+# in the registry, and the retry (plan exhausted) must land normally —
+# the landing is then WAL-logged, so phase 3 checks it survives the crash.
+curl -sf -X POST "http://$ADDR/v1/admin/faults" \
+    -d '{"spec":"ingest.commit=error:n=1","seed":21}' > /dev/null
+ING='{"schema":"table t\ncol t id int pk\ncol t v text\n","tables":{"t":"id,v\n1,a\n2,b\n3,c\n"}}'
+FIRST="$(curl -s -X POST "http://$ADDR/v1/graphs/bulk/ingest" -d "$ING")"
+if ! echo "$FIRST" | grep -q 'ingest.commit'; then
+    echo "chaos-smoke: armed ingest fault did not surface: $FIRST" >&2
+    exit 1
+fi
+if curl -sf "http://$ADDR/v1/graphs/bulk" > /dev/null 2>&1; then
+    echo "chaos-smoke: faulted bulk load landed in the registry anyway" >&2
+    exit 1
+fi
+SECOND="$(curl -s -X POST "http://$ADDR/v1/graphs/bulk/ingest" -d "$ING")"
+if ! echo "$SECOND" | grep -q '"done":true'; then
+    echo "chaos-smoke: ingest retry after fault exhaustion failed: $SECOND" >&2
+    exit 1
+fi
+curl -sf "http://$ADDR/v1/graphs/bulk" > /dev/null
+curl -sf -X POST "http://$ADDR/v1/admin/faults" -d '{"spec":""}' > /dev/null
+
 echo "chaos-smoke: phase 2 — torn WAL append, then SIGKILL"
 # Arm a one-shot partial write on the WAL and attempt a registration: the
 # append must fail (storage_failed) leaving a torn tail on disk.
@@ -138,6 +165,12 @@ fi
 # The idempotent re-registration inside gsmload 409s if the recovered
 # registry bytes drifted; -verify re-checks every answer.
 "$TMP/gsmload" -addr "$ADDR" -clients 8 -n "$N" -mode session -verify
+# The bulk-ingested graph from phase 1d must survive the crash: its
+# landing was WAL-logged before the SIGKILL.
+if ! curl -sf "http://$ADDR/v1/graphs/bulk" > /dev/null; then
+    echo "chaos-smoke: bulk-ingested graph lost across the crash" >&2
+    exit 1
+fi
 # The recovered mapping must be the registry's only one ("torn" was never
 # acknowledged and must not resurface).
 if curl -sf "http://$ADDR/v1/mappings/torn" > /dev/null 2>&1; then
